@@ -1,0 +1,181 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment driver at a
+// scale that keeps a single iteration affordable; the goldilocks-sim CLI
+// runs the same drivers at full paper scale. See EXPERIMENTS.md for the
+// measured-vs-paper comparison.
+package goldilocks
+
+import (
+	"testing"
+
+	"goldilocks/internal/experiments"
+	"goldilocks/internal/trace"
+)
+
+// BenchmarkFig1aPowerCurves regenerates the Fig. 1(a) normalized
+// power-vs-load curves (modern PEE knee vs 2010-linear).
+func BenchmarkFig1aPowerCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig1a(100)
+		if r.PeakUtil < 0.6 || r.PeakUtil > 0.8 {
+			b.Fatalf("peak efficiency at %v", r.PeakUtil)
+		}
+	}
+}
+
+// BenchmarkFig1bSpecFleet regenerates the Fig. 1(b) SPEC-fleet
+// PEE-utilization shares by year.
+func BenchmarkFig1bSpecFleet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig1b(419, 1)
+		if len(r.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig2UCurve regenerates the Fig. 2 active-servers and total
+// power sweep whose 'U' bottoms at the PEE knee.
+func BenchmarkFig2UCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig2(1000)
+		if r.MinPowerLoad < 0.65 || r.MinPowerLoad > 0.75 {
+			b.Fatalf("U-curve minimum at %v", r.MinPowerLoad)
+		}
+	}
+}
+
+// BenchmarkFig3Breakdown regenerates the Fig. 3 power breakdown across the
+// five Table I data centers.
+func BenchmarkFig3Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig3(experiments.DefaultFig3())
+		if len(r.Rows) != 5 {
+			b.Fatal("missing data centers")
+		}
+	}
+}
+
+// BenchmarkTable2Profiles regenerates the Table II application profiles.
+func BenchmarkTable2Profiles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.TableII()
+		if len(r.Profiles) != 4 {
+			b.Fatal("missing profiles")
+		}
+	}
+}
+
+// BenchmarkFig5TraceDistributions synthesizes the Microsoft search trace
+// and extracts the Fig. 5(b) weight distributions. The benchmark scale is
+// ¼ of the published 5488×128538 graph; the CLI runs it in full.
+func BenchmarkFig5TraceDistributions(b *testing.B) {
+	opts := trace.SearchTraceOptions{Vertices: 1372, Edges: 32134, Seed: 19}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig5(opts)
+		if r.Edges != opts.Edges {
+			b.Fatal("edge count mismatch")
+		}
+	}
+}
+
+// BenchmarkFig7Partitions regenerates the Fig. 7 partitioning showcases
+// (224 Twitter containers; 100-vertex trace snapshot into 5 groups).
+func BenchmarkFig7Partitions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig7(3)
+		if len(r.TraceGroups) != 5 {
+			b.Fatal("trace snapshot must split into 5 groups")
+		}
+	}
+}
+
+// BenchmarkFig9Wikipedia replays the Twitter-on-Wikipedia testbed
+// comparison (Fig. 9) for all five policies over a shortened window.
+func BenchmarkFig9Wikipedia(b *testing.B) {
+	opts := experiments.DefaultFig9()
+	opts.Epochs = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10Azure replays the rich-mixture-on-Azure testbed comparison
+// (Fig. 10) for all five policies over a shortened window.
+func BenchmarkFig10Azure(b *testing.B) {
+	opts := experiments.DefaultFig10()
+	opts.Epochs = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11Averages aggregates Figs. 9–10 into the Fig. 11 summary.
+func BenchmarkFig11Averages(b *testing.B) {
+	o9 := experiments.DefaultFig9()
+	o9.Epochs = 10
+	wiki, err := experiments.Fig9(o9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o10 := experiments.DefaultFig10()
+	o10.Epochs = 10
+	azure, err := experiments.Fig10(o10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig11(wiki, azure)
+		if len(r.Wikipedia) != 5 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// BenchmarkFig12Calibration samples the Solr and Hadoop calibration
+// curves of Fig. 12.
+func BenchmarkFig12Calibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig12(1)
+		if len(r.Solr) == 0 || len(r.Hadoop) == 0 {
+			b.Fatal("missing curves")
+		}
+	}
+}
+
+// BenchmarkFig13LargeScale runs the trace-driven large-scale comparison
+// (Fig. 13) at arity 8 (128 servers, 1152 containers); the CLI runs the
+// paper-scale 28-ary tree (5488 servers, 49392 containers).
+func BenchmarkFig13LargeScale(b *testing.B) {
+	opts := experiments.Fig13Options{
+		Arity: 8, ReplicasPerServer: 9, TargetEPVMUtil: 0.25,
+		Epochs: 4, NetsimFlows: 200, Seed: 13,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig13(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtIncremental measures the §IV-C extension comparison: fresh
+// repartitioning vs migration-budgeted incremental scheduling.
+func BenchmarkExtIncremental(b *testing.B) {
+	opts := experiments.DefaultExtIncremental()
+	opts.Epochs = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtIncremental(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

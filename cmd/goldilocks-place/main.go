@@ -1,0 +1,170 @@
+// Command goldilocks-place performs a one-shot placement of a workload
+// onto a topology and prints the resulting groups, per-server loads, and
+// the power/latency accounting — a quick way to see what each policy does.
+//
+// Usage:
+//
+//	goldilocks-place -workload twitter -containers 176 -policy goldilocks
+//	goldilocks-place -workload mixture -containers 200 -policy borg -topology fattree -arity 8
+//	goldilocks-place -workload trace -containers 500 -policy goldilocks -fail-rack 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"goldilocks"
+	"goldilocks/internal/resources"
+	"goldilocks/internal/topology"
+	"goldilocks/internal/trace"
+)
+
+func main() {
+	var (
+		workloadKind = flag.String("workload", "twitter", "workload: twitter | mixture | trace")
+		inputFile    = flag.String("input", "", "load the workload from a JSON spec file instead of generating one")
+		containers   = flag.Int("containers", 176, "number of containers")
+		policyName   = flag.String("policy", "goldilocks", "policy: goldilocks | epvm | mpp | borg | rcinformed")
+		topoKind     = flag.String("topology", "testbed", "topology: testbed | fattree")
+		arity        = flag.Int("arity", 8, "fat-tree arity when -topology=fattree")
+		seed         = flag.Int64("seed", 1, "deterministic seed")
+		failRack     = flag.Int("fail-rack", -1, "degrade this rack's uplink by 50% (asymmetric placement)")
+	)
+	flag.Parse()
+
+	topo, err := buildTopology(*topoKind, *arity)
+	if err != nil {
+		fatal(err)
+	}
+	if *failRack >= 0 {
+		racks := topo.SubtreesAtLevel(topology.LevelRack)
+		if *failRack >= len(racks) {
+			fatal(fmt.Errorf("rack %d out of range (%d racks)", *failRack, len(racks)))
+		}
+		if err := topo.FailUplinkFraction(racks[*failRack], 0.5); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("degraded rack %d uplink by 50%% (topology now asymmetric)\n", *failRack)
+	}
+
+	var spec *goldilocks.Spec
+	if *inputFile != "" {
+		f, err := os.Open(*inputFile)
+		if err != nil {
+			fatal(err)
+		}
+		spec, err = goldilocks.ReadWorkloadJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		spec, err = buildWorkload(*workloadKind, *containers, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	policy, err := pickPolicy(*policyName)
+	if err != nil {
+		fatal(err)
+	}
+
+	runner := goldilocks.NewRunner(topo, policy, goldilocks.DefaultRunnerOptions())
+	rep, err := runner.RunEpoch(goldilocks.EpochInput{Spec: spec, RPS: float64(*containers) * 1000})
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := policy.Place(goldilocks.Request{Spec: spec, Topo: topo})
+	if err != nil {
+		fatal(err)
+	}
+	printPlacement(topo, spec, res)
+	fmt.Printf("\npolicy=%s active=%d/%d power=%.0fW (servers %.0fW + network %.0fW) meanTCT=%.2fms\n",
+		policy.Name(), rep.ActiveServers, topo.NumServers(),
+		rep.TotalPowerW, rep.ServerPowerW, rep.NetworkPowerW, rep.MeanTCTMS)
+}
+
+func buildTopology(kind string, arity int) (*goldilocks.Topology, error) {
+	switch kind {
+	case "testbed":
+		return goldilocks.NewTestbed(), nil
+	case "fattree":
+		cfg := goldilocks.TopologyConfig{
+			ServerCapacity: resources.New(3200, 64*1024, 10000),
+			ServerModel:    goldilocks.Dell2018,
+			ServerLinkMbps: 10000,
+		}
+		return goldilocks.NewFatTree(arity, powerAltoline(), powerAltoline(), powerAltoline(), cfg)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", kind)
+	}
+}
+
+func powerAltoline() goldilocks.SwitchModel {
+	// Reuse the Fat-tree(32) switch model from Table I.
+	return goldilocks.TableI[3].ToRModel
+}
+
+func buildWorkload(kind string, n int, seed int64) (*goldilocks.Spec, error) {
+	switch kind {
+	case "twitter":
+		return goldilocks.NewTwitterWorkload(n, seed), nil
+	case "mixture":
+		return goldilocks.NewMixtureWorkload(n, seed), nil
+	case "trace":
+		return goldilocks.SynthesizeSearchTrace(trace.SearchTraceOptions{
+			Vertices: n, Edges: n * 23, Seed: seed,
+		}), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", kind)
+	}
+}
+
+func pickPolicy(name string) (goldilocks.Policy, error) {
+	switch name {
+	case "goldilocks":
+		return goldilocks.NewGoldilocks(), nil
+	case "epvm":
+		return goldilocks.NewEPVM(), nil
+	case "mpp":
+		return goldilocks.NewMPP(), nil
+	case "borg":
+		return goldilocks.NewBorg(), nil
+	case "rcinformed":
+		return goldilocks.NewRCInformed(), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func printPlacement(topo *goldilocks.Topology, spec *goldilocks.Spec, res goldilocks.Result) {
+	byServer := make(map[int][]string)
+	loads := make(map[int]goldilocks.Vector)
+	for i, s := range res.Placement {
+		byServer[s] = append(byServer[s], spec.Containers[i].String())
+		loads[s] = loads[s].Add(spec.Containers[i].Demand)
+	}
+	servers := make([]int, 0, len(byServer))
+	for s := range byServer {
+		servers = append(servers, s)
+	}
+	sort.Ints(servers)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "server\tcontainers\tCPU util\tmem util\tnet util")
+	for _, s := range servers {
+		u := loads[s].Utilization(topo.Capacity[s])
+		fmt.Fprintf(tw, "%d\t%d\t%.0f%%\t%.0f%%\t%.0f%%\n",
+			s, len(byServer[s]),
+			u[resources.CPU]*100, u[resources.Memory]*100, u[resources.Network]*100)
+	}
+	tw.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "goldilocks-place:", err)
+	os.Exit(1)
+}

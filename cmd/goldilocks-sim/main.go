@@ -1,0 +1,157 @@
+// Command goldilocks-sim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	goldilocks-sim -experiment fig9                # one experiment
+//	goldilocks-sim -experiment all                 # everything
+//	goldilocks-sim -experiment fig13 -arity 28     # paper-scale Fig. 13
+//
+// Experiments: fig1a fig1b fig2 fig3 table2 fig5 fig7 fig9 fig10 fig11
+// fig12 fig13 all. Output is the text table corresponding to the figure's
+// series; see EXPERIMENTS.md for the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"goldilocks/internal/experiments"
+	"goldilocks/internal/trace"
+)
+
+func main() {
+	var (
+		exp    = flag.String("experiment", "all", "experiment id (fig1a…fig13, table2, all)")
+		seed   = flag.Int64("seed", 13, "deterministic seed")
+		epochs = flag.Int("epochs", 0, "override epoch count for fig9/fig10/fig13 (0 = paper default)")
+		arity  = flag.Int("arity", 12, "fat-tree arity for fig13 (28 = paper scale: 5488 servers)")
+		flows  = flag.Int("netsim-flows", 2000, "flow-level sample size for fig13 (0 disables)")
+		csvOut = flag.Bool("csv", false, "emit CSV instead of text tables (fig9, fig10, fig13)")
+	)
+	flag.Parse()
+
+	ids := strings.Split(strings.ToLower(*exp), ",")
+	if *exp == "all" {
+		ids = []string{"fig1a", "fig1b", "fig2", "fig3", "table2", "fig5", "fig7", "fig12", "fig9", "fig10", "fig11", "fig13", "ext-incremental"}
+	}
+
+	// fig11 needs fig9+fig10 results; cache them across ids.
+	var wiki *experiments.Fig9Result
+	var azure *experiments.Fig10Result
+	runFig9 := func() (*experiments.Fig9Result, error) {
+		if wiki != nil {
+			return wiki, nil
+		}
+		opts := experiments.DefaultFig9()
+		opts.Seed = *seed
+		if *epochs > 0 {
+			opts.Epochs = *epochs
+		}
+		var err error
+		wiki, err = experiments.Fig9(opts)
+		return wiki, err
+	}
+	runFig10 := func() (*experiments.Fig10Result, error) {
+		if azure != nil {
+			return azure, nil
+		}
+		opts := experiments.DefaultFig10()
+		opts.Seed = *seed
+		if *epochs > 0 {
+			opts.Epochs = *epochs
+		}
+		var err error
+		azure, err = experiments.Fig10(opts)
+		return azure, err
+	}
+
+	for _, id := range ids {
+		fmt.Printf("== %s ==\n", id)
+		var err error
+		switch id {
+		case "fig1a":
+			experiments.Fig1a(20).Print(os.Stdout)
+		case "fig1b":
+			experiments.Fig1b(419, *seed).Print(os.Stdout)
+		case "fig2":
+			r := experiments.Fig2(1000)
+			r.Print(os.Stdout)
+			fmt.Printf("minimum total power at %.0f%% per-server load\n", r.MinPowerLoad*100)
+		case "fig3":
+			r := experiments.Fig3(experiments.DefaultFig3())
+			r.Print(os.Stdout)
+			fmt.Printf("average savings: traffic packing %.1f%%, task packing %.1f%%\n",
+				r.AvgTrafficSaving*100, r.AvgTaskSaving*100)
+		case "table2":
+			experiments.TableII().Print(os.Stdout)
+		case "fig5":
+			experiments.Fig5(trace.DefaultSearchTrace()).Print(os.Stdout)
+		case "fig7":
+			experiments.Fig7(*seed).Print(os.Stdout)
+		case "fig9":
+			var r *experiments.Fig9Result
+			if r, err = runFig9(); err == nil {
+				if *csvOut {
+					err = r.WriteCSV(os.Stdout)
+				} else {
+					r.Print(os.Stdout)
+				}
+			}
+		case "fig10":
+			var r *experiments.Fig10Result
+			if r, err = runFig10(); err == nil {
+				if *csvOut {
+					err = r.WriteCSV(os.Stdout)
+				} else {
+					r.Print(os.Stdout)
+				}
+			}
+		case "fig11":
+			var w *experiments.Fig9Result
+			var a *experiments.Fig10Result
+			if w, err = runFig9(); err == nil {
+				if a, err = runFig10(); err == nil {
+					experiments.Fig11(w, a).Print(os.Stdout)
+				}
+			}
+		case "fig12":
+			experiments.Fig12(*seed).Print(os.Stdout)
+		case "fig13":
+			opts := experiments.DefaultFig13()
+			opts.Seed = *seed
+			opts.Arity = *arity
+			opts.NetsimFlows = *flows
+			if *epochs > 0 {
+				opts.Epochs = *epochs
+			}
+			var r *experiments.Fig13Result
+			if r, err = experiments.Fig13(opts); err == nil {
+				if *csvOut {
+					err = r.WriteCSV(os.Stdout)
+				} else {
+					fmt.Printf("servers=%d containers=%d\n", r.NumServers, r.Containers)
+					r.Print(os.Stdout)
+				}
+			}
+		case "ext-incremental":
+			opts := experiments.DefaultExtIncremental()
+			opts.Seed = *seed
+			if *epochs > 0 {
+				opts.Epochs = *epochs
+			}
+			var r *experiments.ExtIncrementalResult
+			if r, err = experiments.ExtIncremental(opts); err == nil {
+				r.Print(os.Stdout)
+			}
+		default:
+			err = fmt.Errorf("unknown experiment %q", id)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "goldilocks-sim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,70 @@
+package goldilocks_test
+
+import (
+	"fmt"
+
+	"goldilocks"
+)
+
+// ExampleNewGoldilocks places the Twitter caching workload on the paper's
+// testbed and reports how many servers the Peak-Energy-Efficiency packing
+// needs.
+func ExampleNewGoldilocks() {
+	topo := goldilocks.NewTestbed()
+	spec := goldilocks.NewTwitterWorkload(176, 1)
+	res, err := goldilocks.NewGoldilocks().Place(goldilocks.Request{Spec: spec, Topo: topo})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("containers: %d, active servers: %d of %d\n",
+		len(res.Placement), res.NumActive(topo.NumServers()), topo.NumServers())
+	// Output:
+	// containers: 176, active servers: 5 of 16
+}
+
+// ExamplePolicies compares the five policies of the paper's evaluation on
+// one epoch.
+func ExamplePolicies() {
+	topo := goldilocks.NewTestbed()
+	spec := goldilocks.NewTwitterWorkload(64, 1)
+	for _, p := range goldilocks.Policies() {
+		res, err := p.Place(goldilocks.Request{Spec: spec, Topo: topo})
+		if err != nil {
+			fmt.Println(p.Name(), "error:", err)
+			continue
+		}
+		fmt.Printf("%s: %d active\n", p.Name(), res.NumActive(topo.NumServers()))
+	}
+	// Output:
+	// E-PVM: 16 active
+	// mPP: 2 active
+	// Borg: 2 active
+	// RC-Informed: 2 active
+	// Goldilocks: 2 active
+}
+
+// ExampleTopology_CapacityGraph shows the §III-A substructure discovery:
+// max-cut bipartitioning of the capacity graph recovers the pods.
+func ExampleTopology_CapacityGraph() {
+	topo, err := goldilocks.NewFatTree(4,
+		goldilocks.TableI[3].ToRModel, goldilocks.TableI[3].ToRModel, goldilocks.TableI[3].ToRModel,
+		goldilocks.TopologyConfig{
+			ServerCapacity: goldilocks.Vector{2400, 65536, 1000},
+			ServerModel:    goldilocks.Dell2018,
+			ServerLinkMbps: 1000,
+		})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	g, err := topo.CapacityGraph()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	groups := goldilocks.DiscoverSubstructures(g, 4, goldilocks.DefaultPartitionOptions())
+	fmt.Printf("discovered %d substructures of %d servers each\n", len(groups), len(groups[0]))
+	// Output:
+	// discovered 4 substructures of 4 servers each
+}

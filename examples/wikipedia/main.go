@@ -1,0 +1,43 @@
+// Wikipedia diurnal replay (the Fig. 9 experiment): the fixed 176-container
+// Twitter caching workload rides the Wikipedia request wave from 44K to
+// 440K RPS over a compressed hour, and all five policies reschedule every
+// minute. The example prints the per-policy trajectory the paper plots:
+// active servers, total power, task completion time, energy per request.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"goldilocks"
+)
+
+func main() {
+	opts := goldilocks.DefaultFig9Options()
+	result, err := goldilocks.Fig9(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Time series every 10 minutes for the Goldilocks line, the way the
+	// paper's Fig. 9 panels read.
+	fmt.Println("Goldilocks trajectory on the Wikipedia pattern:")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "minute\tRPS\tactive\tpower (W)\tTCT (ms)")
+	for _, s := range result.Series {
+		if s.Policy != "Goldilocks" {
+			continue
+		}
+		for e := 0; e < len(s.Reports); e += 10 {
+			rep := s.Reports[e]
+			fmt.Fprintf(tw, "%d\t%.0f\t%d\t%.0f\t%.2f\n",
+				e, result.RPS[e], rep.ActiveServers, rep.TotalPowerW, rep.MeanTCTMS)
+		}
+	}
+	tw.Flush()
+
+	fmt.Println("\nper-policy averages (Fig. 9 summary):")
+	result.Print(os.Stdout)
+}

@@ -1,0 +1,3 @@
+module goldilocks
+
+go 1.22

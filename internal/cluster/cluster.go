@@ -1,0 +1,449 @@
+// Package cluster is the epoch-based data center simulator the testbed
+// experiments run on (Figs. 9–11): each epoch a scheduling policy places
+// the current workload, idle servers and switches are powered down (with
+// backup paths retained), and the package accounts power, task completion
+// time, migrations and energy-per-request exactly along the paper's four
+// reported axes.
+//
+// Task completion time follows the paper's two levers: per-request service
+// time plus multi-core queueing delay at the destination server (M/M/c via
+// the Sakasegawa approximation — many-core servers queue negligibly below
+// the saturation knee, which is exactly why the 70% PEE packing keeps its
+// latency while 95% packing does not) plus congestion-inflated per-hop
+// network latency over the container pair's path (locality → few hops).
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"goldilocks/internal/metrics"
+	"goldilocks/internal/resources"
+	"goldilocks/internal/scheduler"
+	"goldilocks/internal/topology"
+	"goldilocks/internal/workload"
+)
+
+// Options tunes the simulator.
+type Options struct {
+	// EpochLength is the wall time one epoch represents.
+	EpochLength time.Duration
+	// PerHopLatencyMS is the network latency contributed by each link on
+	// a request's path.
+	PerHopLatencyMS float64
+	// MaxQueueUtil clamps the M/M/1 utilization to keep the queueing
+	// term finite; utilizations at or above it saturate to the clamp.
+	MaxQueueUtil float64
+	// MaxLinkUtil clamps per-link utilization in the congestion term.
+	MaxLinkUtil float64
+	// FocusApp, when non-empty, restricts TCT accounting to flows whose
+	// endpoints both run the named application (the paper reports the
+	// latency of Twitter queries specifically).
+	FocusApp string
+	// BackupSwitches is the number of extra aggregation/core switches
+	// kept powered per group as backup paths (§II: "a few extra backup
+	// paths are reserved for bursty traffic").
+	BackupSwitches int
+	// SLATargetMS, when positive, marks request latencies above it as
+	// SLA violations (reported per epoch as the violating share of
+	// request weight). The paper's motivation: packing to ~100% leaves
+	// "very little headroom for spikes, and the task completion times
+	// are compromised".
+	SLATargetMS float64
+}
+
+// DefaultOptions matches the testbed experiments.
+func DefaultOptions() Options {
+	return Options{
+		EpochLength:     time.Minute,
+		PerHopLatencyMS: 0.8,
+		MaxQueueUtil:    0.98,
+		MaxLinkUtil:     0.90,
+		FocusApp:        workload.TwitterCaching.Name,
+		BackupSwitches:  1,
+	}
+}
+
+// EpochInput is one epoch's workload.
+type EpochInput struct {
+	Spec *workload.Spec
+	// RPS is the aggregate *offered* request rate. The served rate is
+	// closed-loop: each query connection issues requests back-to-back,
+	// so a connection's throughput is capped at 1/TCT — long completion
+	// times directly shrink served requests and inflate energy per
+	// request (the Fig. 9(d)/11(c) effect).
+	RPS float64
+	// Burst scales the *actual* CPU/network load relative to the demand
+	// the scheduler placed against (default 1.0). A mid-epoch spike
+	// (Burst > 1) is exactly the scenario PEE headroom protects against:
+	// 95%-packed servers saturate while 70%-packed servers absorb it.
+	Burst float64
+}
+
+// EpochReport is the simulator's output for one epoch: the four axes of
+// Figs. 9/10 plus migration accounting.
+type EpochReport struct {
+	Epoch             int
+	Time              time.Duration
+	Policy            string
+	ActiveServers     int
+	ServerPowerW      float64
+	NetworkPowerW     float64
+	TotalPowerW       float64
+	TCT               metrics.TCTStats
+	MeanTCTMS         float64
+	Requests          float64
+	EnergyJ           float64
+	EnergyPerRequestJ float64
+	Migrations        int
+	MigrationMB       float64
+	// MeanServerUtil is the mean CPU utilization across active servers.
+	MeanServerUtil float64
+	// SLAViolations is the share of request weight whose latency
+	// exceeded Options.SLATargetMS (0 when no target is set).
+	SLAViolations float64
+}
+
+// Runner drives one policy across epochs on one topology.
+type Runner struct {
+	topo   *topology.Topology
+	policy scheduler.Policy
+	opts   Options
+
+	epoch        int
+	prevPlace    map[int]int // container ID → server id, for migration diffs
+	totalEnergyJ float64
+	totalReqs    float64
+}
+
+// NewRunner builds a runner. The topology is not mutated.
+func NewRunner(topo *topology.Topology, policy scheduler.Policy, opts Options) *Runner {
+	if opts.EpochLength <= 0 {
+		opts.EpochLength = DefaultOptions().EpochLength
+	}
+	if opts.MaxQueueUtil <= 0 || opts.MaxQueueUtil >= 1 {
+		opts.MaxQueueUtil = DefaultOptions().MaxQueueUtil
+	}
+	if opts.PerHopLatencyMS < 0 {
+		opts.PerHopLatencyMS = DefaultOptions().PerHopLatencyMS
+	}
+	if opts.MaxLinkUtil <= 0 || opts.MaxLinkUtil >= 1 {
+		opts.MaxLinkUtil = DefaultOptions().MaxLinkUtil
+	}
+	return &Runner{
+		topo:      topo,
+		policy:    policy,
+		opts:      opts,
+		prevPlace: make(map[int]int),
+	}
+}
+
+// RunEpoch schedules the epoch's workload and returns its report.
+func (r *Runner) RunEpoch(in EpochInput) (EpochReport, error) {
+	res, err := r.policy.Place(scheduler.Request{Spec: in.Spec, Topo: r.topo})
+	if err != nil {
+		return EpochReport{}, fmt.Errorf("cluster: epoch %d: %w", r.epoch, err)
+	}
+	rep := r.account(in, res)
+	r.epoch++
+	return rep, nil
+}
+
+// RunSeries runs consecutive epochs and returns all reports; it stops at
+// the first scheduling failure.
+func (r *Runner) RunSeries(inputs []EpochInput) ([]EpochReport, error) {
+	reports := make([]EpochReport, 0, len(inputs))
+	for _, in := range inputs {
+		rep, err := r.RunEpoch(in)
+		if err != nil {
+			return reports, err
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// TotalEnergyPerRequest returns joules per request across every epoch run
+// so far.
+func (r *Runner) TotalEnergyPerRequest() float64 {
+	if r.totalReqs == 0 {
+		return 0
+	}
+	return r.totalEnergyJ / r.totalReqs
+}
+
+// account derives the epoch report from a placement.
+func (r *Runner) account(in EpochInput, res scheduler.Result) EpochReport {
+	burst := in.Burst
+	if burst <= 0 {
+		burst = 1
+	}
+	numServers := r.topo.NumServers()
+	loads := make([]resources.Vector, numServers)
+	for i, s := range res.Placement {
+		actual := in.Spec.Containers[i].Demand
+		actual[resources.CPU] *= burst
+		actual[resources.Network] *= burst
+		loads[s] = loads[s].Add(actual)
+	}
+	active := res.ActiveServers(numServers)
+
+	// Server power: the load-proportional axis is CPU.
+	serverW := 0.0
+	activeCount := 0
+	utilSum := 0.0
+	cpuUtil := make([]float64, numServers)
+	for s := 0; s < numServers; s++ {
+		u := loads[s].Utilization(r.topo.Capacity[s])[resources.CPU]
+		cpuUtil[s] = u
+		if !active[s] {
+			continue
+		}
+		activeCount++
+		utilSum += u
+		serverW += r.topo.Server[s].Power(u)
+	}
+
+	linkLoad := r.linkLoads(in.Spec, res.Placement, burst)
+	networkW := r.networkPower(active, linkLoad)
+
+	linkUtil := make(map[*topology.Link]float64, len(linkLoad))
+	for l, mbps := range linkLoad {
+		if l.CapacityMbps > 0 {
+			linkUtil[l] = math.Min(mbps/l.CapacityMbps, r.opts.MaxLinkUtil)
+		} else {
+			linkUtil[l] = r.opts.MaxLinkUtil
+		}
+	}
+	tct, weights := r.taskCompletionTimes(in.Spec, res.Placement, cpuUtil, linkUtil)
+	stats := metrics.SummarizeWeightedTCT(tct, weights)
+	slaViolations := 0.0
+	if r.opts.SLATargetMS > 0 {
+		var badW, totalW float64
+		for i, ms := range tct {
+			totalW += weights[i]
+			if ms > r.opts.SLATargetMS {
+				badW += weights[i]
+			}
+		}
+		if totalW > 0 {
+			slaViolations = badW / totalW
+		}
+	}
+
+	energy := (serverW + networkW) * r.opts.EpochLength.Seconds()
+	servedRPS := in.RPS
+	if stats.MeanMS > 0 && stats.Count > 0 {
+		// Closed-loop cap: each of the Count query connections completes
+		// at most 1000/TCT_ms requests per second.
+		capRPS := float64(stats.Count) * 1000 / stats.MeanMS
+		servedRPS = math.Min(servedRPS, capRPS)
+	}
+	requests := servedRPS * r.opts.EpochLength.Seconds()
+	r.totalEnergyJ += energy
+	r.totalReqs += requests
+
+	migrations, migMB := r.migrationDiff(in.Spec, res.Placement)
+
+	rep := EpochReport{
+		Epoch:         r.epoch,
+		Time:          time.Duration(r.epoch) * r.opts.EpochLength,
+		Policy:        r.policy.Name(),
+		ActiveServers: activeCount,
+		ServerPowerW:  serverW,
+		NetworkPowerW: networkW,
+		TotalPowerW:   serverW + networkW,
+		TCT:           stats,
+		MeanTCTMS:     stats.MeanMS,
+		Requests:      requests,
+		EnergyJ:       energy,
+		Migrations:    migrations,
+		MigrationMB:   migMB,
+		SLAViolations: slaViolations,
+	}
+	if requests > 0 {
+		rep.EnergyPerRequestJ = energy / requests
+	}
+	if activeCount > 0 {
+		rep.MeanServerUtil = utilSum / float64(activeCount)
+	}
+	return rep
+}
+
+// networkPower powers ToRs of active racks and a *traffic-proportional*
+// number of aggregation/core switches plus backup paths (§II: idle
+// switches and links are turned off only after task packing, so a
+// locality-preserving placement that keeps traffic inside racks lets the
+// fabric layer power down).
+func (r *Runner) networkPower(active []bool, linkLoad map[*topology.Link]float64) float64 {
+	total := 0.0
+	activeIn := func(n *topology.Node) int {
+		c := 0
+		for _, s := range n.ServerIDs {
+			if active[s] {
+				c++
+			}
+		}
+		return c
+	}
+	for _, n := range r.topo.Nodes() {
+		if len(n.Switches) == 0 {
+			continue
+		}
+		switch n.Level {
+		case topology.LevelRack:
+			servers := activeIn(n)
+			if servers == 0 {
+				continue // whole rack dark: ToR off
+			}
+			for _, sg := range n.Switches {
+				// Ports: one per active server plus the uplink ports
+				// the rack's outbound traffic actually needs (plus a
+				// backup).
+				uplinks := 1 + r.opts.BackupSwitches
+				if n.Uplink != nil && n.Uplink.CapacityMbps > 0 {
+					perPort := n.Uplink.CapacityMbps / float64(sg.Model.NumPorts/2)
+					uplinks += int(math.Ceil(linkLoad[n.Uplink] / perPort))
+				}
+				total += sg.Model.Power(servers+uplinks) * float64(sg.Count)
+			}
+		case topology.LevelPod, topology.LevelRoot:
+			// Aggregation/core: the traffic transiting this layer is
+			// the sum of the children's uplink loads; power the number
+			// of switches that traffic needs, plus backups.
+			activeChildren := 0
+			transit := 0.0
+			var childCap float64
+			for _, c := range n.Children {
+				if activeIn(c) > 0 {
+					activeChildren++
+				}
+				if c.Uplink != nil {
+					transit += linkLoad[c.Uplink]
+					childCap += c.Uplink.CapacityMbps
+				}
+			}
+			if activeChildren == 0 {
+				continue
+			}
+			for _, sg := range n.Switches {
+				on := 1 + r.opts.BackupSwitches
+				if childCap > 0 {
+					share := childCap / float64(sg.Count) // capacity one switch provides
+					on = int(math.Ceil(transit/share)) + r.opts.BackupSwitches
+					if on < 1+r.opts.BackupSwitches {
+						on = 1 + r.opts.BackupSwitches
+					}
+				}
+				if on > sg.Count {
+					on = sg.Count
+				}
+				ports := sg.Model.NumPorts * activeChildren / len(n.Children)
+				if ports < 2 {
+					ports = 2
+				}
+				total += sg.Model.Power(ports) * float64(on)
+			}
+		}
+	}
+	return total
+}
+
+// linkLoads estimates per-link traffic (Mbps) from the placement: every
+// container's network demand is spread over its flows proportionally to
+// flow weight, and each flow charges its path. This feeds both the
+// congestion term of the TCT model and the fabric power-down accounting.
+func (r *Runner) linkLoads(spec *workload.Spec, placement []int, burst float64) map[*topology.Link]float64 {
+	// Per-container total flow weight.
+	flowWeight := make([]float64, len(spec.Containers))
+	for _, f := range spec.Flows {
+		flowWeight[f.A] += f.Count
+		flowWeight[f.B] += f.Count
+	}
+	load := make(map[*topology.Link]float64)
+	for _, f := range spec.Flows {
+		sa, sb := placement[f.A], placement[f.B]
+		if sa == sb {
+			continue // intra-server traffic never touches the fabric
+		}
+		traffic := 0.0
+		if flowWeight[f.A] > 0 {
+			traffic += spec.Containers[f.A].Demand[resources.Network] * f.Count / flowWeight[f.A]
+		}
+		if flowWeight[f.B] > 0 {
+			traffic += spec.Containers[f.B].Demand[resources.Network] * f.Count / flowWeight[f.B]
+		}
+		traffic = traffic / 2 * burst // average the two endpoint estimates, apply the burst
+		for _, l := range r.topo.PathLinks(sa, sb) {
+			load[l] += traffic
+		}
+	}
+	return load
+}
+
+// taskCompletionTimes returns one latency sample per accounted flow,
+// weighted by the flow's request count so statistics are per-request:
+// M/M/c queueing at the responder's server plus congestion-inflated
+// per-hop latency along the pair's path — the paper's two levers
+// (headroom and locality) in one number.
+func (r *Runner) taskCompletionTimes(spec *workload.Spec, placement []int, cpuUtil []float64, linkUtil map[*topology.Link]float64) (samples, weights []float64) {
+	for _, f := range spec.Flows {
+		a, b := f.A, f.B
+		ca, cb := spec.Containers[a], spec.Containers[b]
+		if r.opts.FocusApp != "" && (ca.App.Name != r.opts.FocusApp || cb.App.Name != r.opts.FocusApp) {
+			continue
+		}
+		sa, sb := placement[a], placement[b]
+		// Queueing at the responder's server: M/M/c with c = cores.
+		rho := math.Min(cpuUtil[sb], r.opts.MaxQueueUtil)
+		service := cb.App.ServiceTimeMS
+		cores := r.topo.Capacity[sb][resources.CPU] / 100
+		queued := service + service*queueWaitFactor(rho, cores)
+		network := 0.0
+		for _, l := range r.topo.PathLinks(sa, sb) {
+			network += r.opts.PerHopLatencyMS / (1 - linkUtil[l])
+		}
+		samples = append(samples, queued+network)
+		weights = append(weights, f.Count)
+	}
+	return samples, weights
+}
+
+// queueWaitFactor returns the expected waiting time as a multiple of the
+// service time for an M/M/c queue at utilization rho, using Sakasegawa's
+// approximation W/S ≈ ρ^√(2(c+1)) / (c·(1−ρ)). For c = 1 this reduces to
+// the familiar ρ/(1−ρ); for many-core servers it stays near zero until
+// utilization approaches saturation — the effect that makes Peak Energy
+// Efficiency packing latency-safe while 95% packing is not.
+func queueWaitFactor(rho, cores float64) float64 {
+	if cores < 1 {
+		cores = 1
+	}
+	if rho <= 0 {
+		return 0
+	}
+	if rho >= 1 {
+		rho = 0.999
+	}
+	return math.Pow(rho, math.Sqrt(2*(cores+1))) / (cores * (1 - rho))
+}
+
+// migrationDiff compares the new placement with the previous epoch's and
+// returns how many containers moved and the memory they dragged along
+// (checkpoint/restore images, §V).
+func (r *Runner) migrationDiff(spec *workload.Spec, placement []int) (int, float64) {
+	migrations := 0
+	migMB := 0.0
+	next := make(map[int]int, len(placement))
+	for i, s := range placement {
+		id := spec.Containers[i].ID
+		next[id] = s
+		if prev, ok := r.prevPlace[id]; ok && prev != s {
+			migrations++
+			migMB += spec.Containers[i].Demand[resources.Memory]
+		}
+	}
+	r.prevPlace = next
+	return migrations, migMB
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV exporters for the time-series experiments, so the figures can be
+// regenerated with any plotting tool: one row per (epoch, policy) with the
+// four reported axes.
+
+// WriteCSV emits the Fig. 9 per-epoch series.
+func (r *Fig9Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"epoch", "rps", "policy", "active_servers", "power_w", "tct_ms", "energy_per_request_j"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		for e, rep := range s.Reports {
+			rec := []string{
+				strconv.Itoa(e),
+				fmtF(r.RPS[e]),
+				s.Policy,
+				strconv.Itoa(rep.ActiveServers),
+				fmtF(rep.TotalPowerW),
+				fmtF(rep.MeanTCTMS),
+				fmtF(rep.EnergyPerRequestJ),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Fig. 10 per-epoch series.
+func (r *Fig10Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"epoch", "containers", "policy", "active_servers", "power_w", "tct_ms", "energy_per_request_j"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		for e, rep := range s.Reports {
+			rec := []string{
+				strconv.Itoa(e),
+				strconv.Itoa(r.ContainerCounts[e]),
+				s.Policy,
+				strconv.Itoa(rep.ActiveServers),
+				fmtF(rep.TotalPowerW),
+				fmtF(rep.MeanTCTMS),
+				fmtF(rep.EnergyPerRequestJ),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Fig. 13 summary rows.
+func (r *Fig13Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"policy", "mean_active", "mean_power_kw", "mean_tct_ms", "power_over_epvm", "tct_over_epvm", "netsim_fct_ms"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			row.Policy,
+			fmtF(row.MeanActive),
+			fmtF(row.MeanPowerKW),
+			fmtF(row.MeanTCTMS),
+			fmtF(row.NormPower),
+			fmtF(row.NormTCT),
+			fmtF(row.NetsimMeanFCTm),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return fmt.Sprintf("%g", v) }

@@ -1,0 +1,46 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Every driver is deterministic for a given options
+// struct, returns typed rows, and can render itself as the text table the
+// paper's figure plots — the benchmark harness (bench_test.go) and the
+// goldilocks-sim CLI both run these drivers.
+//
+// The experiment index (ids, workloads, parameters, implementing modules)
+// lives in DESIGN.md §4; measured-vs-paper results live in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// PolicyNames lists the five compared policies in the paper's order.
+var PolicyNames = []string{"E-PVM", "mPP", "Borg", "RC-Informed", "Goldilocks"}
+
+// table renders rows with aligned columns.
+func table(w io.Writer, header []string, rows [][]string) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for i, h := range header {
+		if i > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		fmt.Fprint(tw, h)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, cell)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func d0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func pc(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"io"
+
+	"goldilocks/internal/power"
+)
+
+// Fig1aRow is one load point of Fig. 1(a): normalized power for the modern
+// PEE-knee server against the strictly linear 2010 model.
+type Fig1aRow struct {
+	Load            float64
+	Dell2018Power   float64 // normalized to max
+	Linear2010      float64
+	Dell2018OpsPerW float64 // normalized ops/W (efficiency curve)
+}
+
+// Fig1aResult is the Fig. 1(a) power-vs-load sweep.
+type Fig1aResult struct {
+	Rows     []Fig1aRow
+	PeakUtil float64 // utilization of maximum ops/W for the modern model
+}
+
+// Fig1a sweeps server load 0–100% in `points` steps.
+func Fig1a(points int) *Fig1aResult {
+	if points <= 0 {
+		points = 20
+	}
+	res := &Fig1aResult{PeakUtil: power.Dell2018.PeakEfficiencyUtil()}
+	maxEff := power.Dell2018.Efficiency(res.PeakUtil)
+	for i := 0; i <= points; i++ {
+		u := float64(i) / float64(points)
+		row := Fig1aRow{
+			Load:          u,
+			Dell2018Power: power.Dell2018.NormalizedPower(u),
+			Linear2010:    power.Legacy2010.NormalizedPower(u),
+		}
+		if maxEff > 0 {
+			row.Dell2018OpsPerW = power.Dell2018.Efficiency(u) / maxEff
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Print renders the sweep.
+func (r *Fig1aResult) Print(w io.Writer) {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{pc(row.Load), f3(row.Dell2018Power), f3(row.Linear2010), f3(row.Dell2018OpsPerW)}
+	}
+	table(w, []string{"load", "Dell-2018 P/Pmax", "2010-linear P/Pmax", "Dell-2018 ops/W (norm)"}, rows)
+}
+
+// Fig1bRow is one year of Fig. 1(b): the share of SPECpower results whose
+// peak-efficiency utilization falls at each level.
+type Fig1bRow struct {
+	Year   int
+	Shares map[float64]float64 // PEE utilization → share
+}
+
+// Fig1bResult is the synthetic SPEC-fleet analysis.
+type Fig1bResult struct {
+	FleetSize int
+	Rows      []Fig1bRow
+}
+
+// Fig1b synthesizes the SPEC fleet (the paper analyzes 419 servers) and
+// aggregates per-year shares.
+func Fig1b(fleetSize int, seed int64) *Fig1bResult {
+	if fleetSize <= 0 {
+		fleetSize = 419
+	}
+	fleet := power.SpecFleet(fleetSize, seed)
+	byYear := power.SharesByYear(fleet)
+	res := &Fig1bResult{FleetSize: fleetSize}
+	for _, y := range power.SpecYears() {
+		res.Rows = append(res.Rows, Fig1bRow{Year: y, Shares: byYear[y]})
+	}
+	return res
+}
+
+// Print renders the stacked shares.
+func (r *Fig1bResult) Print(w io.Writer) {
+	levels := []float64{1.0, 0.9, 0.8, 0.7, 0.6}
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		cells := []string{d0(float64(row.Year))}
+		for _, l := range levels {
+			cells = append(cells, pc(row.Shares[l]))
+		}
+		rows[i] = cells
+	}
+	table(w, []string{"year", "PEE@100%", "PEE@90%", "PEE@80%", "PEE@70%", "PEE@60%"}, rows)
+}

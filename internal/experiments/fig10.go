@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"goldilocks/internal/cluster"
+	"goldilocks/internal/resources"
+	"goldilocks/internal/topology"
+	"goldilocks/internal/workload"
+)
+
+// Fig10Options parameterizes the rich-mixture-on-Azure experiment.
+type Fig10Options struct {
+	// Epochs is the number of one-minute epochs (paper: 60).
+	Epochs int
+	Seed   int64
+}
+
+// DefaultFig10 matches the paper: the container population walks between
+// 149 and 221 following the Azure trace churn.
+func DefaultFig10() Fig10Options {
+	return Fig10Options{Epochs: 60, Seed: 10}
+}
+
+// Fig10Result holds the Azure-pattern comparison.
+type Fig10Result struct {
+	Opts            Fig10Options
+	ContainerCounts []int
+	Series          []PolicySeries
+}
+
+// fig10CPUCalibration rescales mixture CPU toward the paper's high
+// data-center load for the Azure experiment.
+const fig10CPUCalibration = 1.15
+
+// fig10BurstDamping pulls the per-container burst factors toward 1 so the
+// worst correlated spike stays placeable at the 70% knee on 16 servers
+// (the paper's corresponding effect: at high load the packers' savings
+// collapse to ~1%).
+const fig10BurstDamping = 0.6
+
+// perConnectionRPS is the paper's 2K requests per second per Twitter
+// connection (§VI-A2).
+const perConnectionRPS = 2000
+
+// Fig10 runs the rich application mixture with Azure-trace churn and
+// correlated per-container bursts on the 16-server testbed.
+func Fig10(opts Fig10Options) (*Fig10Result, error) {
+	if opts.Epochs <= 0 {
+		opts = DefaultFig10()
+	}
+	azure := workload.DefaultAzure()
+	azure.Seed = opts.Seed
+	counts := azure.ContainerCounts(opts.Epochs)
+
+	res := &Fig10Result{Opts: opts, ContainerCounts: counts}
+	var inputs []cluster.EpochInput
+	for e, count := range counts {
+		spec := workload.MixtureWorkload(count, opts.Seed)
+		for i := range spec.Containers {
+			spec.Containers[i].Demand[resources.CPU] *= fig10CPUCalibration
+		}
+		factors := azure.LoadFactors(e, count)
+		for i := range factors {
+			factors[i] = 1 + (factors[i]-1)*fig10BurstDamping
+		}
+		scaled := spec.ScaledPer(factors)
+
+		// Offered Twitter load: 2K RPS per frontend-cache connection.
+		twitterFlows := 0
+		for _, f := range scaled.Flows {
+			if scaled.Containers[f.A].App.Name == workload.TwitterCaching.Name &&
+				scaled.Containers[f.B].App.Name == workload.TwitterCaching.Name {
+				twitterFlows++
+			}
+		}
+		inputs = append(inputs, cluster.EpochInput{
+			Spec: scaled,
+			RPS:  float64(twitterFlows) * perConnectionRPS,
+		})
+	}
+
+	for _, policy := range testbedPolicies() {
+		runner := cluster.NewRunner(topology.NewTestbed(), policy, cluster.DefaultOptions())
+		reports, err := runner.RunSeries(inputs)
+		if err != nil {
+			return nil, fmt.Errorf("fig10: %s: %w", policy.Name(), err)
+		}
+		res.Series = append(res.Series, PolicySeries{Policy: policy.Name(), Reports: reports})
+	}
+	return res, nil
+}
+
+// Print renders per-policy averages.
+func (r *Fig10Result) Print(w io.Writer) {
+	printTestbedSummary(w, r.Series)
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"io"
+
+	"goldilocks/internal/metrics"
+)
+
+// Fig11Row is one policy's summary across a trace pattern: power saving
+// relative to E-PVM, mean TCT, energy per request.
+type Fig11Row struct {
+	Policy            string
+	PowerSaving       float64
+	MeanTCTMS         float64
+	EnergyPerRequestJ float64
+}
+
+// Fig11Result aggregates the two testbed experiments into the paper's
+// Fig. 11 bar groups.
+type Fig11Result struct {
+	Wikipedia []Fig11Row
+	Azure     []Fig11Row
+}
+
+// Fig11 derives the averages from completed Fig. 9 and Fig. 10 runs.
+func Fig11(wiki *Fig9Result, azure *Fig10Result) *Fig11Result {
+	return &Fig11Result{
+		Wikipedia: summarizePattern(wiki.Series),
+		Azure:     summarizePattern(azure.Series),
+	}
+}
+
+func summarizePattern(series []PolicySeries) []Fig11Row {
+	var baseline float64
+	for _, s := range series {
+		if s.Policy == "E-PVM" {
+			baseline = s.MeanPowerW()
+		}
+	}
+	rows := make([]Fig11Row, len(series))
+	for i, s := range series {
+		rows[i] = Fig11Row{
+			Policy:            s.Policy,
+			PowerSaving:       metrics.PowerSaving(baseline, s.MeanPowerW()),
+			MeanTCTMS:         s.MeanTCTMS(),
+			EnergyPerRequestJ: s.EnergyPerRequestJ(),
+		}
+	}
+	return rows
+}
+
+// Row returns the named policy's row from a pattern, or a zero row.
+func Row(rows []Fig11Row, policy string) Fig11Row {
+	for _, r := range rows {
+		if r.Policy == policy {
+			return r
+		}
+	}
+	return Fig11Row{}
+}
+
+// BestAlternative returns the non-Goldilocks row with the best value of
+// the selector (smaller is better when min is true).
+func BestAlternative(rows []Fig11Row, sel func(Fig11Row) float64, min bool) Fig11Row {
+	var best Fig11Row
+	first := true
+	for _, r := range rows {
+		if r.Policy == "Goldilocks" {
+			continue
+		}
+		if first || (min && sel(r) < sel(best)) || (!min && sel(r) > sel(best)) {
+			best = r
+			first = false
+		}
+	}
+	return best
+}
+
+// Print renders both bar groups.
+func (r *Fig11Result) Print(w io.Writer) {
+	render := func(name string, rows []Fig11Row) {
+		out := make([][]string, len(rows))
+		for i, row := range rows {
+			out[i] = []string{name, row.Policy, pc(row.PowerSaving), f2(row.MeanTCTMS), f3(row.EnergyPerRequestJ)}
+		}
+		table(w, []string{"pattern", "policy", "power saving", "TCT (ms)", "energy/req (J)"}, out)
+	}
+	render("wikipedia", r.Wikipedia)
+	render("azure", r.Azure)
+}

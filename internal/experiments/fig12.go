@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"io"
+
+	"goldilocks/internal/workload"
+)
+
+// Fig12SolrRow is one point of the Solr CPU-vs-RPS calibration curve.
+type Fig12SolrRow struct {
+	RPS      float64
+	CPU      float64 // summed across cores, percent
+	MemoryMB float64
+}
+
+// Fig12HadoopRow is one sampled point of the Hadoop traffic-vs-CPU scatter.
+type Fig12HadoopRow struct {
+	TrafficMbps float64
+	CPU         float64
+}
+
+// Fig12Result carries both calibration curves the large-scale simulation
+// derives server demands from.
+type Fig12Result struct {
+	Solr   []Fig12SolrRow
+	Hadoop []Fig12HadoopRow
+}
+
+// Fig12 samples the calibration curves: Solr at 0–120 RPS (the trace's
+// per-ISN maximum), Hadoop at a spread of traffic rates with the measured
+// phase scatter.
+func Fig12(seed int64) *Fig12Result {
+	res := &Fig12Result{}
+	for rps := 0.0; rps <= 120; rps += 10 {
+		res.Solr = append(res.Solr, Fig12SolrRow{
+			RPS:      rps,
+			CPU:      workload.SolrCPUForRPS(rps),
+			MemoryMB: workload.SolrMemoryMB,
+		})
+	}
+	h := workload.NewHadoopCalibration(seed)
+	for _, mbps := range []float64{10, 25, 50, 100, 150, 200, 250, 300, 400, 500} {
+		// Several samples per rate: the figure's vertical scatter.
+		for i := 0; i < 3; i++ {
+			res.Hadoop = append(res.Hadoop, Fig12HadoopRow{
+				TrafficMbps: mbps,
+				CPU:         h.CPUForTraffic(mbps),
+			})
+		}
+	}
+	return res
+}
+
+// Print renders both curves.
+func (r *Fig12Result) Print(w io.Writer) {
+	rows := make([][]string, len(r.Solr))
+	for i, row := range r.Solr {
+		rows[i] = []string{d0(row.RPS), f1(row.CPU), d0(row.MemoryMB / 1024)}
+	}
+	table(w, []string{"solr RPS", "CPU (%)", "memory (GB)"}, rows)
+	rows = rows[:0]
+	for _, row := range r.Hadoop {
+		rows = append(rows, []string{d0(row.TrafficMbps), f1(row.CPU)})
+	}
+	table(w, []string{"hadoop Mbps", "CPU (%)"}, rows)
+}

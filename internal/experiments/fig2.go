@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"io"
+	"math"
+
+	"goldilocks/internal/power"
+)
+
+// Fig2Row is one per-server-load point of Fig. 2: how many of the 1000
+// servers a fixed aggregate load needs at that packing level, and the
+// total power they draw.
+type Fig2Row struct {
+	PerServerLoad float64
+	ServersNeeded int
+	TotalPowerW   float64
+}
+
+// Fig2Result is the server-count/total-power sweep; the 'U' curve of
+// Fig. 2(b) bottoms out at the Peak Energy Efficiency knee.
+type Fig2Result struct {
+	ClusterSize   int
+	AggregateLoad float64 // total load in server-equivalents
+	Rows          []Fig2Row
+	// MinPowerLoad is the per-server load with minimum total power.
+	MinPowerLoad float64
+}
+
+// Fig2 places a fixed aggregate load (20% of a 1000-server cluster, the
+// baseline utilization of §II) onto servers packed to increasing
+// per-server load, using the Dell-2018 power model.
+func Fig2(clusterSize int) *Fig2Result {
+	if clusterSize <= 0 {
+		clusterSize = 1000
+	}
+	model := power.Dell2018
+	aggregate := 0.20 * float64(clusterSize) // server-equivalents of load
+	res := &Fig2Result{ClusterSize: clusterSize, AggregateLoad: aggregate}
+	best := math.Inf(1)
+	for i := 20; i <= 100; i += 2 {
+		u := float64(i) / 100
+		needed := int(math.Ceil(aggregate / u))
+		if needed > clusterSize {
+			needed = clusterSize
+		}
+		// The last server runs at partial load; the rest at u.
+		full := int(aggregate / u)
+		if full > needed {
+			full = needed
+		}
+		rem := aggregate - float64(full)*u
+		total := float64(full) * model.Power(u)
+		if rem > 1e-9 && full < needed {
+			total += model.Power(rem)
+		}
+		res.Rows = append(res.Rows, Fig2Row{PerServerLoad: u, ServersNeeded: needed, TotalPowerW: total})
+		if total < best {
+			best = total
+			res.MinPowerLoad = u
+		}
+	}
+	return res
+}
+
+// Print renders both panels of Fig. 2.
+func (r *Fig2Result) Print(w io.Writer) {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{pc(row.PerServerLoad), d0(float64(row.ServersNeeded)), f1(row.TotalPowerW)}
+	}
+	table(w, []string{"load/server", "active servers", "total power (W)"}, rows)
+}

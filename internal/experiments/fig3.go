@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"io"
+	"math"
+
+	"goldilocks/internal/topology"
+)
+
+// Fig3Row is one data center of the Fig. 3 power breakdown, with all
+// strategies normalized to that data center's baseline.
+type Fig3Row struct {
+	Name string
+	// Baseline: every server at 20% utilization, every switch on.
+	BaselineServerW  float64
+	BaselineNetworkW float64
+	// NetworkShare is network/(network+server) at baseline.
+	NetworkShare float64
+	// TrafficPacking: consolidate traffic onto the fewest fabric links
+	// (10% link utilization baseline) and power off the idle fabric
+	// switches; servers untouched. Normalized to baseline.
+	TrafficPacking float64
+	// TaskPacking: bin-pack the 20% server load to the packing threshold
+	// and power off idle servers and their ToRs; fabric untouched.
+	// Normalized to baseline.
+	TaskPacking float64
+}
+
+// Fig3Options parameterizes the breakdown analysis.
+type Fig3Options struct {
+	// ServerUtil is the uniform baseline server utilization (paper: 20%).
+	ServerUtil float64
+	// LinkUtil is the baseline fabric link utilization (paper: 10%).
+	LinkUtil float64
+	// PackTo is the task-packing threshold (the paper's bin-packing
+	// analysis packs to high utilization; 0.95 by default).
+	PackTo float64
+}
+
+// DefaultFig3 returns the paper's baseline parameters.
+func DefaultFig3() Fig3Options {
+	return Fig3Options{ServerUtil: 0.20, LinkUtil: 0.10, PackTo: 0.95}
+}
+
+// Fig3Result carries all five data centers plus the take-away averages.
+type Fig3Result struct {
+	Opts Fig3Options
+	Rows []Fig3Row
+	// AvgTrafficSaving and AvgTaskSaving are the Fig. 3 take-aways:
+	// traffic packing saves ~8% of total DC power, task packing ~53%.
+	AvgTrafficSaving float64
+	AvgTaskSaving    float64
+}
+
+// Fig3 runs the mathematical bin-packing analysis of §II on the five
+// Table I data centers.
+func Fig3(opts Fig3Options) *Fig3Result {
+	if opts.ServerUtil <= 0 {
+		opts = DefaultFig3()
+	}
+	res := &Fig3Result{Opts: opts}
+	var trafficSum, taskSum float64
+	for _, dc := range topology.TableI {
+		serverW := dc.ServerPowerAt(opts.ServerUtil)
+		networkW := dc.SwitchPowerFull()
+		baseline := serverW + networkW
+
+		// Traffic packing: fabric switches scale down to carry the
+		// consolidated 10% of traffic (plus headroom to not overload:
+		// pack links to PackTo), ToRs must stay on for the still-active
+		// servers underneath.
+		torW := float64(dc.ToRCount) * dc.ToRModel.MaxPower()
+		fabricW := float64(dc.FabricCount) * dc.FabricModel.MaxPower()
+		fabricNeeded := math.Ceil(float64(dc.FabricCount) * opts.LinkUtil / opts.PackTo)
+		trafficNetworkW := torW + fabricNeeded*dc.FabricModel.MaxPower()
+		_ = fabricW
+		trafficTotal := serverW + trafficNetworkW
+
+		// Task packing: consolidate the 20% aggregate load onto servers
+		// at PackTo utilization; idle servers and idle ToRs power off,
+		// fabric stays (it is traffic packing's job).
+		activeFrac := opts.ServerUtil / opts.PackTo
+		activeServers := math.Ceil(float64(dc.NumServers) * activeFrac)
+		taskServerW := activeServers * dc.Server.Power(opts.PackTo)
+		activeToRs := math.Ceil(float64(dc.ToRCount) * activeFrac)
+		taskNetworkW := activeToRs*dc.ToRModel.MaxPower() + fabricW
+		taskTotal := taskServerW + taskNetworkW
+
+		row := Fig3Row{
+			Name:             dc.Name,
+			BaselineServerW:  serverW,
+			BaselineNetworkW: networkW,
+			NetworkShare:     networkW / baseline,
+			TrafficPacking:   trafficTotal / baseline,
+			TaskPacking:      taskTotal / baseline,
+		}
+		res.Rows = append(res.Rows, row)
+		trafficSum += 1 - row.TrafficPacking
+		taskSum += 1 - row.TaskPacking
+	}
+	res.AvgTrafficSaving = trafficSum / float64(len(res.Rows))
+	res.AvgTaskSaving = taskSum / float64(len(res.Rows))
+	return res
+}
+
+// Print renders the breakdown.
+func (r *Fig3Result) Print(w io.Writer) {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.Name,
+			pc(row.NetworkShare),
+			pc(1 - row.TrafficPacking),
+			pc(1 - row.TaskPacking),
+		}
+	}
+	table(w, []string{"data center", "network share", "traffic-packing saving", "task-packing saving"}, rows)
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"io"
+
+	"goldilocks/internal/resources"
+	"goldilocks/internal/trace"
+	"goldilocks/internal/workload"
+)
+
+// TableIIResult lists the four application profiles (Table II).
+type TableIIResult struct {
+	Profiles []workload.AppProfile
+}
+
+// TableII returns the measured application profiles.
+func TableII() *TableIIResult {
+	return &TableIIResult{Profiles: workload.TableII}
+}
+
+// Print renders Table II.
+func (r *TableIIResult) Print(w io.Writer) {
+	rows := make([][]string, len(r.Profiles))
+	for i, p := range r.Profiles {
+		rows[i] = []string{
+			p.Name,
+			f1(p.Demand[resources.CPU]),
+			d0(p.Demand[resources.Memory] / 1024),
+			d0(p.Demand[resources.Network]),
+			d0(p.FlowCount),
+		}
+	}
+	table(w, []string{"application", "CPU (%)", "memory (GB)", "network (Mbps)", "flow count"}, rows)
+}
+
+// Fig5Result carries the synthetic search-trace graph and its Fig. 5(b)
+// weight distributions.
+type Fig5Result struct {
+	Vertices      int
+	Edges         int
+	AverageDegree float64
+	Dist          trace.Distributions
+}
+
+// Fig5 synthesizes the Microsoft search trace and extracts the normalized
+// vertex/edge weight distributions.
+func Fig5(opts trace.SearchTraceOptions) *Fig5Result {
+	if opts.Vertices == 0 {
+		opts = trace.DefaultSearchTrace()
+	}
+	spec := trace.Synthesize(opts)
+	return &Fig5Result{
+		Vertices:      len(spec.Containers),
+		Edges:         len(spec.Flows),
+		AverageDegree: trace.AverageDegree(spec),
+		Dist:          trace.SpecDistributions(spec),
+	}
+}
+
+// Print renders the distribution spreads (the x-axis extents of the
+// Fig. 5(b) CDFs) and selected percentiles of the edge-weight CDF.
+func (r *Fig5Result) Print(w io.Writer) {
+	rows := [][]string{
+		{"vertices", d0(float64(r.Vertices))},
+		{"edges", d0(float64(r.Edges))},
+		{"avg distinct connections/VM", f1(r.AverageDegree)},
+		{"vertex CPU spread (max/min)", f1(trace.MaxNormalized(r.Dist.VertexCPU))},
+		{"vertex memory spread", f1(trace.MaxNormalized(r.Dist.VertexMemory))},
+		{"vertex network spread", f1(trace.MaxNormalized(r.Dist.VertexNetwork))},
+		{"edge weight spread", f1(trace.MaxNormalized(r.Dist.EdgeWeight))},
+	}
+	table(w, []string{"statistic", "value"}, rows)
+}

@@ -1,0 +1,293 @@
+// Package graph implements the weighted undirected graphs at the heart of
+// Goldilocks: the container graph (vertex weight = resource demand, edge
+// weight = distinct flow count between two containers) and the capacity
+// graph (vertex weight = server capacity, edge weight = hop distance).
+//
+// Edge weights are signed: the paper (§IV-C) encodes replica anti-affinity
+// as negative edges so that the min-cut objective pushes replicas into
+// different partitions, and therefore different fault domains.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"goldilocks/internal/resources"
+)
+
+// Edge is one directed half of an undirected edge in the adjacency list.
+type Edge struct {
+	To     int
+	Weight float64
+}
+
+// Graph is a weighted undirected graph with multi-dimensional vertex
+// weights. Vertices are dense integers [0, N). The zero value is an empty
+// graph; use New for a graph with a known vertex count.
+type Graph struct {
+	vwgt []resources.Vector
+	adj  [][]Edge
+	// labels optionally carries an application-level name per vertex
+	// (container id, server id); nil when unused.
+	labels []string
+}
+
+// New creates a graph with n isolated, zero-weight vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &Graph{
+		vwgt: make([]resources.Vector, n),
+		adj:  make([][]Edge, n),
+	}
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.vwgt) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, es := range g.adj {
+		total += len(es)
+	}
+	return total / 2
+}
+
+// AddVertex appends a new vertex with the given weight and returns its id.
+func (g *Graph) AddVertex(w resources.Vector) int {
+	g.vwgt = append(g.vwgt, w)
+	g.adj = append(g.adj, nil)
+	if g.labels != nil {
+		g.labels = append(g.labels, "")
+	}
+	return len(g.vwgt) - 1
+}
+
+// SetVertexWeight replaces the weight of vertex v.
+func (g *Graph) SetVertexWeight(v int, w resources.Vector) {
+	g.vwgt[v] = w
+}
+
+// VertexWeight returns the weight of vertex v.
+func (g *Graph) VertexWeight(v int) resources.Vector { return g.vwgt[v] }
+
+// SetLabel attaches a human-readable label to vertex v.
+func (g *Graph) SetLabel(v int, label string) {
+	if g.labels == nil {
+		g.labels = make([]string, len(g.vwgt))
+	}
+	g.labels[v] = label
+}
+
+// Label returns the label of vertex v, or "" if none was set.
+func (g *Graph) Label(v int) string {
+	if g.labels == nil {
+		return ""
+	}
+	return g.labels[v]
+}
+
+// AddEdge adds weight w to the undirected edge {u, v}. Adding to an existing
+// edge accumulates its weight (multiple flows between the same container
+// pair sum up). Self-loops are ignored: they never affect a cut.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	if u == v {
+		return
+	}
+	g.addHalf(u, v, w)
+	g.addHalf(v, u, w)
+}
+
+func (g *Graph) addHalf(u, v int, w float64) {
+	for i := range g.adj[u] {
+		if g.adj[u][i].To == v {
+			g.adj[u][i].Weight += w
+			return
+		}
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, Weight: w})
+}
+
+// EdgeWeight returns the weight of edge {u, v}, or 0 if absent.
+func (g *Graph) EdgeWeight(u, v int) float64 {
+	for _, e := range g.adj[u] {
+		if e.To == v {
+			return e.Weight
+		}
+	}
+	return 0
+}
+
+// HasEdge reports whether the undirected edge {u, v} exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	for _, e := range g.adj[u] {
+		if e.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the adjacency list of v. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []Edge { return g.adj[v] }
+
+// Degree returns the number of distinct neighbors of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// WeightedDegree returns the sum of edge weights incident to v.
+func (g *Graph) WeightedDegree(v int) float64 {
+	s := 0.0
+	for _, e := range g.adj[v] {
+		s += e.Weight
+	}
+	return s
+}
+
+// TotalVertexWeight returns the component-wise sum of all vertex weights.
+func (g *Graph) TotalVertexWeight() resources.Vector {
+	var total resources.Vector
+	for _, w := range g.vwgt {
+		total = total.Add(w)
+	}
+	return total
+}
+
+// TotalEdgeWeight returns the sum of weights over undirected edges
+// (each edge counted once). Negative anti-affinity edges subtract.
+func (g *Graph) TotalEdgeWeight() float64 {
+	s := 0.0
+	for _, es := range g.adj {
+		for _, e := range es {
+			s += e.Weight
+		}
+	}
+	return s / 2
+}
+
+// TotalPositiveEdgeWeight sums only positive edge weights; it is the upper
+// bound for any cut value and is used by the partition property tests.
+func (g *Graph) TotalPositiveEdgeWeight() float64 {
+	s := 0.0
+	for _, es := range g.adj {
+		for _, e := range es {
+			if e.Weight > 0 {
+				s += e.Weight
+			}
+		}
+	}
+	return s / 2
+}
+
+// CutWeight returns the total weight of edges crossing the bipartition
+// described by side, where side[v] ∈ {0, 1}. This is the objective of
+// Eq. 1 in the paper for the two-way case.
+func (g *Graph) CutWeight(side []int) float64 {
+	cut := 0.0
+	for u, es := range g.adj {
+		for _, e := range es {
+			if u < e.To && side[u] != side[e.To] {
+				cut += e.Weight
+			}
+		}
+	}
+	return cut
+}
+
+// CutWeightK returns the total weight of edges crossing a k-way partition
+// described by part, where part[v] is an arbitrary partition id.
+func (g *Graph) CutWeightK(part []int) float64 {
+	cut := 0.0
+	for u, es := range g.adj {
+		for _, e := range es {
+			if u < e.To && part[u] != part[e.To] {
+				cut += e.Weight
+			}
+		}
+	}
+	return cut
+}
+
+// Subgraph extracts the induced subgraph on the given vertices (in the given
+// order). It returns the subgraph and a mapping from subgraph vertex id to
+// original vertex id. Edges with both endpoints in the set are preserved.
+func (g *Graph) Subgraph(vertices []int) (*Graph, []int) {
+	sub := New(len(vertices))
+	toOrig := make([]int, len(vertices))
+	toSub := make(map[int]int, len(vertices))
+	for i, v := range vertices {
+		toOrig[i] = v
+		toSub[v] = i
+		sub.vwgt[i] = g.vwgt[v]
+		if g.labels != nil {
+			sub.SetLabel(i, g.labels[v])
+		}
+	}
+	for i, v := range vertices {
+		for _, e := range g.adj[v] {
+			j, ok := toSub[e.To]
+			if ok && v < e.To {
+				sub.AddEdge(i, j, e.Weight)
+			}
+		}
+	}
+	return sub, toOrig
+}
+
+// ConnectedComponents returns the vertex sets of the connected components,
+// considering every edge regardless of weight sign. Components are returned
+// in order of their smallest vertex id, and vertices inside each component
+// are sorted ascending.
+func (g *Graph) ConnectedComponents() [][]int {
+	n := g.NumVertices()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]int
+	var stack []int
+	for start := 0; start < n; start++ {
+		if comp[start] >= 0 {
+			continue
+		}
+		id := len(comps)
+		comp[start] = id
+		stack = append(stack[:0], start)
+		var members []int
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, v)
+			for _, e := range g.adj[v] {
+				if comp[e.To] < 0 {
+					comp[e.To] = id
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		sort.Ints(members)
+		comps = append(comps, members)
+	}
+	return comps
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.NumVertices())
+	copy(c.vwgt, g.vwgt)
+	for v, es := range g.adj {
+		c.adj[v] = append([]Edge(nil), es...)
+	}
+	if g.labels != nil {
+		c.labels = append([]string(nil), g.labels...)
+	}
+	return c
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{%d vertices, %d edges, total %v}",
+		g.NumVertices(), g.NumEdges(), g.TotalVertexWeight())
+}

@@ -1,0 +1,296 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"goldilocks/internal/resources"
+)
+
+func TestNewEmpty(t *testing.T) {
+	g := New(5)
+	if g.NumVertices() != 5 {
+		t.Fatalf("NumVertices = %d, want 5", g.NumVertices())
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d, want 0", g.NumEdges())
+	}
+	if !g.TotalVertexWeight().IsZero() {
+		t.Fatal("new graph should have zero total weight")
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) should panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddVertex(t *testing.T) {
+	g := New(0)
+	id := g.AddVertex(resources.New(1, 2, 3))
+	if id != 0 || g.NumVertices() != 1 {
+		t.Fatalf("AddVertex returned %d, n=%d", id, g.NumVertices())
+	}
+	if g.VertexWeight(0) != resources.New(1, 2, 3) {
+		t.Fatalf("weight = %v", g.VertexWeight(0))
+	}
+}
+
+func TestAddEdgeAccumulates(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 0, 3) // same undirected edge, reversed order
+	if got := g.EdgeWeight(0, 1); got != 5 {
+		t.Errorf("EdgeWeight(0,1) = %v, want 5 (accumulated)", got)
+	}
+	if got := g.EdgeWeight(1, 0); got != 5 {
+		t.Errorf("EdgeWeight(1,0) = %v, want 5 (symmetric)", got)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	g := New(2)
+	g.AddEdge(1, 1, 10)
+	if g.NumEdges() != 0 {
+		t.Error("self loops must be ignored")
+	}
+	if g.EdgeWeight(1, 1) != 0 {
+		t.Error("self loop weight must be 0")
+	}
+}
+
+func TestNegativeEdges(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, -4) // replica anti-affinity
+	if g.EdgeWeight(0, 1) != -4 {
+		t.Errorf("negative edge weight lost: %v", g.EdgeWeight(0, 1))
+	}
+	if g.TotalEdgeWeight() != -4 {
+		t.Errorf("TotalEdgeWeight = %v, want -4", g.TotalEdgeWeight())
+	}
+	if g.TotalPositiveEdgeWeight() != 0 {
+		t.Errorf("TotalPositiveEdgeWeight = %v, want 0", g.TotalPositiveEdgeWeight())
+	}
+}
+
+func TestDegreeAndWeightedDegree(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(0, 3, 3)
+	if g.Degree(0) != 3 {
+		t.Errorf("Degree(0) = %d, want 3", g.Degree(0))
+	}
+	if g.WeightedDegree(0) != 6 {
+		t.Errorf("WeightedDegree(0) = %v, want 6", g.WeightedDegree(0))
+	}
+	if g.Degree(1) != 1 {
+		t.Errorf("Degree(1) = %d, want 1", g.Degree(1))
+	}
+}
+
+func TestCutWeight(t *testing.T) {
+	// Square: 0-1, 1-2, 2-3, 3-0 each weight 1; diagonal 0-2 weight 5.
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 0, 1)
+	g.AddEdge(0, 2, 5)
+	// Partition {0,1} vs {2,3}: cut = edges 1-2, 3-0, 0-2 = 1+1+5 = 7.
+	if got := g.CutWeight([]int{0, 0, 1, 1}); got != 7 {
+		t.Errorf("CutWeight = %v, want 7", got)
+	}
+	// Partition {0,2} vs {1,3}: cut = 1+1+1+1 = 4 (diagonal inside).
+	if got := g.CutWeight([]int{0, 1, 0, 1}); got != 4 {
+		t.Errorf("CutWeight = %v, want 4", got)
+	}
+	// All on one side: zero cut.
+	if got := g.CutWeight([]int{0, 0, 0, 0}); got != 0 {
+		t.Errorf("CutWeight one-sided = %v, want 0", got)
+	}
+}
+
+func TestCutWeightK(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(0, 2, 4)
+	if got := g.CutWeightK([]int{0, 1, 2}); got != 9 {
+		t.Errorf("3-way cut = %v, want 9", got)
+	}
+	if got := g.CutWeightK([]int{7, 7, 9}); got != 7 {
+		t.Errorf("cut = %v, want 7 (edges 1-2 and 0-2)", got)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := New(5)
+	for i := 0; i < 5; i++ {
+		g.SetVertexWeight(i, resources.New(float64(i), 0, 0))
+	}
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 3)
+	g.AddEdge(3, 4, 4)
+	g.SetLabel(2, "c2")
+
+	sub, toOrig := g.Subgraph([]int{1, 2, 3})
+	if sub.NumVertices() != 3 {
+		t.Fatalf("subgraph vertices = %d", sub.NumVertices())
+	}
+	if sub.NumEdges() != 2 {
+		t.Fatalf("subgraph edges = %d, want 2 (1-2 and 2-3)", sub.NumEdges())
+	}
+	if toOrig[0] != 1 || toOrig[1] != 2 || toOrig[2] != 3 {
+		t.Fatalf("mapping = %v", toOrig)
+	}
+	if sub.VertexWeight(1) != resources.New(2, 0, 0) {
+		t.Errorf("subgraph vertex weight not carried: %v", sub.VertexWeight(1))
+	}
+	if sub.EdgeWeight(0, 1) != 2 || sub.EdgeWeight(1, 2) != 3 {
+		t.Errorf("subgraph edge weights wrong")
+	}
+	if sub.Label(1) != "c2" {
+		t.Errorf("label not carried: %q", sub.Label(1))
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	// vertex 5 isolated
+	comps := g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	want := [][]int{{0, 1, 2}, {3, 4}, {5}}
+	for i := range want {
+		if len(comps[i]) != len(want[i]) {
+			t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+		}
+		for j := range want[i] {
+			if comps[i][j] != want[i][j] {
+				t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+			}
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := New(3)
+	g.SetVertexWeight(0, resources.New(1, 1, 1))
+	g.AddEdge(0, 1, 2)
+	g.SetLabel(0, "a")
+	c := g.Clone()
+	c.AddEdge(1, 2, 9)
+	c.SetVertexWeight(0, resources.New(5, 5, 5))
+	if g.HasEdge(1, 2) {
+		t.Error("mutating clone leaked into original (edges)")
+	}
+	if g.VertexWeight(0) != resources.New(1, 1, 1) {
+		t.Error("mutating clone leaked into original (weights)")
+	}
+	if c.Label(0) != "a" {
+		t.Error("labels not cloned")
+	}
+}
+
+func randomGraph(rng *rand.Rand, n, edges int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.SetVertexWeight(i, resources.New(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100))
+	}
+	for i := 0; i < edges; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		g.AddEdge(u, v, float64(rng.Intn(10)+1))
+	}
+	return g
+}
+
+func TestPropertyCutBoundedByPositiveWeight(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 2
+		g := randomGraph(rng, n, n*2)
+		side := make([]int, n)
+		for i := range side {
+			side[i] = rng.Intn(2)
+		}
+		cut := g.CutWeight(side)
+		return cut >= 0 && cut <= g.TotalPositiveEdgeWeight()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyComponentsPartitionVertices(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40) + 1
+		g := randomGraph(rng, n, rng.Intn(n*2))
+		seen := make(map[int]bool)
+		for _, comp := range g.ConnectedComponents() {
+			for _, v := range comp {
+				if seen[v] {
+					return false // vertex in two components
+				}
+				seen[v] = true
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySubgraphPreservesInducedCut(t *testing.T) {
+	// The total edge weight of a subgraph equals the original total minus
+	// the cut between the subset and its complement minus edges fully in
+	// the complement.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 4
+		g := randomGraph(rng, n, n*3)
+		var inSet []int
+		side := make([]int, n)
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				inSet = append(inSet, v)
+				side[v] = 1
+			}
+		}
+		sub, _ := g.Subgraph(inSet)
+		comp := make([]int, 0, n)
+		for v := 0; v < n; v++ {
+			if side[v] == 0 {
+				comp = append(comp, v)
+			}
+		}
+		subComp, _ := g.Subgraph(comp)
+		total := sub.TotalEdgeWeight() + subComp.TotalEdgeWeight() + g.CutWeight(side)
+		return abs(total-g.TotalEdgeWeight()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

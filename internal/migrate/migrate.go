@@ -1,0 +1,197 @@
+// Package migrate models the container migration machinery of the paper's
+// implementation (§V): at each epoch boundary, containers whose assignment
+// changed are checkpointed (CRIU writes the process image), their images
+// are transferred to the destination servers (rsync over the overlay), and
+// they are restored. The package plans the moves between two placements,
+// schedules them into waves that never ask one server to source or sink
+// two transfers at once (a NIC-saturating rsync leaves no room for a
+// second), and simulates the transfer timing over the topology with the
+// flow-level network simulator.
+//
+// The disruption accounting mirrors the costs the paper cites: application
+// freeze time (the final dirty-page copy while the container is stopped)
+// and total migration traffic.
+package migrate
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"goldilocks/internal/netsim"
+	"goldilocks/internal/resources"
+	"goldilocks/internal/topology"
+	"goldilocks/internal/workload"
+)
+
+// Move is one container migration.
+type Move struct {
+	Container int
+	From, To  int
+	// ImageMB is the checkpoint image size (the container's resident
+	// memory).
+	ImageMB float64
+}
+
+// Options tunes the migration model.
+type Options struct {
+	// DirtyFraction is the share of the image re-copied during the
+	// stop-and-copy phase; it determines freeze time. CRIU's single-pass
+	// checkpoint freezes for the whole image (1.0); pre-copy live
+	// migration gets this down to the dirty working set.
+	DirtyFraction float64
+	// DiskMBps is the local checkpoint write/read bandwidth.
+	DiskMBps float64
+	// NetSim configures the transfer simulation.
+	NetSim netsim.Options
+}
+
+// DefaultOptions models the testbed: CRIU single-pass checkpoints to a
+// local SSD, images moved with rsync.
+func DefaultOptions() Options {
+	return Options{
+		DirtyFraction: 0.15, // rsync pre-syncs the volume; CRIU re-copies the hot pages
+		DiskMBps:      400,
+		NetSim:        netsim.DefaultOptions(),
+	}
+}
+
+// Plan is a set of moves scheduled into waves. Within one wave no server
+// appears as source or destination of more than one transfer.
+type Plan struct {
+	Moves []Move
+	// Waves holds indices into Moves.
+	Waves [][]int
+}
+
+// Report summarizes a simulated plan execution.
+type Report struct {
+	NumMoves     int
+	TotalImageMB float64
+	// Duration is the end-to-end wall time of all waves.
+	Duration time.Duration
+	// MeanFreeze/MaxFreeze are per-container stop-and-copy times.
+	MeanFreeze time.Duration
+	MaxFreeze  time.Duration
+	Waves      int
+}
+
+// PlanMoves diffs two placements over the same spec and returns the moves.
+// Containers absent from either placement (-1) are skipped: arrivals and
+// departures start fresh rather than migrate.
+func PlanMoves(spec *workload.Spec, oldPlace, newPlace []int) ([]Move, error) {
+	if len(oldPlace) != len(spec.Containers) || len(newPlace) != len(spec.Containers) {
+		return nil, fmt.Errorf("migrate: placements cover %d/%d containers, spec has %d",
+			len(oldPlace), len(newPlace), len(spec.Containers))
+	}
+	var moves []Move
+	for i := range spec.Containers {
+		from, to := oldPlace[i], newPlace[i]
+		if from < 0 || to < 0 || from == to {
+			continue
+		}
+		moves = append(moves, Move{
+			Container: i,
+			From:      from,
+			To:        to,
+			ImageMB:   spec.Containers[i].Demand[resources.Memory],
+		})
+	}
+	return moves, nil
+}
+
+// Schedule packs moves into waves: a greedy maximal matching on servers,
+// biggest images first so the long transfers overlap with as many short
+// ones as possible.
+func Schedule(moves []Move) *Plan {
+	order := make([]int, len(moves))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return moves[order[a]].ImageMB > moves[order[b]].ImageMB
+	})
+	plan := &Plan{Moves: moves}
+	scheduled := make([]bool, len(moves))
+	remaining := len(moves)
+	for remaining > 0 {
+		busy := make(map[int]bool)
+		var wave []int
+		for _, mi := range order {
+			if scheduled[mi] {
+				continue
+			}
+			m := moves[mi]
+			if busy[m.From] || busy[m.To] {
+				continue
+			}
+			busy[m.From] = true
+			busy[m.To] = true
+			wave = append(wave, mi)
+			scheduled[mi] = true
+			remaining--
+		}
+		plan.Waves = append(plan.Waves, wave)
+	}
+	return plan
+}
+
+// Simulate executes the plan's transfers over the topology with the
+// flow-level simulator, wave by wave, and returns the disruption report.
+func Simulate(topo *topology.Topology, plan *Plan, opts Options) (Report, error) {
+	if opts.DiskMBps <= 0 {
+		opts.DiskMBps = DefaultOptions().DiskMBps
+	}
+	if opts.DirtyFraction <= 0 || opts.DirtyFraction > 1 {
+		opts.DirtyFraction = DefaultOptions().DirtyFraction
+	}
+	rep := Report{NumMoves: len(plan.Moves), Waves: len(plan.Waves)}
+	var totalFreeze time.Duration
+	var clock time.Duration
+	for _, wave := range plan.Waves {
+		sim := netsim.New(topo, opts.NetSim)
+		ids := make(map[netsim.FlowID]int, len(wave))
+		for _, mi := range wave {
+			m := plan.Moves[mi]
+			rep.TotalImageMB += m.ImageMB
+			id := sim.Inject(0, m.From, m.To, m.ImageMB*1e6)
+			ids[id] = mi
+		}
+		done, stuck := sim.Run()
+		if len(stuck) > 0 {
+			return rep, fmt.Errorf("migrate: %d transfers cannot complete (dead links)", len(stuck))
+		}
+		waveEnd := time.Duration(0)
+		for _, c := range done {
+			mi := ids[c.ID]
+			m := plan.Moves[mi]
+			// Freeze: checkpoint write + dirty-copy share of the
+			// transfer + restore read.
+			diskS := 2 * m.ImageMB / opts.DiskMBps * opts.DirtyFraction
+			freeze := time.Duration(diskS*float64(time.Second)) +
+				time.Duration(float64(c.FCT())*opts.DirtyFraction)
+			totalFreeze += freeze
+			if freeze > rep.MaxFreeze {
+				rep.MaxFreeze = freeze
+			}
+			if c.Finish > waveEnd {
+				waveEnd = c.Finish
+			}
+		}
+		clock += waveEnd
+	}
+	rep.Duration = clock
+	if rep.NumMoves > 0 {
+		rep.MeanFreeze = totalFreeze / time.Duration(rep.NumMoves)
+	}
+	return rep, nil
+}
+
+// PlanAndSimulate is the convenience path: diff, schedule, simulate.
+func PlanAndSimulate(topo *topology.Topology, spec *workload.Spec, oldPlace, newPlace []int, opts Options) (Report, error) {
+	moves, err := PlanMoves(spec, oldPlace, newPlace)
+	if err != nil {
+		return Report{}, err
+	}
+	return Simulate(topo, Schedule(moves), opts)
+}

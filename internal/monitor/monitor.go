@@ -1,0 +1,205 @@
+// Package monitor implements the measurement pipeline of the paper's
+// management node (§V): before each scheduling epoch, the real system
+// polls Docker metric pseudo-files for per-container resource utilization
+// and watches each container's virtual Ethernet port (IPTraf on the VxLAN
+// overlay) to discover the inter-container communication pattern. This
+// package reproduces that pipeline against simulated observations: it
+// ingests flow samples and utilization samples and reconstructs the
+// container graph the partitioner consumes.
+//
+// The reconstruction is deliberately lossy in the same ways sampling is:
+// smoothing (EWMA) over noisy utilization, and a minimum-flow threshold
+// below which chatter is not reported — both configurable.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"goldilocks/internal/graph"
+	"goldilocks/internal/resources"
+	"goldilocks/internal/workload"
+)
+
+// Options tunes the collector.
+type Options struct {
+	// Alpha is the EWMA smoothing factor for utilization samples in
+	// (0, 1]; 1 keeps only the latest sample.
+	Alpha float64
+	// MinFlowCount drops container pairs with fewer observed distinct
+	// flows than this from the reported graph (IPTraf-style noise
+	// filtering). Zero keeps everything.
+	MinFlowCount float64
+}
+
+// DefaultOptions matches the testbed's per-epoch polling.
+func DefaultOptions() Options {
+	return Options{Alpha: 0.3, MinFlowCount: 1}
+}
+
+// Collector accumulates observations for a fixed container population.
+type Collector struct {
+	opts Options
+	n    int
+	// demand is the EWMA-smoothed per-container utilization.
+	demand []resources.Vector
+	seeded []bool
+	// flows counts distinct observed flows per (a, b) pair with a < b.
+	flows map[[2]int]float64
+}
+
+// NewCollector builds a collector for n containers.
+func NewCollector(n int, opts Options) *Collector {
+	if opts.Alpha <= 0 || opts.Alpha > 1 {
+		opts.Alpha = DefaultOptions().Alpha
+	}
+	if opts.MinFlowCount < 0 {
+		opts.MinFlowCount = 0
+	}
+	return &Collector{
+		opts:   opts,
+		n:      n,
+		demand: make([]resources.Vector, n),
+		seeded: make([]bool, n),
+		flows:  make(map[[2]int]float64),
+	}
+}
+
+// NumContainers returns the population size.
+func (c *Collector) NumContainers() int { return c.n }
+
+// ObserveUtilization ingests one utilization sample for a container (the
+// Docker metrics poll). Samples are EWMA-smoothed.
+func (c *Collector) ObserveUtilization(container int, sample resources.Vector) error {
+	if container < 0 || container >= c.n {
+		return fmt.Errorf("monitor: container %d outside [0, %d)", container, c.n)
+	}
+	if !c.seeded[container] {
+		c.demand[container] = sample
+		c.seeded[container] = true
+		return nil
+	}
+	a := c.opts.Alpha
+	c.demand[container] = c.demand[container].Scale(1 - a).Add(sample.Scale(a))
+	return nil
+}
+
+// ObserveFlow ingests one observed distinct flow between two containers
+// (the veth-port watch). Self flows are ignored, matching a host-local
+// loopback that never crosses the overlay.
+func (c *Collector) ObserveFlow(a, b int) error {
+	if a < 0 || a >= c.n || b < 0 || b >= c.n {
+		return fmt.Errorf("monitor: flow endpoints (%d, %d) outside [0, %d)", a, b, c.n)
+	}
+	if a == b {
+		return nil
+	}
+	if a > b {
+		a, b = b, a
+	}
+	c.flows[[2]int{a, b}]++
+	return nil
+}
+
+// Demand returns the smoothed utilization of one container.
+func (c *Collector) Demand(container int) resources.Vector {
+	return c.demand[container]
+}
+
+// FlowCount returns the observed distinct-flow count for a pair.
+func (c *Collector) FlowCount(a, b int) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	return c.flows[[2]int{a, b}]
+}
+
+// Graph materializes the measured container graph: vertex weights are the
+// smoothed demands, edge weights the observed flow counts above the noise
+// threshold. This is exactly the input Goldilocks partitions (§III-A).
+func (c *Collector) Graph() *graph.Graph {
+	g := graph.New(c.n)
+	for i, d := range c.demand {
+		g.SetVertexWeight(i, d)
+	}
+	for pair, count := range c.flows {
+		if count >= c.opts.MinFlowCount {
+			g.AddEdge(pair[0], pair[1], count)
+		}
+	}
+	return g
+}
+
+// Spec materializes a workload spec from the measurements, suitable for
+// handing straight to a scheduling policy. Roles/profiles are unknown to
+// the measurement plane, so containers carry only ids and demands.
+func (c *Collector) Spec() *workload.Spec {
+	s := &workload.Spec{}
+	for i, d := range c.demand {
+		s.Containers = append(s.Containers, workload.Container{ID: i, Demand: d, Reserved: d})
+	}
+	// Deterministic order for reproducible downstream partitions.
+	pairs := make([][2]int, 0, len(c.flows))
+	for p := range c.flows {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	for _, p := range pairs {
+		if count := c.flows[p]; count >= c.opts.MinFlowCount {
+			s.Flows = append(s.Flows, workload.Flow{A: p[0], B: p[1], Count: count})
+		}
+	}
+	return s
+}
+
+// Reset clears flow observations for the next epoch while keeping the
+// smoothed demands (utilization is a continuous signal; flow counts are
+// per-epoch).
+func (c *Collector) Reset() {
+	c.flows = make(map[[2]int]float64)
+}
+
+// ReconstructionError compares a measured graph against the ground-truth
+// spec: it returns the fraction of true flow weight missing from the
+// measurement (missed) and the fraction of measured weight with no
+// ground-truth counterpart (spurious).
+func ReconstructionError(truth *workload.Spec, measured *graph.Graph) (missed, spurious float64) {
+	var truthTotal, foundTotal float64
+	seen := make(map[[2]int]float64)
+	for _, f := range truth.Flows {
+		a, b := f.A, f.B
+		if a > b {
+			a, b = b, a
+		}
+		seen[[2]int{a, b}] += f.Count
+		truthTotal += f.Count
+	}
+	var measuredTotal float64
+	for v := 0; v < measured.NumVertices(); v++ {
+		for _, e := range measured.Neighbors(v) {
+			if v >= e.To || e.Weight <= 0 {
+				continue
+			}
+			measuredTotal += e.Weight
+			if truthW := seen[[2]int{v, e.To}]; truthW > 0 {
+				if e.Weight < truthW {
+					foundTotal += e.Weight
+				} else {
+					foundTotal += truthW
+				}
+			}
+		}
+	}
+	if truthTotal > 0 {
+		missed = 1 - foundTotal/truthTotal
+	}
+	if measuredTotal > 0 {
+		spurious = 1 - foundTotal/measuredTotal
+	}
+	return missed, spurious
+}

@@ -1,0 +1,226 @@
+package monitor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"goldilocks/internal/resources"
+	"goldilocks/internal/workload"
+)
+
+func TestObserveUtilizationSeedsAndSmoothes(t *testing.T) {
+	c := NewCollector(2, Options{Alpha: 0.5, MinFlowCount: 0})
+	if err := c.ObserveUtilization(0, resources.New(100, 10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// First sample seeds directly.
+	if got := c.Demand(0); got != resources.New(100, 10, 1) {
+		t.Fatalf("seeded demand = %v", got)
+	}
+	// Second sample EWMA-blends: 0.5·100 + 0.5·200 = 150.
+	if err := c.ObserveUtilization(0, resources.New(200, 10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Demand(0)[resources.CPU]; got != 150 {
+		t.Fatalf("smoothed CPU = %v, want 150", got)
+	}
+}
+
+func TestObserveUtilizationBounds(t *testing.T) {
+	c := NewCollector(2, DefaultOptions())
+	if err := c.ObserveUtilization(2, resources.Vector{}); err == nil {
+		t.Fatal("out-of-range container must error")
+	}
+	if err := c.ObserveUtilization(-1, resources.Vector{}); err == nil {
+		t.Fatal("negative container must error")
+	}
+}
+
+func TestObserveFlowAccumulatesSymmetric(t *testing.T) {
+	c := NewCollector(3, Options{Alpha: 1, MinFlowCount: 0})
+	for i := 0; i < 3; i++ {
+		if err := c.ObserveFlow(0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.ObserveFlow(1, 0); err != nil { // reversed direction
+		t.Fatal(err)
+	}
+	if got := c.FlowCount(0, 1); got != 4 {
+		t.Fatalf("flow count = %v, want 4", got)
+	}
+	if got := c.FlowCount(1, 0); got != 4 {
+		t.Fatalf("reverse lookup = %v", got)
+	}
+}
+
+func TestObserveFlowSelfAndBounds(t *testing.T) {
+	c := NewCollector(2, DefaultOptions())
+	if err := c.ObserveFlow(1, 1); err != nil {
+		t.Fatal("self flow must be silently ignored")
+	}
+	if c.FlowCount(1, 1) != 0 {
+		t.Fatal("self flow recorded")
+	}
+	if err := c.ObserveFlow(0, 5); err == nil {
+		t.Fatal("out-of-range endpoint must error")
+	}
+}
+
+func TestGraphThresholdsNoise(t *testing.T) {
+	c := NewCollector(3, Options{Alpha: 1, MinFlowCount: 3})
+	c.ObserveFlow(0, 1) // below threshold
+	for i := 0; i < 5; i++ {
+		c.ObserveFlow(1, 2)
+	}
+	g := c.Graph()
+	if g.HasEdge(0, 1) {
+		t.Fatal("sub-threshold chatter must be filtered")
+	}
+	if got := g.EdgeWeight(1, 2); got != 5 {
+		t.Fatalf("edge weight = %v", got)
+	}
+}
+
+func TestSpecDeterministicOrder(t *testing.T) {
+	build := func() *workload.Spec {
+		c := NewCollector(5, Options{Alpha: 1, MinFlowCount: 0})
+		c.ObserveFlow(3, 1)
+		c.ObserveFlow(0, 4)
+		c.ObserveFlow(2, 0)
+		return c.Spec()
+	}
+	a, b := build(), build()
+	if len(a.Flows) != 3 {
+		t.Fatalf("flows = %d", len(a.Flows))
+	}
+	for i := range a.Flows {
+		if a.Flows[i] != b.Flows[i] {
+			t.Fatal("spec flow order must be deterministic")
+		}
+	}
+}
+
+func TestResetKeepsDemands(t *testing.T) {
+	c := NewCollector(2, Options{Alpha: 1, MinFlowCount: 0})
+	c.ObserveUtilization(0, resources.New(50, 1, 1))
+	c.ObserveFlow(0, 1)
+	c.Reset()
+	if c.FlowCount(0, 1) != 0 {
+		t.Fatal("flows must clear on reset")
+	}
+	if c.Demand(0)[resources.CPU] != 50 {
+		t.Fatal("demands must survive reset")
+	}
+}
+
+func TestEndToEndReconstruction(t *testing.T) {
+	// Ground truth: a Twitter workload. Observation: every flow sampled
+	// `Count` times (perfect IPTraf), utilization sampled with noise.
+	truth := workload.TwitterWorkload(60, 1)
+	c := NewCollector(60, Options{Alpha: 0.3, MinFlowCount: 1})
+	rng := rand.New(rand.NewSource(2))
+	for _, f := range truth.Flows {
+		for k := 0; k < int(f.Count); k++ {
+			if err := c.ObserveFlow(f.A, f.B); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for round := 0; round < 10; round++ {
+		for i, ct := range truth.Containers {
+			noisy := ct.Demand.Scale(1 + 0.1*rng.NormFloat64())
+			if err := c.ObserveUtilization(i, noisy); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g := c.Graph()
+	missed, spurious := ReconstructionError(truth, g)
+	if missed > 0.01 {
+		t.Fatalf("missed %.2f of true flow weight under perfect sampling", missed)
+	}
+	if spurious > 0.01 {
+		t.Fatalf("spurious %.2f measured weight", spurious)
+	}
+	// Demands converge near truth (EWMA of unbiased noise).
+	for i, ct := range truth.Containers {
+		got := c.Demand(i)[resources.CPU]
+		want := ct.Demand[resources.CPU]
+		if math.Abs(got-want) > 0.35*want {
+			t.Fatalf("container %d CPU estimate %v far from truth %v", i, got, want)
+		}
+	}
+}
+
+func TestReconstructionErrorDetectsLoss(t *testing.T) {
+	truth := &workload.Spec{
+		Containers: make([]workload.Container, 3),
+		Flows:      []workload.Flow{{A: 0, B: 1, Count: 10}, {A: 1, B: 2, Count: 10}},
+	}
+	c := NewCollector(3, Options{Alpha: 1, MinFlowCount: 0})
+	for k := 0; k < 10; k++ {
+		c.ObserveFlow(0, 1) // only one of the two pairs observed
+	}
+	for k := 0; k < 5; k++ {
+		c.ObserveFlow(0, 2) // a pair that does not exist in truth
+	}
+	missed, spurious := ReconstructionError(truth, c.Graph())
+	if math.Abs(missed-0.5) > 1e-9 {
+		t.Fatalf("missed = %v, want 0.5", missed)
+	}
+	if spurious <= 0 {
+		t.Fatalf("spurious = %v, want > 0", spurious)
+	}
+}
+
+func TestPropertyFlowCountsNonNegativeAndSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 2
+		c := NewCollector(n, Options{Alpha: 1, MinFlowCount: 0})
+		for i := 0; i < 50; i++ {
+			c.ObserveFlow(rng.Intn(n), rng.Intn(n))
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if c.FlowCount(a, b) < 0 || c.FlowCount(a, b) != c.FlowCount(b, a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeasuredSpecFeedsScheduler(t *testing.T) {
+	// The measured spec must be a valid partitioner input: containers
+	// with demands, positive flow weights.
+	truth := workload.TwitterWorkload(30, 3)
+	c := NewCollector(30, DefaultOptions())
+	for _, f := range truth.Flows {
+		for k := 0; k < 3; k++ {
+			c.ObserveFlow(f.A, f.B)
+		}
+	}
+	for i, ct := range truth.Containers {
+		c.ObserveUtilization(i, ct.Demand)
+	}
+	spec := c.Spec()
+	if spec.NumContainers() != 30 {
+		t.Fatalf("containers = %d", spec.NumContainers())
+	}
+	if spec.TotalDemand().IsZero() {
+		t.Fatal("measured demand must be non-zero")
+	}
+	for _, f := range spec.Flows {
+		if f.Count <= 0 {
+			t.Fatal("non-positive measured flow")
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"goldilocks/internal/workload"
+)
+
+// Open-loop traffic generation: Poisson arrivals of flows between placed
+// containers. This is how the flow-level simulator cross-validates the
+// analytic TCT model — the same placement is driven by actual flows
+// instead of queueing formulas, and the per-policy orderings must agree.
+
+// GeneratorOptions parameterizes InjectWorkload.
+type GeneratorOptions struct {
+	// Duration is the simulated window over which flows arrive.
+	Duration time.Duration
+	// FlowsPerSecond is the aggregate Poisson arrival rate across all
+	// sampled container pairs.
+	FlowsPerSecond float64
+	// MeanFlowBytes is the mean of the exponential flow-size
+	// distribution.
+	MeanFlowBytes float64
+	// FocusApp restricts generation to flows whose endpoints both run
+	// the named application ("" = all flows).
+	FocusApp string
+	Seed     int64
+}
+
+// DefaultGeneratorOptions models one second of query traffic.
+func DefaultGeneratorOptions() GeneratorOptions {
+	return GeneratorOptions{
+		Duration:       time.Second,
+		FlowsPerSecond: 500,
+		MeanFlowBytes:  1800, // the trace's 1.6–2 KB queries
+		Seed:           1,
+	}
+}
+
+// InjectWorkload samples the spec's flows (weighted by their flow counts)
+// and injects Poisson-arriving transfers between the containers' servers
+// under the given placement. It returns the number of flows injected.
+func (s *Simulator) InjectWorkload(spec *workload.Spec, placement []int, opts GeneratorOptions) int {
+	if opts.Duration <= 0 || opts.FlowsPerSecond <= 0 || opts.MeanFlowBytes <= 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Build the weighted sampling table of eligible flows.
+	var eligible []workload.Flow
+	var cum []float64
+	total := 0.0
+	for _, f := range spec.Flows {
+		if opts.FocusApp != "" {
+			if spec.Containers[f.A].App.Name != opts.FocusApp ||
+				spec.Containers[f.B].App.Name != opts.FocusApp {
+				continue
+			}
+		}
+		if f.Count <= 0 {
+			continue
+		}
+		eligible = append(eligible, f)
+		total += f.Count
+		cum = append(cum, total)
+	}
+	if len(eligible) == 0 {
+		return 0
+	}
+	pick := func() workload.Flow {
+		r := rng.Float64() * total
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return eligible[lo]
+	}
+
+	injected := 0
+	now := 0.0
+	end := opts.Duration.Seconds()
+	for {
+		now += rng.ExpFloat64() / opts.FlowsPerSecond
+		if now >= end {
+			break
+		}
+		f := pick()
+		size := rng.ExpFloat64() * opts.MeanFlowBytes
+		if size < 64 {
+			size = 64
+		}
+		size = math.Min(size, 100*opts.MeanFlowBytes)
+		s.Inject(time.Duration(now*float64(time.Second)), placement[f.A], placement[f.B], size)
+		injected++
+	}
+	return injected
+}
+
+// MeanFCT returns the mean flow completion time of a completed run.
+func MeanFCT(done []Completed) time.Duration {
+	if len(done) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, c := range done {
+		sum += c.FCT()
+	}
+	return sum / time.Duration(len(done))
+}

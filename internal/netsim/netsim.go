@@ -1,0 +1,312 @@
+// Package netsim is the flow-level network simulator used for the paper's
+// large-scale evaluation (§VI-B): flows between servers share the
+// topology's aggregate links under max-min fairness, and flow completion
+// times emerge from the progressive-filling rate allocation — the standard
+// methodology for data center simulations at this scale.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"goldilocks/internal/topology"
+)
+
+// FlowID identifies an injected flow.
+type FlowID int
+
+// Completed records one finished flow.
+type Completed struct {
+	ID        FlowID
+	Src, Dst  int
+	SizeBytes float64
+	Arrival   time.Duration
+	Finish    time.Duration
+}
+
+// FCT returns the flow completion time.
+func (c Completed) FCT() time.Duration { return c.Finish - c.Arrival }
+
+// LinkStats aggregates per-link load over a run.
+type LinkStats struct {
+	PeakUtilization float64 // max over time of Σrates/capacity
+	BytesCarried    float64
+}
+
+// Options tunes the simulator.
+type Options struct {
+	// LocalMbps is the rate granted to flows whose endpoints share a
+	// server (loopback / shared memory); they never touch the network.
+	LocalMbps float64
+	// PropagationDelayPerHop adds fixed per-link latency to every flow's
+	// completion (switching + propagation).
+	PropagationDelayPerHop time.Duration
+}
+
+// DefaultOptions matches a 10G-class data center fabric.
+func DefaultOptions() Options {
+	return Options{
+		LocalMbps:              80000,
+		PropagationDelayPerHop: 20 * time.Microsecond,
+	}
+}
+
+type flow struct {
+	id            FlowID
+	src, dst      int
+	sizeBytes     float64
+	remainingBits float64
+	rateMbps      float64
+	links         []*topology.Link
+	hops          int
+	arrival       float64 // seconds
+}
+
+type arrival struct {
+	at   float64
+	flow *flow
+}
+
+// Simulator runs one flow-level simulation. Inject all flows (in any
+// order), then call Run once.
+type Simulator struct {
+	topo     *topology.Topology
+	opts     Options
+	arrivals []arrival
+	nextID   FlowID
+	ran      bool
+	stats    map[*topology.Link]*LinkStats
+}
+
+// New creates a simulator over the topology.
+func New(topo *topology.Topology, opts Options) *Simulator {
+	if opts.LocalMbps <= 0 {
+		opts.LocalMbps = DefaultOptions().LocalMbps
+	}
+	return &Simulator{
+		topo:  topo,
+		opts:  opts,
+		stats: make(map[*topology.Link]*LinkStats),
+	}
+}
+
+// Inject schedules a flow of sizeBytes from server src to server dst at
+// the given time. It returns the flow's id.
+func (s *Simulator) Inject(at time.Duration, src, dst int, sizeBytes float64) FlowID {
+	if sizeBytes < 0 {
+		panic(fmt.Sprintf("netsim: negative flow size %v", sizeBytes))
+	}
+	f := &flow{
+		id:            s.nextID,
+		src:           src,
+		dst:           dst,
+		sizeBytes:     sizeBytes,
+		remainingBits: sizeBytes * 8,
+		arrival:       at.Seconds(),
+	}
+	if src != dst {
+		f.links = s.topo.PathLinks(src, dst)
+		f.hops = len(f.links)
+	}
+	s.nextID++
+	s.arrivals = append(s.arrivals, arrival{at: at.Seconds(), flow: f})
+	return f.id
+}
+
+// Run simulates until every flow completes and returns the completions
+// sorted by finish time. Flows that can never finish (a zero-capacity link
+// on their path) are returned in stuck. Run may be called once.
+func (s *Simulator) Run() (done []Completed, stuck []FlowID) {
+	if s.ran {
+		panic("netsim: Run called twice")
+	}
+	s.ran = true
+	sort.SliceStable(s.arrivals, func(i, j int) bool { return s.arrivals[i].at < s.arrivals[j].at })
+
+	active := make(map[FlowID]*flow)
+	now := 0.0
+	nextArr := 0
+
+	for nextArr < len(s.arrivals) || len(active) > 0 {
+		// Admit everything that has arrived by `now` when idle.
+		if len(active) == 0 && nextArr < len(s.arrivals) {
+			now = math.Max(now, s.arrivals[nextArr].at)
+		}
+		for nextArr < len(s.arrivals) && s.arrivals[nextArr].at <= now+1e-15 {
+			f := s.arrivals[nextArr].flow
+			active[f.id] = f
+			nextArr++
+		}
+		s.computeRates(active)
+
+		// Earliest completion among active flows.
+		tc := math.Inf(1)
+		for _, f := range active {
+			if f.rateMbps > 0 {
+				t := now + f.remainingBits/(f.rateMbps*1e6)
+				if t < tc {
+					tc = t
+				}
+			} else if f.remainingBits <= 0 {
+				tc = now
+			}
+		}
+		// Guard against float underflow: when the earliest residual
+		// transfer is below the clock's resolution (ulp of now), time
+		// cannot advance; complete those flows in place instead of
+		// spinning forever.
+		if tc <= now && !math.IsInf(tc, 1) {
+			for _, f := range active {
+				if f.rateMbps > 0 && now+f.remainingBits/(f.rateMbps*1e6) <= now {
+					f.remainingBits = 0
+				}
+			}
+		}
+		ta := math.Inf(1)
+		if nextArr < len(s.arrivals) {
+			ta = s.arrivals[nextArr].at
+		}
+
+		if math.IsInf(tc, 1) && math.IsInf(ta, 1) {
+			// No progress possible: every remaining flow is stuck.
+			for id := range active {
+				stuck = append(stuck, id)
+			}
+			break
+		}
+
+		next := math.Min(tc, ta)
+		dt := next - now
+		if dt < 0 {
+			dt = 0
+		}
+		for _, f := range active {
+			carried := f.rateMbps * 1e6 * dt
+			f.remainingBits -= carried
+			for _, l := range f.links {
+				s.stat(l).BytesCarried += carried / 8
+			}
+		}
+		now = next
+
+		// Collect completions (tolerance for float drift).
+		for id, f := range active {
+			if f.remainingBits <= 1e-6 {
+				delete(active, id)
+				finish := now + (time.Duration(f.hops) * s.opts.PropagationDelayPerHop).Seconds()
+				done = append(done, Completed{
+					ID: f.id, Src: f.src, Dst: f.dst, SizeBytes: f.sizeBytes,
+					Arrival: secToDur(f.arrival),
+					Finish:  secToDur(finish),
+				})
+			}
+		}
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].Finish < done[j].Finish })
+	sort.Slice(stuck, func(i, j int) bool { return stuck[i] < stuck[j] })
+	return done, stuck
+}
+
+func secToDur(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+func (s *Simulator) stat(l *topology.Link) *LinkStats {
+	st := s.stats[l]
+	if st == nil {
+		st = &LinkStats{}
+		s.stats[l] = st
+	}
+	return st
+}
+
+// Stats returns per-link statistics after Run.
+func (s *Simulator) Stats() map[*topology.Link]*LinkStats { return s.stats }
+
+// computeRates assigns max-min fair rates to the active flows via
+// progressive filling: repeatedly saturate the link with the smallest fair
+// share and freeze its flows at that rate.
+func (s *Simulator) computeRates(active map[FlowID]*flow) {
+	type linkState struct {
+		residual float64
+		unfixed  []*flow
+	}
+	states := make(map[*topology.Link]*linkState)
+	unfixedCount := 0
+	for _, f := range active {
+		f.rateMbps = 0
+		if len(f.links) == 0 {
+			f.rateMbps = s.opts.LocalMbps // local flow, no shared links
+			continue
+		}
+		unfixedCount++
+		for _, l := range f.links {
+			st := states[l]
+			if st == nil {
+				st = &linkState{residual: l.CapacityMbps}
+				states[l] = st
+			}
+			st.unfixed = append(st.unfixed, f)
+		}
+	}
+
+	fixed := make(map[FlowID]bool)
+	for unfixedCount > 0 {
+		// Find the bottleneck: the link with the smallest fair share.
+		var bottleneck *linkState
+		var bottleneckLink *topology.Link
+		share := math.Inf(1)
+		for l, st := range states {
+			n := 0
+			for _, f := range st.unfixed {
+				if !fixed[f.id] {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			sh := st.residual / float64(n)
+			if sh < share {
+				share = sh
+				bottleneck = st
+				bottleneckLink = l
+			}
+		}
+		if bottleneck == nil {
+			break // remaining flows only cross saturated links: rate 0
+		}
+		if share < 0 {
+			share = 0
+		}
+		_ = bottleneckLink
+		// Freeze the bottleneck's flows at the fair share and charge
+		// their rate to every link they cross.
+		for _, f := range bottleneck.unfixed {
+			if fixed[f.id] {
+				continue
+			}
+			fixed[f.id] = true
+			unfixedCount--
+			f.rateMbps = share
+			for _, l := range f.links {
+				states[l].residual -= share
+			}
+		}
+	}
+
+	// Record peak utilization.
+	for l, st := range states {
+		if l.CapacityMbps > 0 {
+			u := (l.CapacityMbps - st.residual) / l.CapacityMbps
+			if u > 1 {
+				u = 1
+			}
+			if rec := s.stat(l); u > rec.PeakUtilization {
+				rec.PeakUtilization = u
+			}
+		}
+	}
+}

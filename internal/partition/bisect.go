@@ -1,0 +1,194 @@
+package partition
+
+import (
+	"math/rand"
+
+	"goldilocks/internal/graph"
+	"goldilocks/internal/resources"
+)
+
+// Bisection is the result of a two-way partition.
+type Bisection struct {
+	// Side maps each vertex to 0 or 1.
+	Side []int
+	// Cut is the total weight of edges crossing the bisection (the Eq. 1
+	// objective for the two-way case). It can be negative when
+	// anti-affinity edges are cut.
+	Cut float64
+}
+
+// Bisect computes a balanced min-cut bisection of g using the multilevel
+// scheme: coarsen by heavy-edge matching, bisect the coarsest graph with
+// greedy graph growing, then uncoarsen with FM refinement at every level.
+// Graphs with fewer than 2 vertices return a trivial all-zero bisection.
+func Bisect(g *graph.Graph, opts Options) Bisection {
+	return BisectFraction(g, opts, 0.5)
+}
+
+// BisectFraction is Bisect with an explicit target weight share for side 1.
+// frac must be in (0, 1); 0.5 yields an even bisection. K-way partitioning
+// with odd k splits with frac = ceil(k/2)/k so each final part still holds
+// ~1/k of the weight (Eq. 3).
+func BisectFraction(g *graph.Graph, opts Options, frac float64) Bisection {
+	opts = opts.withDefaults()
+	if frac <= 0 || frac >= 1 {
+		frac = 0.5
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := g.NumVertices()
+	if n < 2 {
+		return Bisection{Side: make([]int, n)}
+	}
+
+	levels := coarsen(g, opts, rng)
+	coarsest := g
+	if len(levels) > 0 {
+		coarsest = levels[len(levels)-1].g
+	}
+
+	side := initialBisection(coarsest, opts, rng, frac)
+	cut := fmRefine(coarsest, side, opts, frac)
+
+	for i := len(levels) - 1; i >= 0; i-- {
+		side = projectSide(levels[i], side)
+		fineGraph := g
+		if i > 0 {
+			fineGraph = levels[i-1].g
+		}
+		cut = fmRefine(fineGraph, side, opts, frac)
+	}
+	return Bisection{Side: side, Cut: cut}
+}
+
+// initialBisection produces a balanced starting bisection of a (small)
+// graph by greedy graph growing: grow a region from a seed vertex, always
+// absorbing the frontier vertex with the largest attraction to the region,
+// until the region holds roughly frac of the total weight. Several seeds
+// are tried; the best cut after a quick refinement wins. Falls back to a
+// weight-balanced split when growing cannot balance (e.g. all edges
+// negative).
+func initialBisection(g *graph.Graph, opts Options, rng *rand.Rand, frac float64) []int {
+	n := g.NumVertices()
+	total := g.TotalVertexWeight()
+	target := total.Scale(frac)
+
+	bestSide := balancedFallback(g, frac)
+	bestCut := g.CutWeight(bestSide)
+
+	quickOpts := opts
+	quickOpts.FMPasses = 2
+	for try := 0; try < opts.InitialTries; try++ {
+		side := growFromSeed(g, rng.Intn(n), target)
+		bal := newBalanceState(g, side, opts.BalanceEps, frac)
+		if !bal.isBalanced() {
+			continue
+		}
+		cut := fmRefine(g, side, quickOpts, frac)
+		if cut < bestCut {
+			bestCut = cut
+			bestSide = side
+		}
+	}
+	return bestSide
+}
+
+// growFromSeed grows side 1 from the seed until its weight reaches the
+// target in some positive dimension.
+func growFromSeed(g *graph.Graph, seed int, target resources.Vector) []int {
+	n := g.NumVertices()
+	side := make([]int, n)
+	var grown resources.Vector
+	inRegion := make([]bool, n)
+	attraction := make([]float64, n)
+
+	reached := func() bool {
+		// Stop once any dimension with a positive target is reached;
+		// with comparable vertices this lands near the balance point.
+		for d := range grown {
+			if target[d] > 0 && grown[d] >= target[d] {
+				return true
+			}
+		}
+		return false
+	}
+
+	add := func(v int) {
+		inRegion[v] = true
+		side[v] = 1
+		grown = grown.Add(g.VertexWeight(v))
+		for _, e := range g.Neighbors(v) {
+			if !inRegion[e.To] {
+				attraction[e.To] += e.Weight
+			}
+		}
+	}
+
+	add(seed)
+	for !reached() {
+		best, bestA := -1, 0.0
+		for v := 0; v < n; v++ {
+			if inRegion[v] {
+				continue
+			}
+			if best < 0 || attraction[v] > bestA {
+				best, bestA = v, attraction[v]
+			}
+		}
+		if best < 0 {
+			break // everything absorbed
+		}
+		add(best)
+	}
+	return side
+}
+
+// balancedFallback splits vertices greedily by descending dominant weight,
+// assigning each to the side furthest below its target share — an LPT-style
+// split that is always legal, used when graph growing cannot achieve
+// balance. Side 1 targets share frac of the total.
+func balancedFallback(g *graph.Graph, frac float64) []int {
+	n := g.NumVertices()
+	total := g.TotalVertexWeight()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	key := func(v int) float64 {
+		return g.VertexWeight(v).Normalize(total).Sum()
+	}
+	// Insertion sort by descending key; coarsest graphs are small.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && key(order[j]) > key(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	side := make([]int, n)
+	var w0, w1 float64
+	share := [2]float64{1 - frac, frac}
+	for _, v := range order {
+		k := key(v)
+		// Assign to the side with the lower filled fraction of its
+		// target share.
+		if w0/share[0] <= w1/share[1] {
+			side[v] = 0
+			w0 += k
+		} else {
+			side[v] = 1
+			w1 += k
+		}
+	}
+	// Guarantee both sides non-empty for n >= 2.
+	if n >= 2 {
+		seen := [2]bool{}
+		for _, s := range side {
+			seen[s] = true
+		}
+		if !seen[0] {
+			side[order[n-1]] = 0
+		}
+		if !seen[1] {
+			side[order[n-1]] = 1
+		}
+	}
+	return side
+}

@@ -1,0 +1,323 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"goldilocks/internal/graph"
+	"goldilocks/internal/resources"
+)
+
+// unitGraph builds a graph of n vertices with unit CPU weight each.
+func unitGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		g.SetVertexWeight(v, resources.New(1, 1, 1))
+	}
+	return g
+}
+
+// twoCliques builds two k-cliques with heavy internal edges joined by a
+// single light bridge — the canonical min-cut test: the optimal bisection
+// cuts only the bridge.
+func twoCliques(k int, internal, bridge float64) *graph.Graph {
+	g := unitGraph(2 * k)
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			g.AddEdge(a, b, internal)
+			g.AddEdge(k+a, k+b, internal)
+		}
+	}
+	g.AddEdge(0, k, bridge)
+	return g
+}
+
+func TestBisectTrivial(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		g := unitGraph(n)
+		b := Bisect(g, DefaultOptions())
+		if len(b.Side) != n {
+			t.Errorf("n=%d: side length %d", n, len(b.Side))
+		}
+		if b.Cut != 0 {
+			t.Errorf("n=%d: cut %v", n, b.Cut)
+		}
+	}
+}
+
+func TestBisectTwoVertices(t *testing.T) {
+	g := unitGraph(2)
+	g.AddEdge(0, 1, 5)
+	b := Bisect(g, DefaultOptions())
+	if b.Side[0] == b.Side[1] {
+		t.Fatal("two vertices must be separated by a bisection")
+	}
+	if b.Cut != 5 {
+		t.Fatalf("cut = %v, want 5", b.Cut)
+	}
+}
+
+func TestBisectFindsCliqueCut(t *testing.T) {
+	g := twoCliques(8, 10, 1)
+	b := Bisect(g, DefaultOptions())
+	if b.Cut != 1 {
+		t.Fatalf("cut = %v, want 1 (bridge only); sides=%v", b.Cut, b.Side)
+	}
+	// Both cliques must be intact.
+	for v := 1; v < 8; v++ {
+		if b.Side[v] != b.Side[0] {
+			t.Fatalf("clique A split: vertex %d", v)
+		}
+		if b.Side[8+v] != b.Side[8] {
+			t.Fatalf("clique B split: vertex %d", 8+v)
+		}
+	}
+	if b.Side[0] == b.Side[8] {
+		t.Fatal("cliques on the same side")
+	}
+}
+
+func TestBisectLargeCliquePair(t *testing.T) {
+	// Large enough to exercise coarsening (>> CoarsenTo).
+	g := twoCliques(60, 4, 1)
+	b := Bisect(g, DefaultOptions())
+	if b.Cut != 1 {
+		t.Fatalf("cut = %v, want 1 after multilevel", b.Cut)
+	}
+}
+
+func TestBisectBalance(t *testing.T) {
+	// Random graph: the bisection must respect the balance tolerance.
+	rng := rand.New(rand.NewSource(7))
+	n := 200
+	g := unitGraph(n)
+	for i := 0; i < 600; i++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n), float64(1+rng.Intn(5)))
+	}
+	opts := DefaultOptions()
+	b := Bisect(g, opts)
+	counts := [2]int{}
+	for _, s := range b.Side {
+		counts[s]++
+	}
+	limit := int(math.Ceil(float64(n) * (1 + opts.BalanceEps) / 2))
+	if counts[0] > limit || counts[1] > limit {
+		t.Fatalf("imbalanced bisection: %v (limit %d)", counts, limit)
+	}
+}
+
+func TestBisectRefinementImprovesOverFallback(t *testing.T) {
+	// A ring: optimal bisection cuts exactly 2 edges.
+	n := 64
+	g := unitGraph(n)
+	for v := 0; v < n; v++ {
+		g.AddEdge(v, (v+1)%n, 1)
+	}
+	b := Bisect(g, DefaultOptions())
+	if b.Cut < 2 {
+		t.Fatalf("ring cut %v impossible (< 2)", b.Cut)
+	}
+	if b.Cut > 4 {
+		t.Fatalf("ring cut %v, want near-optimal (≤ 4)", b.Cut)
+	}
+}
+
+func TestBisectAntiAffinity(t *testing.T) {
+	// Two replicas with a strongly negative edge inside an otherwise
+	// uniform graph: min-cut should cut the negative edge, i.e. put the
+	// replicas on different sides (§IV-C failure resilience).
+	n := 16
+	g := unitGraph(n)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 30; i++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n), 1)
+	}
+	g.AddEdge(2, 11, -100)
+	b := Bisect(g, DefaultOptions())
+	if b.Side[2] == b.Side[11] {
+		t.Fatal("anti-affinity edge not cut: replicas placed together")
+	}
+}
+
+func TestBisectDeterministicForSeed(t *testing.T) {
+	g := twoCliques(20, 3, 1)
+	opts := DefaultOptions()
+	a := Bisect(g, opts)
+	b := Bisect(g, opts)
+	for v := range a.Side {
+		if a.Side[v] != b.Side[v] {
+			t.Fatal("same seed must give identical partitions")
+		}
+	}
+}
+
+func TestBisectFractionTargets(t *testing.T) {
+	n := 90
+	g := unitGraph(n)
+	for v := 0; v < n-1; v++ {
+		g.AddEdge(v, v+1, 1)
+	}
+	b := BisectFraction(g, DefaultOptions(), 1.0/3.0)
+	count1 := 0
+	for _, s := range b.Side {
+		if s == 1 {
+			count1++
+		}
+	}
+	want := n / 3
+	if math.Abs(float64(count1-want)) > float64(n)/6 {
+		t.Fatalf("side 1 holds %d vertices, want ≈%d", count1, want)
+	}
+}
+
+func TestBisectInvalidFractionFallsBack(t *testing.T) {
+	g := unitGraph(4)
+	g.AddEdge(0, 1, 1)
+	b := BisectFraction(g, DefaultOptions(), -3)
+	counts := [2]int{}
+	for _, s := range b.Side {
+		counts[s]++
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatal("fallback 0.5 bisection should populate both sides")
+	}
+}
+
+func TestPropertyBisectInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 2
+		g := unitGraph(n)
+		for i := 0; i < n*2; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), float64(1+rng.Intn(9)))
+		}
+		opts := DefaultOptions()
+		opts.Seed = seed
+		b := Bisect(g, opts)
+		// Invariant 1: every vertex assigned to side 0 or 1.
+		counts := [2]int{}
+		for _, s := range b.Side {
+			if s != 0 && s != 1 {
+				return false
+			}
+			counts[s]++
+		}
+		// Invariant 2: both sides non-empty.
+		if counts[0] == 0 || counts[1] == 0 {
+			return false
+		}
+		// Invariant 3: reported cut matches recomputation.
+		if math.Abs(b.Cut-g.CutWeight(b.Side)) > 1e-9 {
+			return false
+		}
+		// Invariant 4: cut bounded by total positive weight.
+		return b.Cut <= g.TotalPositiveEdgeWeight()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoarsenPreservesTotals(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 300
+	g := unitGraph(n)
+	for i := 0; i < 900; i++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n), float64(1+rng.Intn(4)))
+	}
+	levels := coarsen(g, DefaultOptions(), rng)
+	if len(levels) == 0 {
+		t.Fatal("expected at least one coarsening level for n=300")
+	}
+	want := g.TotalVertexWeight()
+	for i, lvl := range levels {
+		if got := lvl.g.TotalVertexWeight(); got != want {
+			t.Fatalf("level %d total weight %v, want %v", i, got, want)
+		}
+		if lvl.g.NumVertices() >= n {
+			t.Fatalf("level %d did not shrink: %d vertices", i, lvl.g.NumVertices())
+		}
+	}
+	coarsest := levels[len(levels)-1].g
+	if coarsest.NumVertices() > n/2+1 {
+		t.Fatalf("coarsest graph too large: %d", coarsest.NumVertices())
+	}
+}
+
+func TestHeavyEdgeMatchingSkipsNegative(t *testing.T) {
+	g := unitGraph(2)
+	g.AddEdge(0, 1, -5)
+	rng := rand.New(rand.NewSource(1))
+	match := heavyEdgeMatching(g, rng)
+	if match[0] != 0 || match[1] != 1 {
+		t.Fatal("vertices joined only by a negative edge must not match")
+	}
+}
+
+func TestHeavyEdgeMatchingIsValidMatching(t *testing.T) {
+	// Whatever the random visit order, the result must be a symmetric
+	// matching that only pairs vertices across positive edges.
+	rng := rand.New(rand.NewSource(42))
+	n := 30
+	g := unitGraph(n)
+	for i := 0; i < 60; i++ {
+		w := float64(1 + rng.Intn(10))
+		if rng.Intn(5) == 0 {
+			w = -w
+		}
+		g.AddEdge(rng.Intn(n), rng.Intn(n), w)
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		match := heavyEdgeMatching(g, rand.New(rand.NewSource(seed)))
+		for v, m := range match {
+			if m < 0 || m >= n {
+				t.Fatalf("seed %d: match[%d] = %d out of range", seed, v, m)
+			}
+			if match[m] != v {
+				t.Fatalf("seed %d: matching not symmetric at %d↔%d", seed, v, m)
+			}
+			if m != v && g.EdgeWeight(v, m) <= 0 {
+				t.Fatalf("seed %d: matched across non-positive edge %d↔%d (w=%v)",
+					seed, v, m, g.EdgeWeight(v, m))
+			}
+		}
+	}
+}
+
+func TestContractAccumulatesEdges(t *testing.T) {
+	// 0-1 matched; both have edges to 2: coarse edge weight accumulates.
+	g := unitGraph(3)
+	g.AddEdge(0, 2, 3)
+	g.AddEdge(1, 2, 4)
+	g.AddEdge(0, 1, 9)
+	lvl := contract(g, []int{1, 0, 2})
+	if lvl.g.NumVertices() != 2 {
+		t.Fatalf("coarse vertices = %d, want 2", lvl.g.NumVertices())
+	}
+	c01 := lvl.fineToCoarse[0]
+	c2 := lvl.fineToCoarse[2]
+	if lvl.fineToCoarse[1] != c01 {
+		t.Fatal("matched pair not merged")
+	}
+	if got := lvl.g.EdgeWeight(c01, c2); got != 7 {
+		t.Fatalf("accumulated edge weight = %v, want 7", got)
+	}
+	if got := lvl.g.VertexWeight(c01); got != resources.New(2, 2, 2) {
+		t.Fatalf("merged vertex weight = %v", got)
+	}
+}
+
+func BenchmarkBisect1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	n := 1000
+	g := unitGraph(n)
+	for i := 0; i < 4000; i++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n), float64(1+rng.Intn(9)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Bisect(g, DefaultOptions())
+	}
+}

@@ -1,0 +1,131 @@
+package partition
+
+import (
+	"math/rand"
+
+	"goldilocks/internal/graph"
+)
+
+// coarseLevel is one level of the multilevel hierarchy: the coarser graph
+// plus the mapping from the finer graph's vertices to coarse vertices.
+type coarseLevel struct {
+	g *graph.Graph
+	// fineToCoarse[v] is the coarse vertex that fine vertex v collapsed
+	// into.
+	fineToCoarse []int
+}
+
+// heavyEdgeMatching computes a matching of g greedily by visiting vertices
+// in random order and matching each unmatched vertex to its unmatched
+// neighbor with the heaviest positive edge. Negative (anti-affinity) edges
+// are never matched across: contracting one would glue two replicas into a
+// single vertex and make separating them impossible.
+//
+// The returned slice maps each vertex to its match, or to itself when
+// unmatched.
+func heavyEdgeMatching(g *graph.Graph, rng *rand.Rand) []int {
+	n := g.NumVertices()
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	for _, v := range order {
+		if match[v] >= 0 {
+			continue
+		}
+		best := -1
+		bestW := 0.0
+		for _, e := range g.Neighbors(v) {
+			if e.Weight <= 0 || match[e.To] >= 0 {
+				continue
+			}
+			if e.Weight > bestW {
+				bestW = e.Weight
+				best = e.To
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		} else {
+			match[v] = v
+		}
+	}
+	return match
+}
+
+// contract collapses matched vertex pairs into coarse vertices. Coarse
+// vertex weights are the sums of their constituents; parallel edges
+// accumulate. Edges internal to a pair vanish (they can never be cut at the
+// coarse level, which is exactly the semantics heavy-edge matching wants).
+func contract(g *graph.Graph, match []int) coarseLevel {
+	n := g.NumVertices()
+	fineToCoarse := make([]int, n)
+	for i := range fineToCoarse {
+		fineToCoarse[i] = -1
+	}
+	next := 0
+	for v := 0; v < n; v++ {
+		if fineToCoarse[v] >= 0 {
+			continue
+		}
+		fineToCoarse[v] = next
+		if m := match[v]; m != v && fineToCoarse[m] < 0 {
+			fineToCoarse[m] = next
+		}
+		next++
+	}
+	cg := graph.New(next)
+	for v := 0; v < n; v++ {
+		cv := fineToCoarse[v]
+		cg.SetVertexWeight(cv, cg.VertexWeight(cv).Add(g.VertexWeight(v)))
+	}
+	// Accumulate edges. Deduplicate per fine vertex so the undirected edge
+	// is added once per fine edge.
+	for v := 0; v < n; v++ {
+		cv := fineToCoarse[v]
+		for _, e := range g.Neighbors(v) {
+			if v >= e.To {
+				continue // visit each undirected fine edge once
+			}
+			cu := fineToCoarse[e.To]
+			if cu != cv {
+				cg.AddEdge(cv, cu, e.Weight)
+			}
+		}
+	}
+	return coarseLevel{g: cg, fineToCoarse: fineToCoarse}
+}
+
+// coarsen builds the multilevel hierarchy, stopping when the graph is small
+// enough or matching stops shrinking it. levels[0] corresponds to the
+// contraction of the original graph; the coarsest graph is
+// levels[len(levels)-1].g (or the original graph if no contraction helped).
+func coarsen(g *graph.Graph, opts Options, rng *rand.Rand) []coarseLevel {
+	var levels []coarseLevel
+	cur := g
+	for cur.NumVertices() > opts.CoarsenTo {
+		match := heavyEdgeMatching(cur, rng)
+		lvl := contract(cur, match)
+		// Stall detection: if matching barely shrank the graph (e.g.
+		// star graphs or mostly-negative edges), further rounds waste
+		// time without improving the initial partition.
+		if float64(lvl.g.NumVertices()) > 0.95*float64(cur.NumVertices()) {
+			break
+		}
+		levels = append(levels, lvl)
+		cur = lvl.g
+	}
+	return levels
+}
+
+// projectSide lifts a side assignment from a coarse graph back to the finer
+// graph of the same level.
+func projectSide(lvl coarseLevel, coarseSide []int) []int {
+	fine := make([]int, len(lvl.fineToCoarse))
+	for v, cv := range lvl.fineToCoarse {
+		fine[v] = coarseSide[cv]
+	}
+	return fine
+}

@@ -1,0 +1,60 @@
+// Package partition implements the multilevel recursive graph bisection
+// Goldilocks uses in place of METIS (paper §III-B): heavy-edge-matching
+// coarsening, greedy-graph-growing initial bisection, Fiduccia–Mattheyses
+// boundary refinement, and the fit-driven recursive driver that keeps
+// bipartitioning the container graph until every leaf group's aggregate
+// resource demand fits a server at the Peak Energy Efficiency target.
+//
+// Edge weights may be negative (replica anti-affinity, §IV-C): the min-cut
+// objective then *prefers* to cut those edges, separating replicas into
+// different groups and hence different fault domains.
+package partition
+
+// Options tunes the multilevel bisection. The zero value is not usable;
+// start from DefaultOptions.
+type Options struct {
+	// CoarsenTo stops coarsening once the graph has at most this many
+	// vertices.
+	CoarsenTo int
+	// BalanceEps is the allowed imbalance: each side of a bisection may
+	// hold up to (1+BalanceEps)/2 of the total weight in every resource
+	// dimension. METIS-like defaults are a few percent; the paper notes
+	// the algorithm "can tolerate some imbalances".
+	BalanceEps float64
+	// FMPasses bounds the number of refinement passes per level.
+	FMPasses int
+	// InitialTries is the number of greedy-graph-growing seeds attempted
+	// for the initial bisection of the coarsest graph; the best cut wins.
+	InitialTries int
+	// Seed seeds the deterministic RNG used for seeds/tie-breaking, so
+	// partitions are reproducible.
+	Seed int64
+}
+
+// DefaultOptions returns the tuning used by all Goldilocks experiments.
+func DefaultOptions() Options {
+	return Options{
+		CoarsenTo:    48,
+		BalanceEps:   0.10,
+		FMPasses:     8,
+		InitialTries: 6,
+		Seed:         1,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.CoarsenTo <= 1 {
+		o.CoarsenTo = d.CoarsenTo
+	}
+	if o.BalanceEps <= 0 {
+		o.BalanceEps = d.BalanceEps
+	}
+	if o.FMPasses <= 0 {
+		o.FMPasses = d.FMPasses
+	}
+	if o.InitialTries <= 0 {
+		o.InitialTries = d.InitialTries
+	}
+	return o
+}

@@ -1,0 +1,284 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+
+	"goldilocks/internal/graph"
+	"goldilocks/internal/resources"
+)
+
+// ErrVertexTooLarge is returned when a single container's demand exceeds a
+// server's usable capacity: no amount of partitioning can make it fit.
+var ErrVertexTooLarge = errors.New("partition: single vertex exceeds server capacity")
+
+// Group is a node of the group tree produced by the recursive fit-driven
+// partitioning of §III-B. Leaves are the container groups that will be
+// assigned to servers; inner nodes record the recursion structure, which
+// the assignment step exploits for locality (sibling leaves land in the
+// same rack/pod).
+type Group struct {
+	// Vertices holds original container-graph vertex ids, ascending.
+	Vertices []int
+	// Demand is the aggregate resource demand of the group.
+	Demand resources.Vector
+	// Depth is the recursion depth (root = 0).
+	Depth int
+
+	Left, Right *Group
+}
+
+// IsLeaf reports whether the group was small enough to fit a server.
+func (g *Group) IsLeaf() bool { return g.Left == nil && g.Right == nil }
+
+// Size returns the number of containers in the group.
+func (g *Group) Size() int { return len(g.Vertices) }
+
+// Tree is the full result of PartitionToFit.
+type Tree struct {
+	Root *Group
+	// Leaves lists leaf groups in left-to-right order; this is the order
+	// in which groups are assigned to the topology's left-most subtrees.
+	Leaves []*Group
+	// Cut is the total container-graph edge weight crossing group
+	// boundaries (the Eq. 1 objective over the final partition).
+	Cut float64
+}
+
+// Assignment returns part[v] = leaf index for every vertex.
+func (t *Tree) Assignment(numVertices int) []int {
+	part := make([]int, numVertices)
+	for i := range part {
+		part[i] = -1
+	}
+	for li, leaf := range t.Leaves {
+		for _, v := range leaf.Vertices {
+			part[v] = li
+		}
+	}
+	return part
+}
+
+// PartitionToFit recursively bipartitions the container graph g until every
+// leaf group's aggregate demand fits within capacity scaled by targetUtil
+// (Eq. 2 with the Peak Energy Efficiency packing limit). This is the
+// Goldilocks placement core: min-cut keeps chatty containers together,
+// recursion depth induces the locality hierarchy.
+func PartitionToFit(g *graph.Graph, capacity resources.Vector, targetUtil float64, opts Options) (*Tree, error) {
+	opts = opts.withDefaults()
+	if targetUtil <= 0 {
+		return nil, fmt.Errorf("partition: non-positive target utilization %v", targetUtil)
+	}
+	usable := capacity.Scale(targetUtil)
+
+	n := g.NumVertices()
+	all := make([]int, n)
+	demand := resources.Vector{}
+	for v := 0; v < n; v++ {
+		all[v] = v
+		w := g.VertexWeight(v)
+		demand = demand.Add(w)
+		if !w.Fits(usable) {
+			return nil, fmt.Errorf("%w: vertex %d demands %v but usable capacity is %v",
+				ErrVertexTooLarge, v, w, usable)
+		}
+	}
+
+	root, err := splitToFit(g, all, demand, usable, 0, opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{Root: root}
+	collectLeaves(root, &t.Leaves)
+	t.Cut = g.CutWeightK(t.Assignment(n))
+	return t, nil
+}
+
+// maxDepth bounds the recursion; 2^64 groups is unreachable, so hitting it
+// means the bisection failed to make progress.
+const maxDepth = 64
+
+func splitToFit(g *graph.Graph, vertices []int, demand, usable resources.Vector, depth int, opts Options) (*Group, error) {
+	grp := &Group{Vertices: vertices, Demand: demand, Depth: depth}
+	if demand.Fits(usable) {
+		return grp, nil
+	}
+	if depth >= maxDepth || len(vertices) < 2 {
+		return nil, fmt.Errorf("partition: cannot split group of %d vertices at depth %d to fit %v",
+			len(vertices), depth, usable)
+	}
+
+	sub, toOrig := g.Subgraph(vertices)
+	// Split in server-count proportions rather than naive halves: a group
+	// needing ceil(r) servers splits ceil(k/2):floor(k/2), so leaf groups
+	// fill servers close to the packing target instead of stranding
+	// capacity at ~50% (the paper's G23/G24 imbalance tolerance, Fig. 6).
+	k := serversNeeded(demand, usable)
+	frac := 0.5
+	if k >= 2 {
+		kLeft := (k + 1) / 2
+		frac = float64(k-kLeft) / float64(k)
+	}
+
+	// A split whose children together need more servers than the parent's
+	// budget cascades into stranded half-full leaves; retry across seeds
+	// and progressively looser balance tolerances (chunky vertices can
+	// make tight fractions infeasible), keeping the split with the
+	// smallest combined child budget (cut weight breaks ties).
+	var bestSide []int
+	bestBudget, bestCut := int(^uint(0)>>1), 0.0
+	epsLadder := []float64{opts.BalanceEps, opts.BalanceEps * 2, opts.BalanceEps * 4}
+	for try := 0; try < len(epsLadder); try++ {
+		subOpts := opts
+		subOpts.BalanceEps = epsLadder[try]
+		subOpts.Seed = opts.Seed + int64(depth)*7919 + int64(len(vertices)) + int64(try)*104729
+		bis := BisectFraction(sub, subOpts, frac)
+		var ld, rd resources.Vector
+		for sv, side := range bis.Side {
+			w := g.VertexWeight(toOrig[sv])
+			if side == 0 {
+				ld = ld.Add(w)
+			} else {
+				rd = rd.Add(w)
+			}
+		}
+		budget := serversNeeded(ld, usable) + serversNeeded(rd, usable)
+		if budget < bestBudget || (budget == bestBudget && bis.Cut < bestCut) {
+			bestBudget, bestCut = budget, bis.Cut
+			bestSide = bis.Side
+		}
+		if budget <= k {
+			break // within the parent's budget: good enough
+		}
+	}
+
+	var leftV, rightV []int
+	var leftD, rightD resources.Vector
+	for sv, side := range bestSide {
+		ov := toOrig[sv]
+		if side == 0 {
+			leftV = append(leftV, ov)
+			leftD = leftD.Add(g.VertexWeight(ov))
+		} else {
+			rightV = append(rightV, ov)
+			rightD = rightD.Add(g.VertexWeight(ov))
+		}
+	}
+	if len(leftV) == 0 || len(rightV) == 0 {
+		// Defensive: bisection should never empty a side for n >= 2,
+		// but a hard index split always makes progress.
+		mid := len(vertices) / 2
+		leftV, rightV = vertices[:mid], vertices[mid:]
+		leftD, rightD = resources.Vector{}, resources.Vector{}
+		for _, v := range leftV {
+			leftD = leftD.Add(g.VertexWeight(v))
+		}
+		for _, v := range rightV {
+			rightD = rightD.Add(g.VertexWeight(v))
+		}
+	}
+
+	var err error
+	grp.Left, err = splitToFit(g, leftV, leftD, usable, depth+1, opts)
+	if err != nil {
+		return nil, err
+	}
+	grp.Right, err = splitToFit(g, rightV, rightD, usable, depth+1, opts)
+	if err != nil {
+		return nil, err
+	}
+	return grp, nil
+}
+
+// serversNeeded returns the lower bound on servers for a demand: the
+// ceiling of the dominant dimension's demand/usable ratio.
+func serversNeeded(demand, usable resources.Vector) int {
+	r := 0.0
+	for d := range demand {
+		if usable[d] > 0 {
+			if q := demand[d] / usable[d]; q > r {
+				r = q
+			}
+		}
+	}
+	k := int(r)
+	if float64(k) < r {
+		k++
+	}
+	return k
+}
+
+func collectLeaves(g *Group, out *[]*Group) {
+	if g == nil {
+		return
+	}
+	if g.IsLeaf() {
+		*out = append(*out, g)
+		return
+	}
+	collectLeaves(g.Left, out)
+	collectLeaves(g.Right, out)
+}
+
+// KWay partitions g into exactly k balanced parts by recursive bisection
+// (Eq. 3 balance, Eq. 1 objective). It returns part[v] ∈ [0, k) and the cut
+// weight. k ≤ 0 panics; k ≥ n puts every vertex in its own part.
+func KWay(g *graph.Graph, k int, opts Options) ([]int, float64) {
+	if k <= 0 {
+		panic(fmt.Sprintf("partition: KWay with k=%d", k))
+	}
+	n := g.NumVertices()
+	part := make([]int, n)
+	if k == 1 || n == 0 {
+		return part, 0
+	}
+	if k >= n {
+		for v := 0; v < n; v++ {
+			part[v] = v
+		}
+		return part, g.CutWeightK(part)
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	next := 0
+	kwaySplit(g, all, k, opts, &next, part)
+	return part, g.CutWeightK(part)
+}
+
+func kwaySplit(g *graph.Graph, vertices []int, k int, opts Options, next *int, part []int) {
+	if k == 1 || len(vertices) <= 1 {
+		id := *next
+		*next++
+		for _, v := range vertices {
+			part[v] = id
+		}
+		return
+	}
+	kLeft := k / 2
+	kRight := k - kLeft
+	sub, toOrig := g.Subgraph(vertices)
+	subOpts := opts
+	subOpts.Seed = opts.Seed + int64(len(vertices))*31 + int64(k)
+	frac := float64(kRight) / float64(k) // side 1 feeds the right recursion
+	bis := BisectFraction(sub, subOpts, frac)
+
+	var leftV, rightV []int
+	for sv, side := range bis.Side {
+		if side == 0 {
+			leftV = append(leftV, toOrig[sv])
+		} else {
+			rightV = append(rightV, toOrig[sv])
+		}
+	}
+	if len(leftV) == 0 || len(rightV) == 0 {
+		mid := len(vertices) * kLeft / k
+		if mid == 0 {
+			mid = 1
+		}
+		leftV, rightV = vertices[:mid], vertices[mid:]
+	}
+	kwaySplit(g, leftV, kLeft, opts, next, part)
+	kwaySplit(g, rightV, kRight, opts, next, part)
+}

@@ -1,0 +1,189 @@
+package partition
+
+import (
+	"container/heap"
+
+	"goldilocks/internal/graph"
+	"goldilocks/internal/resources"
+)
+
+// balanceState tracks the per-side resource totals of a bisection and
+// answers whether a vertex move keeps every dimension within the allowed
+// imbalance. frac is the target share of total weight for side 1 (0.5 for
+// an even bisection; k-way partitioning with odd k uses other targets).
+type balanceState struct {
+	side    [2]resources.Vector
+	count   [2]int
+	maxSide [2]resources.Vector // per-dimension cap per side
+}
+
+func newBalanceState(g *graph.Graph, sideOf []int, eps, frac float64) *balanceState {
+	b := &balanceState{}
+	total := g.TotalVertexWeight()
+	for v := 0; v < g.NumVertices(); v++ {
+		s := sideOf[v]
+		b.side[s] = b.side[s].Add(g.VertexWeight(v))
+		b.count[s]++
+	}
+	b.maxSide[1] = total.Scale(frac * (1 + eps))
+	b.maxSide[0] = total.Scale((1 - frac) * (1 + eps))
+	return b
+}
+
+// canMove reports whether moving a vertex of weight w from side `from` keeps
+// the bisection legal: the destination side must stay under the cap in every
+// dimension and the source side must not become empty.
+func (b *balanceState) canMove(w resources.Vector, from int) bool {
+	if b.count[from] <= 1 {
+		return false
+	}
+	to := 1 - from
+	return b.side[to].Add(w).Fits(b.maxSide[to])
+}
+
+func (b *balanceState) apply(w resources.Vector, from int) {
+	to := 1 - from
+	b.side[from] = b.side[from].Sub(w)
+	b.side[to] = b.side[to].Add(w)
+	b.count[from]--
+	b.count[to]++
+}
+
+// isBalanced reports whether both sides currently respect the cap.
+func (b *balanceState) isBalanced() bool {
+	return b.side[0].Fits(b.maxSide[0]) && b.side[1].Fits(b.maxSide[1])
+}
+
+// gainItem is a lazily-invalidated max-heap entry for FM refinement.
+type gainItem struct {
+	v     int
+	gain  float64
+	stamp uint64
+}
+
+type gainHeap []gainItem
+
+func (h gainHeap) Len() int            { return len(h) }
+func (h gainHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h gainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x interface{}) { *h = append(*h, x.(gainItem)) }
+func (h *gainHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// fmRefine runs Fiduccia–Mattheyses passes on the bisection in sideOf,
+// mutating it in place, and returns the resulting cut weight. frac is side
+// 1's target weight share. Each pass tentatively moves vertices in order of
+// decreasing gain (allowing uphill moves), then rolls back to the best
+// prefix. Passes repeat until no pass improves the cut or opts.FMPasses is
+// exhausted.
+func fmRefine(g *graph.Graph, sideOf []int, opts Options, frac float64) float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	bal := newBalanceState(g, sideOf, opts.BalanceEps, frac)
+	cut := g.CutWeight(sideOf)
+
+	gains := make([]float64, n)
+	stamps := make([]uint64, n)
+	locked := make([]bool, n)
+	moves := make([]int, 0, n)
+
+	computeGain := func(v int) float64 {
+		gain := 0.0
+		for _, e := range g.Neighbors(v) {
+			if sideOf[e.To] == sideOf[v] {
+				gain -= e.Weight
+			} else {
+				gain += e.Weight
+			}
+		}
+		return gain
+	}
+
+	for pass := 0; pass < opts.FMPasses; pass++ {
+		h := make(gainHeap, 0, n)
+		for v := 0; v < n; v++ {
+			locked[v] = false
+			gains[v] = computeGain(v)
+			stamps[v]++
+			h = append(h, gainItem{v: v, gain: gains[v], stamp: stamps[v]})
+		}
+		heap.Init(&h)
+
+		moves = moves[:0]
+		curCut := cut
+		bestCut := cut
+		bestPrefix := 0
+		deferred := make([]gainItem, 0, 8)
+
+		for h.Len() > 0 {
+			it := heap.Pop(&h).(gainItem)
+			if it.stamp != stamps[it.v] || locked[it.v] {
+				continue // stale entry
+			}
+			v := it.v
+			if !bal.canMove(g.VertexWeight(v), sideOf[v]) {
+				// Not movable right now; it may become movable
+				// after other moves rebalance the sides, so park
+				// it instead of locking it.
+				deferred = append(deferred, it)
+				if h.Len() == 0 {
+					break
+				}
+				continue
+			}
+			// Apply the tentative move.
+			bal.apply(g.VertexWeight(v), sideOf[v])
+			sideOf[v] = 1 - sideOf[v]
+			locked[v] = true
+			curCut -= it.gain
+			moves = append(moves, v)
+			if curCut < bestCut-1e-12 {
+				bestCut = curCut
+				bestPrefix = len(moves)
+			}
+			// Update unlocked neighbors' gains.
+			for _, e := range g.Neighbors(v) {
+				u := e.To
+				if locked[u] {
+					continue
+				}
+				// u's edge to v flipped side: the gain delta is
+				// ±2·w depending on whether they now differ.
+				if sideOf[u] == sideOf[v] {
+					gains[u] -= 2 * e.Weight
+				} else {
+					gains[u] += 2 * e.Weight
+				}
+				stamps[u]++
+				heap.Push(&h, gainItem{v: u, gain: gains[u], stamp: stamps[u]})
+			}
+			// Re-offer deferred vertices now that balance changed.
+			for _, d := range deferred {
+				if !locked[d.v] && d.stamp == stamps[d.v] {
+					heap.Push(&h, d)
+				}
+			}
+			deferred = deferred[:0]
+		}
+
+		// Roll back moves after the best prefix.
+		for i := len(moves) - 1; i >= bestPrefix; i-- {
+			v := moves[i]
+			bal.apply(g.VertexWeight(v), sideOf[v])
+			sideOf[v] = 1 - sideOf[v]
+		}
+		if bestCut >= cut-1e-12 {
+			cut = bestCut
+			break // converged: no improvement this pass
+		}
+		cut = bestCut
+	}
+	return cut
+}

@@ -1,0 +1,134 @@
+package power
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DVFS P-state modeling (§II): the continuous curves of ServerModel are
+// the envelope of a ladder of discrete frequency/voltage operating points.
+// Below the Peak Energy Efficiency knee only frequency scales (power
+// linear in f at the floor voltage); above it voltage must rise with
+// frequency and power follows P = C·V²·f, the cubic law. This model makes
+// that mechanism explicit: a ladder of P-states, each with a frequency
+// share and a voltage, and a governor that picks the lowest state
+// sustaining the load.
+
+// PState is one DVFS operating point.
+type PState struct {
+	// Frequency is the normalized clock (1.0 = max boost).
+	Frequency float64
+	// Voltage is the normalized core voltage (1.0 = voltage at max).
+	Voltage float64
+}
+
+// DVFSModel is a quantized server power model built from first principles:
+// dynamic power C·V²·f per state plus a static floor.
+type DVFSModel struct {
+	Name string
+	// StaticWatts is the load-independent floor (uncore, memory, fans).
+	StaticWatts float64
+	// DynamicWatts is the dynamic power at the top state (V=1, f=1).
+	DynamicWatts float64
+	// States is the ladder, ascending by frequency.
+	States []PState
+}
+
+// NewDVFSLadder builds a ladder with `states` points for a server whose
+// voltage floor is reached at the knee: states below the knee share
+// minVoltage (frequency-only scaling), states above it raise voltage
+// linearly to 1.0 at full frequency.
+func NewDVFSLadder(name string, staticWatts, dynamicWatts float64, states int, knee, minVoltage float64) (*DVFSModel, error) {
+	if states < 2 {
+		return nil, fmt.Errorf("power: DVFS ladder needs ≥ 2 states, got %d", states)
+	}
+	if knee <= 0 || knee >= 1 || minVoltage <= 0 || minVoltage >= 1 {
+		return nil, fmt.Errorf("power: invalid knee %v / min voltage %v", knee, minVoltage)
+	}
+	m := &DVFSModel{Name: name, StaticWatts: staticWatts, DynamicWatts: dynamicWatts}
+	for i := 0; i < states; i++ {
+		f := knee/2 + (1-knee/2)*float64(i)/float64(states-1) // lowest state runs at half-knee
+		v := minVoltage
+		if f > knee {
+			v = minVoltage + (1-minVoltage)*(f-knee)/(1-knee)
+		}
+		m.States = append(m.States, PState{Frequency: f, Voltage: v})
+	}
+	sort.Slice(m.States, func(a, b int) bool { return m.States[a].Frequency < m.States[b].Frequency })
+	return m, nil
+}
+
+// StatePower returns the wall power while running in state s at full
+// activity: static + dynamic·V²·f.
+func (m *DVFSModel) StatePower(s PState) float64 {
+	return m.StaticWatts + m.DynamicWatts*s.Voltage*s.Voltage*s.Frequency
+}
+
+// StateFor returns the lowest state whose frequency sustains the given
+// load (normalized to the top state's throughput). Loads above the top
+// state's capacity saturate to the top state.
+func (m *DVFSModel) StateFor(load float64) PState {
+	load = math.Min(math.Max(load, 0), 1)
+	for _, s := range m.States {
+		if s.Frequency >= load-1e-12 {
+			return s
+		}
+	}
+	return m.States[len(m.States)-1]
+}
+
+// Power returns the wall power at the given load under the race-to-idle
+// governor: the server runs in the chosen state for the busy fraction
+// (load/frequency) and drops to the static floor otherwise.
+func (m *DVFSModel) Power(load float64) float64 {
+	load = math.Min(math.Max(load, 0), 1)
+	if load == 0 {
+		return m.StaticWatts
+	}
+	s := m.StateFor(load)
+	busy := load / s.Frequency
+	if busy > 1 {
+		busy = 1
+	}
+	dyn := m.DynamicWatts * s.Voltage * s.Voltage * s.Frequency
+	return m.StaticWatts + dyn*busy
+}
+
+// Efficiency returns normalized operations per watt at the given load.
+func (m *DVFSModel) Efficiency(load float64) float64 {
+	if load <= 0 {
+		return 0
+	}
+	return load / m.Power(load)
+}
+
+// PeakEfficiencyLoad locates the load of maximum ops/W by scanning.
+func (m *DVFSModel) PeakEfficiencyLoad() float64 {
+	best, bestEff := 0.0, 0.0
+	for i := 1; i <= 1000; i++ {
+		l := float64(i) / 1000
+		if e := m.Efficiency(l); e > bestEff {
+			best, bestEff = l, e
+		}
+	}
+	return best
+}
+
+// FitServerModel produces the continuous ServerModel envelope of the
+// ladder — the bridge between the first-principles DVFS model and the
+// parametric curves used throughout the simulations.
+func (m *DVFSModel) FitServerModel(knee float64, maxRPS float64) ServerModel {
+	pMax := m.Power(1)
+	pKnee := m.Power(knee)
+	sm := ServerModel{
+		Name:      m.Name + " (envelope)",
+		IdleWatts: m.Power(0),
+		PeeWatts:  pKnee,
+		MaxWatts:  pMax,
+		Knee:      knee,
+		LinearMix: 0.85,
+		MaxRPS:    maxRPS,
+	}
+	return sm
+}

@@ -1,0 +1,129 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func ladder(t *testing.T) *DVFSModel {
+	t.Helper()
+	m, err := NewDVFSLadder("test-cpu", 30, 120, 12, 0.70, 0.62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewDVFSLadderValidation(t *testing.T) {
+	if _, err := NewDVFSLadder("x", 1, 1, 1, 0.7, 0.6); err == nil {
+		t.Fatal("single state must be rejected")
+	}
+	if _, err := NewDVFSLadder("x", 1, 1, 4, 1.2, 0.6); err == nil {
+		t.Fatal("knee outside (0,1) must be rejected")
+	}
+	if _, err := NewDVFSLadder("x", 1, 1, 4, 0.7, 1.0); err == nil {
+		t.Fatal("min voltage 1.0 must be rejected")
+	}
+}
+
+func TestLadderVoltageStructure(t *testing.T) {
+	m := ladder(t)
+	for _, s := range m.States {
+		if s.Frequency <= m.States[0].Frequency-1e-12 {
+			t.Fatal("states must be ascending")
+		}
+		if s.Frequency <= 0.70+1e-9 {
+			if math.Abs(s.Voltage-0.62) > 1e-9 {
+				t.Fatalf("below-knee state f=%v must sit at the voltage floor, got V=%v", s.Frequency, s.Voltage)
+			}
+		} else if s.Voltage <= 0.62 {
+			t.Fatalf("above-knee state f=%v must raise voltage, got V=%v", s.Frequency, s.Voltage)
+		}
+	}
+	top := m.States[len(m.States)-1]
+	if math.Abs(top.Frequency-1) > 1e-9 || math.Abs(top.Voltage-1) > 1e-9 {
+		t.Fatalf("top state must be (1, 1), got %+v", top)
+	}
+}
+
+func TestLadderPowerMonotone(t *testing.T) {
+	m := ladder(t)
+	prev := m.Power(0)
+	for i := 1; i <= 100; i++ {
+		l := float64(i) / 100
+		p := m.Power(l)
+		if p < prev-1e-9 {
+			t.Fatalf("power not monotone at load %v", l)
+		}
+		prev = p
+	}
+	if m.Power(0) != 30 {
+		t.Fatalf("idle power = %v, want the static floor", m.Power(0))
+	}
+	if got, want := m.Power(1), 30+120.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("full power = %v, want %v", got, want)
+	}
+}
+
+func TestLadderCubicMechanism(t *testing.T) {
+	// The §II mechanism: marginal power per unit load above the knee must
+	// exceed the marginal power below it (voltage² kicks in).
+	m := ladder(t)
+	below := m.Power(0.65) - m.Power(0.45)
+	above := m.Power(0.95) - m.Power(0.75)
+	if above <= below {
+		t.Fatalf("above-knee rise %v not steeper than below-knee %v", above, below)
+	}
+}
+
+func TestLadderEfficiencyPeaksNearKnee(t *testing.T) {
+	m := ladder(t)
+	peak := m.PeakEfficiencyLoad()
+	if peak < 0.55 || peak > 0.85 {
+		t.Fatalf("ops/W peak at %v, want near the 0.70 knee", peak)
+	}
+}
+
+func TestStateForSaturates(t *testing.T) {
+	m := ladder(t)
+	top := m.States[len(m.States)-1]
+	if got := m.StateFor(5.0); got != top {
+		t.Fatalf("overload must saturate to the top state, got %+v", got)
+	}
+	lowest := m.States[0]
+	if got := m.StateFor(0); got != lowest {
+		t.Fatalf("zero load must pick the lowest state, got %+v", got)
+	}
+}
+
+func TestStatePower(t *testing.T) {
+	m := ladder(t)
+	s := PState{Frequency: 1, Voltage: 1}
+	if got := m.StatePower(s); math.Abs(got-150) > 1e-9 {
+		t.Fatalf("top state power = %v, want 150", got)
+	}
+	half := PState{Frequency: 0.5, Voltage: 0.62}
+	want := 30 + 120*0.62*0.62*0.5
+	if got := m.StatePower(half); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("half state power = %v, want %v", got, want)
+	}
+}
+
+func TestFitServerModelEnvelope(t *testing.T) {
+	m := ladder(t)
+	sm := m.FitServerModel(0.70, 10000)
+	if err := sm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The envelope must agree with the ladder at the anchor points.
+	if math.Abs(sm.IdleWatts-m.Power(0)) > 1e-9 {
+		t.Fatalf("idle anchor: %v vs %v", sm.IdleWatts, m.Power(0))
+	}
+	if math.Abs(sm.MaxWatts-m.Power(1)) > 1e-9 {
+		t.Fatalf("max anchor: %v vs %v", sm.MaxWatts, m.Power(1))
+	}
+	// And its efficiency peak should sit near the knee as well.
+	if peak := sm.PeakEfficiencyUtil(); peak < 0.6 || peak > 0.8 {
+		t.Fatalf("envelope efficiency peak at %v", peak)
+	}
+}

@@ -1,0 +1,335 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var allServerModels = []ServerModel{
+	Dell2018, Legacy2010, DellR940, Facebook1S, MicrosoftBlade, TestbedOpteron,
+}
+
+func TestServerModelsValidate(t *testing.T) {
+	for _, m := range allServerModels {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestServerModelValidateRejectsBad(t *testing.T) {
+	tests := []struct {
+		name string
+		m    ServerModel
+	}{
+		{"zero knee", ServerModel{Name: "x", PeeWatts: 1, MaxWatts: 2, MaxRPS: 1}},
+		{"knee above 1", ServerModel{Name: "x", Knee: 1.2, PeeWatts: 1, MaxWatts: 2, MaxRPS: 1}},
+		{"idle above pee", ServerModel{Name: "x", Knee: 0.7, IdleWatts: 5, PeeWatts: 1, MaxWatts: 2, MaxRPS: 1}},
+		{"pee above max", ServerModel{Name: "x", Knee: 0.7, PeeWatts: 3, MaxWatts: 2, MaxRPS: 1}},
+		{"bad mix", ServerModel{Name: "x", Knee: 0.7, PeeWatts: 1, MaxWatts: 2, LinearMix: 2, MaxRPS: 1}},
+		{"no rps", ServerModel{Name: "x", Knee: 0.7, PeeWatts: 1, MaxWatts: 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.m.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestPowerEndpoints(t *testing.T) {
+	for _, m := range allServerModels {
+		if got := m.Power(0); math.Abs(got-m.IdleWatts) > 1e-9 {
+			t.Errorf("%s: P(0) = %v, want idle %v", m.Name, got, m.IdleWatts)
+		}
+		if got := m.Power(m.Knee); math.Abs(got-m.PeeWatts) > 1e-9 {
+			t.Errorf("%s: P(knee) = %v, want %v", m.Name, got, m.PeeWatts)
+		}
+		if got := m.Power(1); math.Abs(got-m.MaxWatts) > 1e-9 {
+			t.Errorf("%s: P(1) = %v, want max %v", m.Name, got, m.MaxWatts)
+		}
+	}
+}
+
+func TestPowerClamps(t *testing.T) {
+	m := Dell2018
+	if m.Power(-0.5) != m.Power(0) {
+		t.Error("negative utilization must clamp to 0")
+	}
+	if m.Power(1.5) != m.Power(1) {
+		t.Error("utilization above 1 must clamp to 1")
+	}
+}
+
+func TestPowerMonotone(t *testing.T) {
+	for _, m := range allServerModels {
+		prev := m.Power(0)
+		for i := 1; i <= 100; i++ {
+			u := float64(i) / 100
+			p := m.Power(u)
+			if p < prev-1e-9 {
+				t.Fatalf("%s: power not monotone at u=%v: %v < %v", m.Name, u, p, prev)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestSuperLinearAboveKnee(t *testing.T) {
+	// The defining property of Fig. 1(a): above the knee, power grows
+	// faster per unit load than below it.
+	m := Dell2018
+	slopeBelow := (m.Power(m.Knee) - m.Power(0)) / m.Knee
+	slopeAbove := (m.Power(1) - m.Power(m.Knee)) / (1 - m.Knee)
+	if slopeAbove <= slopeBelow {
+		t.Fatalf("above-knee slope %v not steeper than below-knee %v", slopeAbove, slopeBelow)
+	}
+}
+
+func TestLegacyModelIsLinear(t *testing.T) {
+	m := Legacy2010
+	for i := 0; i <= 10; i++ {
+		u := float64(i) / 10
+		want := m.IdleWatts + (m.MaxWatts-m.IdleWatts)*u
+		if got := m.Power(u); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("legacy P(%v) = %v, want linear %v", u, got, want)
+		}
+	}
+}
+
+func TestPeakEfficiencyAtKnee(t *testing.T) {
+	// The paper's central claim: ops/W peaks at the PEE knee (70%) for
+	// modern servers and at 100% for the legacy linear model.
+	for _, m := range []ServerModel{Dell2018, DellR940, Facebook1S, MicrosoftBlade, TestbedOpteron} {
+		peak := m.PeakEfficiencyUtil()
+		if math.Abs(peak-m.Knee) > 0.02 {
+			t.Errorf("%s: efficiency peak at %v, want knee %v", m.Name, peak, m.Knee)
+		}
+	}
+	if peak := Legacy2010.PeakEfficiencyUtil(); peak < 0.99 {
+		t.Errorf("legacy model must peak at 100%%, got %v", peak)
+	}
+}
+
+func TestEfficiencyZeroAtZero(t *testing.T) {
+	if Dell2018.Efficiency(0) != 0 {
+		t.Error("efficiency at zero load must be zero")
+	}
+}
+
+func TestMarginalPowerOrdering(t *testing.T) {
+	m := Dell2018
+	// Marginal power at 90% must exceed marginal power at 30%: that is
+	// what makes mPP prefer low-slope servers and what penalizes packing
+	// past the knee.
+	if m.MarginalPower(0.9) <= m.MarginalPower(0.3) {
+		t.Fatalf("marginal power at 0.9 (%v) should exceed at 0.3 (%v)",
+			m.MarginalPower(0.9), m.MarginalPower(0.3))
+	}
+}
+
+func TestNormalizedPower(t *testing.T) {
+	if got := Dell2018.NormalizedPower(1); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("normalized power at full load = %v, want 1", got)
+	}
+}
+
+func TestPropertyPowerWithinBounds(t *testing.T) {
+	f := func(raw float64) bool {
+		u := math.Mod(math.Abs(raw), 1)
+		for _, m := range allServerModels {
+			p := m.Power(u)
+			if p < m.IdleWatts-1e-9 || p > m.MaxWatts+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUCurve(t *testing.T) {
+	// Fig. 2: serving a fixed aggregate load with servers packed to
+	// utilization u costs total power ∝ P(u)/u — a 'U' whose minimum sits
+	// at the knee.
+	m := Dell2018
+	perLoad := func(u float64) float64 { return m.Power(u) / u }
+	min := perLoad(m.Knee)
+	for _, u := range []float64{0.2, 0.3, 0.5, 0.6, 0.8, 0.9, 0.95, 1.0} {
+		if perLoad(u) < min-1e-9 {
+			t.Errorf("P(u)/u at %v (%v) below knee value (%v): U-curve minimum moved", u, perLoad(u), min)
+		}
+	}
+}
+
+func TestSwitchModelsValidate(t *testing.T) {
+	for _, m := range []SwitchModel{Altoline6940x2, Altoline6940, Altoline6920, Wedge, SixPack, TestbedHPE3800} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	bad := SwitchModel{Name: "bad", ChassisWatts: -1, NumPorts: 1}
+	if bad.Validate() == nil {
+		t.Error("negative chassis watts must fail validation")
+	}
+}
+
+func TestSwitchPower(t *testing.T) {
+	m := Wedge
+	if m.Power(0) != 0 {
+		t.Error("idle switch must be powered off (0 W)")
+	}
+	if m.Power(1) <= m.ChassisWatts {
+		t.Error("one active port must draw chassis + port power")
+	}
+	if got := m.Power(m.NumPorts + 10); got != m.MaxPower() {
+		t.Errorf("ports clamp at NumPorts: %v != %v", got, m.MaxPower())
+	}
+	if math.Abs(m.MaxPower()-282) > 1e-6 {
+		t.Errorf("Wedge full power = %v, want 282 (Table I)", m.MaxPower())
+	}
+}
+
+func TestSwitchFullLoadWattsMatchTable(t *testing.T) {
+	tests := []struct {
+		m    SwitchModel
+		want float64
+	}{
+		{Altoline6940x2, 630},
+		{Altoline6940, 315},
+		{Altoline6920, 315},
+		{Wedge, 282},
+		{SixPack, 1400},
+	}
+	for _, tt := range tests {
+		if math.Abs(tt.m.MaxPower()-tt.want) > 1e-6 {
+			t.Errorf("%s max power = %v, want %v", tt.m.Name, tt.m.MaxPower(), tt.want)
+		}
+	}
+}
+
+func TestSpecFleetSize(t *testing.T) {
+	fleet := SpecFleet(419, 1)
+	if len(fleet) != 419 {
+		t.Fatalf("fleet size = %d", len(fleet))
+	}
+	for _, s := range fleet {
+		if _, ok := peeShares[s.Year]; !ok {
+			t.Fatalf("server year %d not in share table", s.Year)
+		}
+		valid := false
+		for _, u := range peeUtils {
+			if s.PEEUtil == u {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("invalid PEE util %v", s.PEEUtil)
+		}
+	}
+}
+
+func TestSpecFleetDeterministic(t *testing.T) {
+	a := SpecFleet(100, 7)
+	b := SpecFleet(100, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("fleet generation must be deterministic per seed")
+		}
+	}
+}
+
+func TestSpecFleetTrend(t *testing.T) {
+	// Fig. 1(b)'s take-away: the share of servers peaking at 100% load
+	// collapses over the years while the 60–80% band grows.
+	fleet := SpecFleet(5000, 2)
+	shares := SharesByYear(fleet)
+	early := shares[2010][1.0]
+	late := shares[2018][1.0]
+	if early < 0.7 {
+		t.Errorf("2010 share of 100%%-PEE servers = %v, want ≥ 0.7", early)
+	}
+	if late > 0.15 {
+		t.Errorf("2018 share of 100%%-PEE servers = %v, want ≤ 0.15", late)
+	}
+	lateBand := shares[2018][0.6] + shares[2018][0.7] + shares[2018][0.8]
+	if lateBand < 0.7 {
+		t.Errorf("2018 share in the 60–80%% band = %v, want ≥ 0.7", lateBand)
+	}
+}
+
+func TestSharesSumToOne(t *testing.T) {
+	fleet := SpecFleet(1000, 3)
+	for year, byUtil := range SharesByYear(fleet) {
+		sum := 0.0
+		for _, s := range byUtil {
+			sum += s
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("year %d shares sum to %v", year, sum)
+		}
+	}
+}
+
+func TestSpecYearsSorted(t *testing.T) {
+	years := SpecYears()
+	if len(years) == 0 {
+		t.Fatal("no years")
+	}
+	for i := 1; i < len(years); i++ {
+		if years[i] <= years[i-1] {
+			t.Fatal("years not strictly ascending")
+		}
+	}
+}
+
+func TestModelForPEEKeepsPeakAtKnee(t *testing.T) {
+	for _, pee := range []float64{0.6, 0.7, 0.8, 0.9} {
+		m := ModelForPEE(pee)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("pee %v: %v", pee, err)
+		}
+		if peak := m.PeakEfficiencyUtil(); math.Abs(peak-pee) > 0.02 {
+			t.Errorf("pee %v: efficiency peak at %v", pee, peak)
+		}
+	}
+	if ModelForPEE(1.0).Name != Legacy2010.Name {
+		t.Error("PEE=1 should return the legacy linear model")
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	a.Add(100, 10*time.Second) // 1000 J
+	a.Add(50, 2*time.Second)   // 100 J
+	a.AddRequests(55)
+	if got := a.Joules(); math.Abs(got-1100) > 1e-9 {
+		t.Fatalf("joules = %v, want 1100", got)
+	}
+	if got := a.EnergyPerRequest(); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("energy/request = %v, want 20", got)
+	}
+	if got := a.Requests(); got != 55 {
+		t.Fatalf("requests = %v", got)
+	}
+}
+
+func TestAccumulatorNoRequests(t *testing.T) {
+	var a Accumulator
+	a.Add(100, time.Second)
+	if a.EnergyPerRequest() != 0 {
+		t.Fatal("energy/request with zero requests must be 0, not NaN")
+	}
+}
+
+func BenchmarkPowerCurve(b *testing.B) {
+	m := Dell2018
+	for i := 0; i < b.N; i++ {
+		_ = m.Power(float64(i%1000) / 1000)
+	}
+}

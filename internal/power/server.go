@@ -1,0 +1,188 @@
+// Package power models the energy behaviour Goldilocks is built on
+// (paper §II): modern servers are *not* power-proportional — power rises
+// linearly with load only up to the Peak Energy Efficiency (PEE) knee
+// (frequency-only DVFS) and then super-linearly (cubic, voltage+frequency
+// DVFS P = C·V²·f) up to 100% load. Operations-per-watt therefore peaks at
+// the knee (60–80% utilization on recent servers), which is exactly where
+// Goldilocks stops packing.
+//
+// The package also provides switch power models matched to the five data
+// center configurations of Table I, the synthetic SPEC ssj2008 fleet behind
+// Fig. 1(b), and an energy accumulator for energy-per-request accounting.
+package power
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// ServerModel is a parametric server power curve.
+//
+// For utilization u ∈ [0, Knee] power rises linearly from IdleWatts to
+// PeeWatts; for u ∈ (Knee, 1] it rises as a linear+cubic blend from
+// PeeWatts to MaxWatts:
+//
+//	P(u) = PeeWatts + (MaxWatts−PeeWatts)·(α·x + (1−α)·x³),  x = (u−Knee)/(1−Knee)
+//
+// with α = LinearMix. A Knee of 1.0 degenerates to the classic fully-linear
+// model of pre-2010 servers.
+type ServerModel struct {
+	Name      string
+	IdleWatts float64 // power at zero load, server on
+	PeeWatts  float64 // power at the PEE knee
+	MaxWatts  float64 // power at 100% load
+	Knee      float64 // PEE utilization in (0, 1]
+	LinearMix float64 // α of the above-knee blend; ≥ Ppee(1−k)/(k(Pmax−Ppee)) keeps the ops/W peak exactly at the knee
+	// MaxRPS is the request rate the server sustains at 100% load; used
+	// to convert utilization into request throughput for ops/W.
+	MaxRPS float64
+}
+
+// Validate reports whether the model parameters are physically sensible.
+func (m ServerModel) Validate() error {
+	switch {
+	case m.Knee <= 0 || m.Knee > 1:
+		return fmt.Errorf("power: %s: knee %v outside (0, 1]", m.Name, m.Knee)
+	case m.IdleWatts < 0 || m.IdleWatts > m.PeeWatts || m.PeeWatts > m.MaxWatts:
+		return fmt.Errorf("power: %s: need 0 ≤ idle ≤ pee ≤ max, got %v/%v/%v",
+			m.Name, m.IdleWatts, m.PeeWatts, m.MaxWatts)
+	case m.LinearMix < 0 || m.LinearMix > 1:
+		return fmt.Errorf("power: %s: linear mix %v outside [0, 1]", m.Name, m.LinearMix)
+	case m.MaxRPS <= 0:
+		return fmt.Errorf("power: %s: non-positive MaxRPS %v", m.Name, m.MaxRPS)
+	}
+	return nil
+}
+
+// Power returns the wall power in watts at utilization u (clamped to
+// [0, 1]) for a powered-on server. A powered-off server draws zero; that is
+// the caller's branch, not this function's.
+func (m ServerModel) Power(u float64) float64 {
+	u = clamp01(u)
+	if u <= m.Knee {
+		return m.IdleWatts + (m.PeeWatts-m.IdleWatts)*(u/m.Knee)
+	}
+	x := (u - m.Knee) / (1 - m.Knee)
+	blend := m.LinearMix*x + (1-m.LinearMix)*x*x*x
+	return m.PeeWatts + (m.MaxWatts-m.PeeWatts)*blend
+}
+
+// Efficiency returns operations per watt at utilization u: u·MaxRPS/P(u).
+// It is zero at u = 0 and peaks at the PEE knee for post-2010 models.
+func (m ServerModel) Efficiency(u float64) float64 {
+	u = clamp01(u)
+	if u == 0 {
+		return 0
+	}
+	return u * m.MaxRPS / m.Power(u)
+}
+
+// PeakEfficiencyUtil locates the utilization with maximum ops/W by scanning
+// at 0.1% resolution. For well-formed modern models it returns ≈ Knee.
+func (m ServerModel) PeakEfficiencyUtil() float64 {
+	best, bestEff := 0.0, 0.0
+	for i := 1; i <= 1000; i++ {
+		u := float64(i) / 1000
+		if e := m.Efficiency(u); e > bestEff {
+			bestEff = e
+			best = u
+		}
+	}
+	return best
+}
+
+// MarginalPower returns dP/du at utilization u via central differences;
+// the mPP baseline places containers on the server with the smallest power
+// increase per utilization unit.
+func (m ServerModel) MarginalPower(u float64) float64 {
+	const h = 1e-4
+	lo := clamp01(u - h)
+	hi := clamp01(u + h)
+	if hi == lo {
+		return 0
+	}
+	return (m.Power(hi) - m.Power(lo)) / (hi - lo)
+}
+
+// NormalizedPower returns P(u)/MaxWatts, the Fig. 1(a) y-axis.
+func (m ServerModel) NormalizedPower(u float64) float64 {
+	return m.Power(u) / m.MaxWatts
+}
+
+func clamp01(u float64) float64 {
+	return math.Min(math.Max(u, 0), 1)
+}
+
+// Named server models. Wattages follow Table I and §VI-B of the paper;
+// curve shapes follow Fig. 1(a).
+var (
+	// Dell2018 is the modern reference curve of Fig. 1(a): PEE at 70%
+	// utilization, pronounced cubic region above the knee. Normalized
+	// wattages (MaxWatts = 100 ⇒ NormalizedPower is in percent/100).
+	Dell2018 = ServerModel{
+		Name: "Dell-2018", IdleWatts: 20, PeeWatts: 52, MaxWatts: 100,
+		Knee: 0.70, LinearMix: 0.85, MaxRPS: 10000,
+	}
+	// Legacy2010 is the strictly power-proportional dotted line of
+	// Fig. 1(a): linear from idle to max, PEE at 100%.
+	Legacy2010 = ServerModel{
+		Name: "2010-linear", IdleWatts: 50, PeeWatts: 100, MaxWatts: 100,
+		Knee: 1.0, LinearMix: 1.0, MaxRPS: 10000,
+	}
+	// DellR940 is the large-scale simulation's server (§VI-B), a modern
+	// PEE-knee machine; absolute watts for a 4-socket R940.
+	DellR940 = ServerModel{
+		Name: "Dell PowerEdge R940", IdleWatts: 150, PeeWatts: 520, MaxWatts: 1000,
+		Knee: 0.70, LinearMix: 0.85, MaxRPS: 120,
+	}
+	// Facebook1S is the 96 W SoC server of the Open Compute Project used
+	// for the Google and Facebook rows of Table I.
+	Facebook1S = ServerModel{
+		Name: "Facebook 1S", IdleWatts: 31, PeeWatts: 53, MaxWatts: 96,
+		Knee: 0.70, LinearMix: 0.85, MaxRPS: 5000,
+	}
+	// MicrosoftBlade is the 250 W blade server used for the VL2 and
+	// fat-tree rows of Table I.
+	MicrosoftBlade = ServerModel{
+		Name: "Microsoft blade", IdleWatts: 80, PeeWatts: 138, MaxWatts: 250,
+		Knee: 0.70, LinearMix: 0.85, MaxRPS: 8000,
+	}
+	// TestbedOpteron approximates the paper's 32-core AMD Opteron 6272
+	// compute nodes (§V) used in the 16-server testbed experiments.
+	TestbedOpteron = ServerModel{
+		Name: "AMD Opteron 6272", IdleWatts: 115, PeeWatts: 190, MaxWatts: 350,
+		Knee: 0.70, LinearMix: 0.85, MaxRPS: 50000,
+	}
+)
+
+// Accumulator integrates power over time to yield energy, and divides by
+// completed requests for the paper's energy-per-request metric (Figs. 9(d),
+// 11(c)).
+type Accumulator struct {
+	joules   float64
+	requests float64
+}
+
+// Add accumulates `watts` drawn for `d`.
+func (a *Accumulator) Add(watts float64, d time.Duration) {
+	a.joules += watts * d.Seconds()
+}
+
+// AddRequests records completed requests.
+func (a *Accumulator) AddRequests(n float64) { a.requests += n }
+
+// Joules returns the accumulated energy.
+func (a *Accumulator) Joules() float64 { return a.joules }
+
+// Requests returns the accumulated request count.
+func (a *Accumulator) Requests() float64 { return a.requests }
+
+// EnergyPerRequest returns joules per completed request, or 0 when no
+// request completed.
+func (a *Accumulator) EnergyPerRequest() float64 {
+	if a.requests == 0 {
+		return 0
+	}
+	return a.joules / a.requests
+}

@@ -1,0 +1,114 @@
+package power
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// SpecServer is one server of the synthetic SPEC ssj2008 fleet behind
+// Fig. 1(b): its publication year and the utilization at which it reaches
+// peak energy efficiency.
+type SpecServer struct {
+	Year    int
+	PEEUtil float64 // one of 1.0, 0.9, 0.8, 0.7, 0.6
+}
+
+// peeShares gives, per year, the share of published SPEC results whose
+// peak-efficiency utilization is 100%/90%/80%/70%/60%. The trend follows
+// Fig. 1(b): in 2010 virtually all servers peak at full load; by 2016–2018
+// the mass has moved to the 60–80% band.
+var peeShares = map[int][5]float64{
+	//        100%   90%   80%   70%   60%
+	2008: {0.95, 0.05, 0.00, 0.00, 0.00},
+	2009: {0.92, 0.06, 0.02, 0.00, 0.00},
+	2010: {0.88, 0.08, 0.04, 0.00, 0.00},
+	2011: {0.70, 0.15, 0.10, 0.05, 0.00},
+	2012: {0.52, 0.20, 0.16, 0.09, 0.03},
+	2013: {0.38, 0.22, 0.22, 0.13, 0.05},
+	2014: {0.25, 0.20, 0.28, 0.18, 0.09},
+	2015: {0.15, 0.17, 0.30, 0.25, 0.13},
+	2016: {0.08, 0.12, 0.32, 0.32, 0.16},
+	2017: {0.05, 0.10, 0.30, 0.37, 0.18},
+	2018: {0.03, 0.08, 0.28, 0.41, 0.20},
+}
+
+var peeUtils = [5]float64{1.0, 0.9, 0.8, 0.7, 0.6}
+
+// SpecYears returns the years covered by the synthetic fleet, ascending.
+func SpecYears() []int {
+	years := make([]int, 0, len(peeShares))
+	for y := range peeShares {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	return years
+}
+
+// SpecFleet synthesizes n servers (the paper analyzes 419) distributed
+// uniformly over the covered years, sampling each server's PEE utilization
+// from its year's share table. Deterministic for a given seed.
+func SpecFleet(n int, seed int64) []SpecServer {
+	rng := rand.New(rand.NewSource(seed))
+	years := SpecYears()
+	fleet := make([]SpecServer, 0, n)
+	for i := 0; i < n; i++ {
+		year := years[i%len(years)]
+		shares := peeShares[year]
+		r := rng.Float64()
+		cum := 0.0
+		util := peeUtils[len(peeUtils)-1]
+		for j, s := range shares {
+			cum += s
+			if r < cum {
+				util = peeUtils[j]
+				break
+			}
+		}
+		fleet = append(fleet, SpecServer{Year: year, PEEUtil: util})
+	}
+	return fleet
+}
+
+// SharesByYear aggregates a fleet into Fig. 1(b)'s stacked shares: for each
+// year, the fraction of servers peaking at each utilization level. The
+// inner map keys are the PEE utilizations (1.0 … 0.6).
+func SharesByYear(fleet []SpecServer) map[int]map[float64]float64 {
+	counts := make(map[int]map[float64]int)
+	totals := make(map[int]int)
+	for _, s := range fleet {
+		if counts[s.Year] == nil {
+			counts[s.Year] = make(map[float64]int)
+		}
+		counts[s.Year][s.PEEUtil]++
+		totals[s.Year]++
+	}
+	shares := make(map[int]map[float64]float64, len(counts))
+	for year, byUtil := range counts {
+		shares[year] = make(map[float64]float64, len(byUtil))
+		for util, c := range byUtil {
+			shares[year][util] = float64(c) / float64(totals[year])
+		}
+	}
+	return shares
+}
+
+// ModelForPEE returns a normalized server model whose knee sits at the
+// given PEE utilization, interpolating the curve family of Fig. 1(a).
+func ModelForPEE(peeUtil float64) ServerModel {
+	if peeUtil >= 1 {
+		return Legacy2010
+	}
+	m := Dell2018
+	m.Name = "synthetic"
+	m.Knee = peeUtil
+	// Keep the ops/W peak exactly at the knee: α must be at least
+	// Ppee·(1−k)/(k·(Pmax−Ppee)).
+	minMix := m.PeeWatts * (1 - m.Knee) / (m.Knee * (m.MaxWatts - m.PeeWatts))
+	if m.LinearMix < minMix {
+		m.LinearMix = minMix
+	}
+	if m.LinearMix > 1 {
+		m.LinearMix = 1
+	}
+	return m
+}

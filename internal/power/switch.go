@@ -1,0 +1,72 @@
+package power
+
+import "fmt"
+
+// SwitchModel is a data center switch power model. Switch power is largely
+// static: a chassis share that is drawn whenever the switch is on, plus a
+// small per-active-port share. Goldilocks saves network power by turning
+// whole idle switches (and their links) off after task packing (§II).
+type SwitchModel struct {
+	Name         string
+	ChassisWatts float64 // drawn whenever the switch is powered
+	PortWatts    float64 // per active port
+	NumPorts     int
+}
+
+// Validate reports whether the model is sensible.
+func (m SwitchModel) Validate() error {
+	if m.ChassisWatts < 0 || m.PortWatts < 0 || m.NumPorts <= 0 {
+		return fmt.Errorf("power: switch %s: invalid parameters %+v", m.Name, m)
+	}
+	return nil
+}
+
+// Power returns the switch draw with the given number of active ports.
+// Zero active ports means the switch is powered off entirely.
+func (m SwitchModel) Power(activePorts int) float64 {
+	if activePorts <= 0 {
+		return 0
+	}
+	if activePorts > m.NumPorts {
+		activePorts = m.NumPorts
+	}
+	return m.ChassisWatts + m.PortWatts*float64(activePorts)
+}
+
+// MaxPower returns the draw with every port active.
+func (m SwitchModel) MaxPower() float64 {
+	return m.Power(m.NumPorts)
+}
+
+// Named switch models, matched (as the paper does, via the Open Compute
+// Project) to the port densities of Table I. Total full-load wattages equal
+// the paper's figures; 90% of the budget is chassis, 10% spread over ports.
+var (
+	// Altoline6940x2 models the Google Jupiter ToR/fabric element: two
+	// HPE Altoline 6940 units totalling 630 W, 64×40G ports.
+	Altoline6940x2 = switchModel("2x HPE Altoline 6940", 630, 64)
+	// Altoline6940 is a single 315 W HPE Altoline 6940 (32×40G), the
+	// Fat-tree(32) switch.
+	Altoline6940 = switchModel("HPE Altoline 6940", 315, 32)
+	// Altoline6920 is the 315 W HPE Altoline 6920 (72×10G), the
+	// Fat-tree(72) switch.
+	Altoline6920 = switchModel("HPE Altoline 6920", 315, 72)
+	// Wedge is the 282 W Facebook Wedge ToR (52 ports).
+	Wedge = switchModel("Facebook Wedge", 282, 52)
+	// SixPack is the 1400 W Facebook 6-Pack fabric switch (96×40G).
+	SixPack = switchModel("Facebook 6-Pack", 1400, 96)
+	// TestbedHPE3800 is the testbed's HPE 3800 48×1G switch (§V). The
+	// testbed carves 8 leaf "switches" (VLANs) plus 2 spines out of 3
+	// physical boxes, so each virtual switch draws its port share of a
+	// 170 W box rather than a full chassis.
+	TestbedHPE3800 = switchModel("HPE 3800 (VLAN slice)", 51, 12)
+)
+
+func switchModel(name string, fullWatts float64, ports int) SwitchModel {
+	return SwitchModel{
+		Name:         name,
+		ChassisWatts: fullWatts * 0.9,
+		PortWatts:    fullWatts * 0.1 / float64(ports),
+		NumPorts:     ports,
+	}
+}

@@ -1,0 +1,221 @@
+// Package resources provides the multi-dimensional resource vectors used
+// throughout Goldilocks. Every container demand and every server capacity is
+// a ⟨CPU, Memory, Network⟩ triple (paper §III-A); the package supplies the
+// arithmetic, comparison, and fit-checking primitives that the partitioner,
+// schedulers, and cluster simulator build on.
+package resources
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dim identifies one resource dimension of a Vector.
+type Dim int
+
+// The three resource dimensions tracked by Goldilocks. CPU is expressed in
+// percent-of-one-core units (so a 24-core server has CPU capacity 2400),
+// memory in megabytes, and network in Mbps, matching Table II of the paper.
+const (
+	CPU Dim = iota
+	Memory
+	Network
+	NumDims // number of dimensions; always last
+)
+
+// String returns the dimension's conventional name.
+func (d Dim) String() string {
+	switch d {
+	case CPU:
+		return "cpu"
+	case Memory:
+		return "memory"
+	case Network:
+		return "network"
+	default:
+		return fmt.Sprintf("dim(%d)", int(d))
+	}
+}
+
+// Vector is a point in resource space: ⟨CPU %, Memory MB, Network Mbps⟩.
+// The zero value is the empty demand.
+type Vector [NumDims]float64
+
+// New builds a vector from explicit CPU (percent of one core), memory (MB)
+// and network (Mbps) components.
+func New(cpu, memMB, netMbps float64) Vector {
+	return Vector{CPU: cpu, Memory: memMB, Network: netMbps}
+}
+
+// Add returns v + w component-wise.
+func (v Vector) Add(w Vector) Vector {
+	for d := range v {
+		v[d] += w[d]
+	}
+	return v
+}
+
+// Sub returns v − w component-wise. Components may go negative; callers that
+// need clamping should use SubClamped.
+func (v Vector) Sub(w Vector) Vector {
+	for d := range v {
+		v[d] -= w[d]
+	}
+	return v
+}
+
+// SubClamped returns max(v−w, 0) component-wise.
+func (v Vector) SubClamped(w Vector) Vector {
+	for d := range v {
+		v[d] = math.Max(v[d]-w[d], 0)
+	}
+	return v
+}
+
+// Scale returns v multiplied by the scalar s.
+func (v Vector) Scale(s float64) Vector {
+	for d := range v {
+		v[d] *= s
+	}
+	return v
+}
+
+// Fits reports whether demand v can be satisfied by capacity c in every
+// dimension (Eq. 2 of the paper).
+func (v Vector) Fits(c Vector) bool {
+	for d := range v {
+		if v[d] > c[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// FitsWithin reports whether v fits in capacity c after c is scaled by the
+// utilization target t (0 < t ≤ 1 usually; RC-Informed passes t > 1 on the
+// CPU axis via OversubscribedCapacity instead).
+func (v Vector) FitsWithin(c Vector, t float64) bool {
+	return v.Fits(c.Scale(t))
+}
+
+// Dominates reports whether v ≥ w in every dimension.
+func (v Vector) Dominates(w Vector) bool {
+	return w.Fits(v)
+}
+
+// IsZero reports whether every component is exactly zero.
+func (v Vector) IsZero() bool {
+	return v == Vector{}
+}
+
+// Max returns the component-wise maximum of v and w.
+func (v Vector) Max(w Vector) Vector {
+	for d := range v {
+		v[d] = math.Max(v[d], w[d])
+	}
+	return v
+}
+
+// Min returns the component-wise minimum of v and w.
+func (v Vector) Min(w Vector) Vector {
+	for d := range v {
+		v[d] = math.Min(v[d], w[d])
+	}
+	return v
+}
+
+// Utilization returns the per-dimension ratio demand/capacity. Dimensions
+// with zero capacity yield +Inf when demanded and 0 when not, so that a
+// zero-capacity server can never look attractive to a scheduler.
+func (v Vector) Utilization(capacity Vector) Vector {
+	var u Vector
+	for d := range v {
+		switch {
+		case capacity[d] > 0:
+			u[d] = v[d] / capacity[d]
+		case v[d] > 0:
+			u[d] = math.Inf(1)
+		}
+	}
+	return u
+}
+
+// MaxUtilization returns the dominant (largest) dimension of
+// v.Utilization(capacity). This is the scalar "server utilization" used by
+// the packing policies and the power model.
+func (v Vector) MaxUtilization(capacity Vector) float64 {
+	u := v.Utilization(capacity)
+	m := u[0]
+	for _, x := range u[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum collapses the vector to the sum of its components. It is only
+// meaningful for normalized vectors but is useful as a tie-breaking scalar.
+func (v Vector) Sum() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Normalize divides each component by the corresponding component of ref,
+// producing a dimensionless vector. Zero ref components map to zero.
+func (v Vector) Normalize(ref Vector) Vector {
+	var n Vector
+	for d := range v {
+		if ref[d] > 0 {
+			n[d] = v[d] / ref[d]
+		}
+	}
+	return n
+}
+
+// String renders the vector in the paper's ⟨CPU, Mem, Net⟩ notation.
+func (v Vector) String() string {
+	return fmt.Sprintf("⟨%.1f%%cpu, %.0fMB, %.1fMbps⟩", v[CPU], v[Memory], v[Network])
+}
+
+// Sum aggregates a slice of vectors.
+func Sum(vs []Vector) Vector {
+	var total Vector
+	for _, v := range vs {
+		total = total.Add(v)
+	}
+	return total
+}
+
+// OversubscribedCapacity returns capacity c with the CPU axis inflated by
+// factor (e.g. 1.25 for RC-Informed's 125% CPU oversubscription) while the
+// other axes are left untouched.
+func OversubscribedCapacity(c Vector, factor float64) Vector {
+	c[CPU] *= factor
+	return c
+}
+
+// PerDimScale returns v with each component multiplied by the matching
+// component of caps — used to apply per-dimension utilization ceilings.
+func (v Vector) PerDimScale(caps Vector) Vector {
+	for d := range v {
+		v[d] *= caps[d]
+	}
+	return v
+}
+
+// UtilizationCaps builds the per-dimension ceiling vector the packing
+// policies use. The cap is a CPU phenomenon (the DVFS power knee); memory
+// — resident sets have no knee — is bounded only by physical capacity, and
+// network links keep a fixed 10% headroom against bursts (links have no
+// power knee either; their cost shows up as congestion latency instead).
+func UtilizationCaps(cpuCap float64) Vector {
+	netCap := cpuCap
+	if netCap < 0.9 {
+		netCap = 0.9
+	}
+	return Vector{CPU: cpuCap, Memory: 1.0, Network: netCap}
+}

@@ -1,0 +1,296 @@
+package resources
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccess(t *testing.T) {
+	v := New(33, 4096, 24)
+	if v[CPU] != 33 || v[Memory] != 4096 || v[Network] != 24 {
+		t.Fatalf("New mis-assigned components: %v", v)
+	}
+}
+
+func TestDimString(t *testing.T) {
+	tests := []struct {
+		d    Dim
+		want string
+	}{
+		{CPU, "cpu"},
+		{Memory, "memory"},
+		{Network, "network"},
+		{Dim(9), "dim(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.d.String(); got != tt.want {
+			t.Errorf("Dim(%d).String() = %q, want %q", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := New(10, 20, 30)
+	b := New(1, 2, 3)
+	if got := a.Add(b); got != New(11, 22, 33) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != New(9, 18, 27) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := b.Sub(a); got != New(-9, -18, -27) {
+		t.Errorf("Sub may go negative, got %v", got)
+	}
+	if got := b.SubClamped(a); !got.IsZero() {
+		t.Errorf("SubClamped should clamp at zero, got %v", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	v := New(100, 200, 300).Scale(0.5)
+	if v != New(50, 100, 150) {
+		t.Errorf("Scale(0.5) = %v", v)
+	}
+}
+
+func TestFits(t *testing.T) {
+	cap := New(2400, 65536, 1000)
+	tests := []struct {
+		name   string
+		demand Vector
+		want   bool
+	}{
+		{"zero demand fits", Vector{}, true},
+		{"exact fit", cap, true},
+		{"cpu overflow", New(2401, 0, 0), false},
+		{"memory overflow", New(0, 65537, 0), false},
+		{"network overflow", New(0, 0, 1001), false},
+		{"comfortably inside", New(1200, 32768, 500), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.demand.Fits(cap); got != tt.want {
+				t.Errorf("Fits = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFitsWithin(t *testing.T) {
+	cap := New(1000, 1000, 1000)
+	d := New(700, 700, 700)
+	if !d.FitsWithin(cap, 0.70) {
+		t.Error("demand at exactly the 70% target should fit")
+	}
+	if d.Add(New(1, 0, 0)).FitsWithin(cap, 0.70) {
+		t.Error("demand above the 70% target must not fit")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	cap := New(200, 400, 0)
+	d := New(100, 100, 5)
+	u := d.Utilization(cap)
+	if u[CPU] != 0.5 || u[Memory] != 0.25 {
+		t.Errorf("Utilization = %v", u)
+	}
+	if !math.IsInf(u[Network], 1) {
+		t.Errorf("demand against zero capacity should be +Inf, got %v", u[Network])
+	}
+	if z := (Vector{}).Utilization(cap); !z.IsZero() {
+		t.Errorf("zero demand utilization should be zero, got %v", z)
+	}
+}
+
+func TestMaxUtilization(t *testing.T) {
+	cap := New(100, 100, 100)
+	d := New(10, 80, 40)
+	if got := d.MaxUtilization(cap); got != 0.8 {
+		t.Errorf("MaxUtilization = %v, want 0.8 (memory-dominant)", got)
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	a := New(1, 5, 3)
+	b := New(4, 2, 3)
+	if got := a.Max(b); got != New(4, 5, 3) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := a.Min(b); got != New(1, 2, 3) {
+		t.Errorf("Min = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := New(50, 200, 0)
+	ref := New(100, 400, 0)
+	n := v.Normalize(ref)
+	if n != New(0.5, 0.5, 0) {
+		t.Errorf("Normalize = %v", n)
+	}
+}
+
+func TestSumAggregate(t *testing.T) {
+	vs := []Vector{New(1, 2, 3), New(4, 5, 6), New(7, 8, 9)}
+	if got := Sum(vs); got != New(12, 15, 18) {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := Sum(nil); !got.IsZero() {
+		t.Errorf("Sum(nil) = %v, want zero", got)
+	}
+}
+
+func TestOversubscribedCapacity(t *testing.T) {
+	c := New(1000, 500, 200)
+	o := OversubscribedCapacity(c, 1.25)
+	if o[CPU] != 1250 {
+		t.Errorf("CPU should be oversubscribed to 1250, got %v", o[CPU])
+	}
+	if o[Memory] != 500 || o[Network] != 200 {
+		t.Errorf("memory/network must be untouched, got %v", o)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	big := New(10, 10, 10)
+	small := New(5, 10, 1)
+	if !big.Dominates(small) {
+		t.Error("big should dominate small")
+	}
+	if small.Dominates(big) {
+		t.Error("small must not dominate big")
+	}
+	mixed := New(20, 1, 1)
+	if big.Dominates(mixed) || mixed.Dominates(big) {
+		t.Error("incomparable vectors must not dominate each other")
+	}
+}
+
+// positive reshapes arbitrary quick-generated floats into small positive
+// finite values so the algebraic properties are tested on meaningful inputs.
+func positive(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 1
+	}
+	return math.Mod(math.Abs(x), 1e6)
+}
+
+func posVec(a, b, c float64) Vector {
+	return New(positive(a), positive(b), positive(c))
+}
+
+func TestPropertyAddCommutative(t *testing.T) {
+	f := func(a1, a2, a3, b1, b2, b3 float64) bool {
+		v, w := posVec(a1, a2, a3), posVec(b1, b2, b3)
+		return v.Add(w) == w.Add(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAddSubRoundTrip(t *testing.T) {
+	f := func(a1, a2, a3, b1, b2, b3 float64) bool {
+		v, w := posVec(a1, a2, a3), posVec(b1, b2, b3)
+		got := v.Add(w).Sub(w)
+		for d := range got {
+			if math.Abs(got[d]-v[d]) > 1e-6*(1+math.Abs(v[d])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFitsTransitivity(t *testing.T) {
+	// v ≤ w and w ≤ x implies v ≤ x.
+	f := func(a1, a2, a3, b1, b2, b3, c1, c2, c3 float64) bool {
+		v, w, x := posVec(a1, a2, a3), posVec(b1, b2, b3), posVec(c1, c2, c3)
+		if v.Fits(w) && w.Fits(x) {
+			return v.Fits(x)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySumFitsImpliesEachFits(t *testing.T) {
+	// If v+w fits capacity c, then each of v, w individually fits c.
+	f := func(a1, a2, a3, b1, b2, b3, c1, c2, c3 float64) bool {
+		v, w, c := posVec(a1, a2, a3), posVec(b1, b2, b3), posVec(c1, c2, c3)
+		if v.Add(w).Fits(c) {
+			return v.Fits(c) && w.Fits(c)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyScaleMonotone(t *testing.T) {
+	f := func(a1, a2, a3 float64, sRaw float64) bool {
+		v := posVec(a1, a2, a3)
+		s := math.Mod(math.Abs(positive(sRaw)), 1) // s in [0,1)
+		return v.Scale(s).Fits(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMaxUtilizationScales(t *testing.T) {
+	// Doubling demand doubles max utilization (capacity positive).
+	f := func(a1, a2, a3 float64) bool {
+		v := posVec(a1, a2, a3)
+		cap := New(1000, 1000, 1000)
+		u1 := v.MaxUtilization(cap)
+		u2 := v.Scale(2).MaxUtilization(cap)
+		return math.Abs(u2-2*u1) < 1e-9*(1+u2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	s := New(33, 4096, 24).String()
+	if s == "" {
+		t.Fatal("String() should not be empty")
+	}
+}
+
+func TestVectorSumComponents(t *testing.T) {
+	if got := New(1, 2, 3).Sum(); got != 6 {
+		t.Fatalf("Sum = %v", got)
+	}
+}
+
+func TestPerDimScale(t *testing.T) {
+	v := New(100, 200, 300).PerDimScale(New(0.5, 1.0, 0.1))
+	if v != New(50, 200, 30) {
+		t.Fatalf("PerDimScale = %v", v)
+	}
+}
+
+func TestUtilizationCaps(t *testing.T) {
+	caps := UtilizationCaps(0.70)
+	if caps[CPU] != 0.70 {
+		t.Fatalf("CPU cap = %v", caps[CPU])
+	}
+	if caps[Memory] != 1.0 {
+		t.Fatalf("memory cap = %v, want 1.0 (no knee)", caps[Memory])
+	}
+	if caps[Network] != 0.90 {
+		t.Fatalf("network cap = %v, want the 0.9 headroom floor", caps[Network])
+	}
+	if got := UtilizationCaps(0.95)[Network]; got != 0.95 {
+		t.Fatalf("network cap at 0.95 = %v (cap above floor passes through)", got)
+	}
+}

@@ -1,0 +1,355 @@
+package scheduler
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"goldilocks/internal/resources"
+)
+
+// usableCapacities precomputes each server's capacity scaled by the
+// per-dimension ceilings: the cap applies to CPU and network, memory is
+// bounded by its physical size only (resident sets have no power knee).
+func usableCapacities(caps []resources.Vector, cpuNetCap float64) []resources.Vector {
+	ceil := resources.UtilizationCaps(cpuNetCap)
+	out := make([]resources.Vector, len(caps))
+	for i, c := range caps {
+		out[i] = c.PerDimScale(ceil)
+	}
+	return out
+}
+
+// EPVM is the opportunity-cost baseline [17]: every container lands on the
+// currently least-utilized server, and no server is ever powered off. It
+// spreads load thin — worst power, generous headroom. A lazily-refreshed
+// min-heap on utilization keeps placement O(n log s) for the large-scale
+// simulation.
+type EPVM struct{}
+
+// Name implements Policy.
+func (EPVM) Name() string { return "E-PVM" }
+
+// utilHeap is a min-heap of (utilization, server) with lazy invalidation.
+type utilHeapItem struct {
+	server int
+	util   float64
+	stamp  uint64
+}
+
+type utilHeap []utilHeapItem
+
+func (h utilHeap) Len() int            { return len(h) }
+func (h utilHeap) Less(i, j int) bool  { return h[i].util < h[j].util }
+func (h utilHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *utilHeap) Push(x interface{}) { *h = append(*h, x.(utilHeapItem)) }
+func (h *utilHeap) Pop() interface{} {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}
+
+// Place implements Policy.
+func (EPVM) Place(req Request) (Result, error) {
+	if err := validate(req); err != nil {
+		return Result{}, err
+	}
+	numServers := req.Topo.NumServers()
+	load := newServerLoad(numServers)
+	usable := usableCapacities(req.Topo.Capacity, 1.0)
+	placement := make([]int, req.Spec.NumContainers())
+
+	stamps := make([]uint64, numServers)
+	h := make(utilHeap, 0, numServers)
+	for s := 0; s < numServers; s++ {
+		h = append(h, utilHeapItem{server: s, util: 0})
+	}
+	heap.Init(&h)
+
+	for i, c := range req.Spec.Containers {
+		var skipped []utilHeapItem
+		best := -1
+		for h.Len() > 0 {
+			it := heap.Pop(&h).(utilHeapItem)
+			if it.stamp != stamps[it.server] {
+				continue // stale
+			}
+			if !load.fits(it.server, c.Demand, usable[it.server]) {
+				skipped = append(skipped, it)
+				continue
+			}
+			best = it.server
+			break
+		}
+		// Servers that could not fit this container may fit the next.
+		for _, it := range skipped {
+			heap.Push(&h, it)
+		}
+		if best < 0 {
+			return Result{}, fmt.Errorf("%w: container %d (%v)", ErrNoCapacity, i, c.Demand)
+		}
+		placement[i] = best
+		load.add(best, c.Demand)
+		stamps[best]++
+		heap.Push(&h, utilHeapItem{
+			server: best,
+			util:   load.utilization(best, req.Topo.Capacity[best]),
+			stamp:  stamps[best],
+		})
+	}
+	return Result{Placement: placement, AllServersOn: true}, nil
+}
+
+// packer tracks which servers a packing policy needs to examine for each
+// container: every currently-active server plus, per distinct capacity
+// class, the lowest-id still-empty server (all empty servers of one class
+// are interchangeable). On a homogeneous 5488-server topology this cuts
+// each placement step from O(servers) to O(active).
+type packer struct {
+	load       *serverLoad
+	active     []int
+	emptyQueue map[resources.Vector][]int // ascending server ids per class
+	classes    []resources.Vector         // stable iteration order
+	scratch    []int
+}
+
+func newPacker(load *serverLoad, capacities []resources.Vector) *packer {
+	p := &packer{load: load, emptyQueue: make(map[resources.Vector][]int)}
+	for s, c := range capacities {
+		if _, ok := p.emptyQueue[c]; !ok {
+			p.classes = append(p.classes, c)
+		}
+		p.emptyQueue[c] = append(p.emptyQueue[c], s)
+	}
+	return p
+}
+
+// candidates returns the servers worth considering for the next container.
+// The returned slice is reused across calls.
+func (p *packer) candidates() []int {
+	p.scratch = append(p.scratch[:0], p.active...)
+	for _, c := range p.classes {
+		if q := p.emptyQueue[c]; len(q) > 0 {
+			p.scratch = append(p.scratch, q[0])
+		}
+	}
+	return p.scratch
+}
+
+// place commits a container to a server, activating it if it was empty.
+func (p *packer) place(server int, d resources.Vector) {
+	if p.load.used[server].IsZero() {
+		p.active = append(p.active, server)
+		for _, c := range p.classes {
+			q := p.emptyQueue[c]
+			if len(q) > 0 && q[0] == server {
+				p.emptyQueue[c] = q[1:]
+				break
+			}
+		}
+	}
+	p.load.add(server, d)
+}
+
+// MPP is pMapper's min-power-increase packing [16]: containers are taken
+// in First Fit Decreasing order and placed on the feasible server with the
+// smallest marginal power per unit of utilization, packing up to 95%.
+type MPP struct {
+	// UtilizationCap defaults to 0.95 (the paper's mPP setting).
+	UtilizationCap float64
+}
+
+// Name implements Policy.
+func (MPP) Name() string { return "mPP" }
+
+// Place implements Policy.
+func (p MPP) Place(req Request) (Result, error) {
+	if err := validate(req); err != nil {
+		return Result{}, err
+	}
+	cap := p.UtilizationCap
+	if cap <= 0 {
+		cap = 0.95
+	}
+	load := newServerLoad(req.Topo.NumServers())
+	usable := usableCapacities(req.Topo.Capacity, cap)
+	pk := newPacker(load, req.Topo.Capacity)
+	placement := make([]int, req.Spec.NumContainers())
+	ref := req.Topo.AverageCapacity()
+	for _, i := range demandOrder(req.Spec, ref) {
+		c := req.Spec.Containers[i]
+		best, bestSlope := -1, math.Inf(1)
+		bestActive := false
+		for _, s := range pk.candidates() {
+			if !load.fits(s, c.Demand, usable[s]) {
+				continue
+			}
+			active := !load.used[s].IsZero()
+			slope := req.Topo.Server[s].MarginalPower(load.utilization(s, req.Topo.Capacity[s]))
+			// An already-on server always beats powering a new one
+			// on (the new server adds its idle draw); among equals,
+			// pick the smallest power slope.
+			better := false
+			switch {
+			case best < 0:
+				better = true
+			case active != bestActive:
+				better = active
+			default:
+				better = slope < bestSlope
+			}
+			if better {
+				best, bestSlope, bestActive = s, slope, active
+			}
+		}
+		if best < 0 {
+			return Result{}, fmt.Errorf("%w: container %d (%v)", ErrNoCapacity, i, c.Demand)
+		}
+		placement[i] = best
+		pk.place(best, c.Demand)
+	}
+	return Result{Placement: placement}, nil
+}
+
+// Borg implements the task-packing score of Google's Borg [14]: among
+// feasible servers it minimizes *stranded resources* — the imbalance
+// between leftover CPU and leftover memory that makes a machine unusable
+// for future tasks — preferring already-busy machines (best fit), packing
+// to 95%.
+type Borg struct {
+	// UtilizationCap defaults to 0.95.
+	UtilizationCap float64
+}
+
+// Name implements Policy.
+func (Borg) Name() string { return "Borg" }
+
+// Place implements Policy.
+func (p Borg) Place(req Request) (Result, error) {
+	if err := validate(req); err != nil {
+		return Result{}, err
+	}
+	cap := p.UtilizationCap
+	if cap <= 0 {
+		cap = 0.95
+	}
+	load := newServerLoad(req.Topo.NumServers())
+	usable := usableCapacities(req.Topo.Capacity, cap)
+	pk := newPacker(load, req.Topo.Capacity)
+	placement := make([]int, req.Spec.NumContainers())
+	ref := req.Topo.AverageCapacity()
+	for _, i := range demandOrder(req.Spec, ref) {
+		c := req.Spec.Containers[i]
+		best, bestScore := -1, math.Inf(1)
+		for _, s := range pk.candidates() {
+			if !load.fits(s, c.Demand, usable[s]) {
+				continue
+			}
+			score := borgScore(load.used[s].Add(c.Demand), req.Topo.Capacity[s], load.used[s].IsZero())
+			if score < bestScore {
+				best, bestScore = s, score
+			}
+		}
+		if best < 0 {
+			return Result{}, fmt.Errorf("%w: container %d (%v)", ErrNoCapacity, i, c.Demand)
+		}
+		placement[i] = best
+		pk.place(best, c.Demand)
+	}
+	return Result{Placement: placement}, nil
+}
+
+// borgScore is lower for better placements: it penalizes stranded
+// resources (|free CPU − free memory| in normalized terms), rewards high
+// fill (best fit keeps machines either full or empty), and strongly
+// penalizes waking an empty machine.
+func borgScore(usedAfter, capacity resources.Vector, wasEmpty bool) float64 {
+	u := usedAfter.Utilization(capacity)
+	freeCPU := 1 - u[resources.CPU]
+	freeMem := 1 - u[resources.Memory]
+	stranded := math.Abs(freeCPU - freeMem)
+	fill := (freeCPU + freeMem) / 2 // lower is fuller
+	score := stranded + 0.5*fill
+	if wasEmpty {
+		score += 10 // powering on a machine strands a whole machine
+	}
+	return score
+}
+
+// RCInformed is Resource Central's bucket policy [15]: placement is driven
+// by *reserved* resources (the container's nominal allocation, not its
+// live utilization), with the CPU axis oversubscribed to 125%. Buckets are
+// filled first-fit; because reservations don't shrink at low load, the
+// active server count tracks the container population, not the offered
+// load.
+type RCInformed struct {
+	// Oversubscription defaults to 1.25 (125% CPU).
+	Oversubscription float64
+}
+
+// Name implements Policy.
+func (RCInformed) Name() string { return "RC-Informed" }
+
+// Place implements Policy.
+func (p RCInformed) Place(req Request) (Result, error) {
+	if err := validate(req); err != nil {
+		return Result{}, err
+	}
+	over := p.Oversubscription
+	if over <= 0 {
+		over = 1.25
+	}
+	load := newServerLoad(req.Topo.NumServers())
+	buckets := make([]resources.Vector, req.Topo.NumServers())
+	for s, c := range req.Topo.Capacity {
+		buckets[s] = resources.OversubscribedCapacity(c, over)
+	}
+	pk := newPacker(load, req.Topo.Capacity)
+	placement := make([]int, req.Spec.NumContainers())
+	// Buckets fill in arrival order, and arrivals interleave across
+	// tenants — not in the workload's adjacency order. A deterministic
+	// hash shuffle models that (and is what denies bucket policies the
+	// locality Goldilocks constructs deliberately).
+	order := make([]int, req.Spec.NumContainers())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return idHash(req.Spec.Containers[order[a]].ID) < idHash(req.Spec.Containers[order[b]].ID)
+	})
+	for _, i := range order {
+		c := req.Spec.Containers[i]
+		// Reservations come from what the owner asked for at container
+		// creation, not the live demand.
+		reserved := c.Reservation()
+		placed := false
+		// First fit over lowest-id buckets with room: active servers
+		// plus the lowest empty one per class.
+		best := -1
+		for _, s := range pk.candidates() {
+			if load.fits(s, reserved, buckets[s]) && (best < 0 || s < best) {
+				best = s
+			}
+		}
+		if best >= 0 {
+			placement[i] = best
+			pk.place(best, reserved)
+			placed = true
+		}
+		if !placed {
+			return Result{}, fmt.Errorf("%w: container %d (reserved %v)", ErrNoCapacity, i, reserved)
+		}
+	}
+	return Result{Placement: placement}, nil
+}
+
+// idHash is a small integer mix (splitmix64 finalizer) used to derive the
+// deterministic arrival order of RC-Informed's buckets.
+func idHash(id int) uint64 {
+	x := uint64(id) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,290 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"goldilocks/internal/graph"
+	"goldilocks/internal/partition"
+	"goldilocks/internal/resources"
+	"goldilocks/internal/topology"
+	"goldilocks/internal/vc"
+)
+
+// Goldilocks is the paper's policy (§III–IV): recursively bipartition the
+// container graph (min-cut keeps chatty containers together) until every
+// group fits a server at the Peak Energy Efficiency target, then assign
+// groups to the left-most subtrees of the topology so that sibling groups
+// share racks and pods. On an asymmetric or heterogeneous topology the
+// groups become Virtual Clusters placed with explicit outbound-bandwidth
+// reservations (Eqs. 4–5).
+type Goldilocks struct {
+	// TargetUtil is the packing ceiling; the paper uses the 70% Peak
+	// Energy Efficiency point in every experiment. Defaults to 0.70.
+	TargetUtil float64
+	// Partition tunes the multilevel partitioner; the zero value uses
+	// partition.DefaultOptions.
+	Partition partition.Options
+	// FaultDomain is the topology level replicas must not share (§IV-C:
+	// "different fault domains" — a ToR or power-supply failure takes
+	// out a rack). The zero value defaults to LevelRack; rack-distinct
+	// placement implies server-distinct. Set LevelPod for whole-pod
+	// fault domains; when there are fewer domains than replicas the
+	// repair degrades to distinct servers, best effort.
+	FaultDomain topology.Level
+}
+
+// Name implements Policy.
+func (Goldilocks) Name() string { return "Goldilocks" }
+
+// Place implements Policy.
+func (p Goldilocks) Place(req Request) (Result, error) {
+	if err := validate(req); err != nil {
+		return Result{}, err
+	}
+	target := p.TargetUtil
+	if target <= 0 {
+		target = 0.70
+	}
+	if p.Partition == (partition.Options{}) {
+		p.Partition = partition.DefaultOptions()
+	}
+	if p.Partition.BalanceEps == 0 || p.Partition.BalanceEps == partition.DefaultOptions().BalanceEps {
+		// Tighter balance than the generic default keeps the ceil-based
+		// server-budget splits feasible, so the group count stays near
+		// the lower bound and servers fill close to the knee.
+		p.Partition.BalanceEps = 0.03
+	}
+	if req.Spec.NumContainers() == 0 {
+		return Result{Placement: []int{}}, nil
+	}
+
+	g := req.Spec.Graph()
+	// When the data center is too loaded to pack at the knee, relax the
+	// ceiling toward 95%: the paper observes the same collapse — "with
+	// high data center load, the power consumptions ... sometimes are
+	// close to baseline" (§VI-A2, Fig. 10).
+	targets := []float64{target}
+	for t := target + 0.10; t < 0.95; t += 0.10 {
+		targets = append(targets, t)
+	}
+	targets = append(targets, 0.95)
+
+	domain := p.FaultDomain
+	if domain == 0 { // zero value is LevelServer; racks are the default
+		domain = topology.LevelRack
+	}
+
+	var firstErr error
+	for _, t := range targets {
+		res, err := p.placeAtTarget(req, g, t)
+		if err == nil {
+			repairAntiAffinityAt(req, res.Placement, t, domain)
+			return res, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return Result{}, firstErr
+}
+
+// placeAtTarget runs one partition-and-place attempt at a packing ceiling.
+func (p Goldilocks) placeAtTarget(req Request, g *graph.Graph, target float64) (Result, error) {
+	// Partition against the average server capacity scaled by the PEE
+	// ceiling (CPU only; memory has no knee). On a homogeneous topology
+	// this is exact; on a heterogeneous one it is the §IV-A starting
+	// point refined by the Virtual Cluster placement.
+	usableAvg := req.Topo.AverageCapacity().PerDimScale(resources.UtilizationCaps(target))
+	tree, err := partition.PartitionToFit(g, usableAvg, 1.0, p.Partition)
+	if err != nil {
+		return Result{}, fmt.Errorf("goldilocks: partitioning failed: %w", err)
+	}
+	if req.Topo.IsSymmetric() {
+		return p.placeSymmetric(req, tree, target)
+	}
+	return p.placeAsymmetric(req, g, tree, target)
+}
+
+// repairAntiAffinity relocates replicas sharing a server, the legacy
+// server-granularity entry point used by the incremental scheduler.
+func repairAntiAffinity(req Request, placement []int, target float64) {
+	repairAntiAffinityAt(req, placement, target, topology.LevelServer)
+}
+
+// repairAntiAffinityAt relocates replicas that ended up sharing a fault
+// domain (possible when tight balance constraints block the min-cut from
+// cutting their negative edge): each extra co-located replica moves to the
+// least loaded feasible server in a domain that hosts no member of its
+// group. When there are fewer domains than replicas, it degrades to
+// distinct servers. Best effort — an infeasible relocation leaves the
+// replica in place.
+func repairAntiAffinityAt(req Request, placement []int, target float64, domain topology.Level) {
+	byGroup := make(map[string][]int)
+	for i, c := range req.Spec.Containers {
+		if c.ReplicaGroup != "" {
+			byGroup[c.ReplicaGroup] = append(byGroup[c.ReplicaGroup], i)
+		}
+	}
+	if len(byGroup) == 0 {
+		return
+	}
+	numServers := req.Topo.NumServers()
+	loads := make([]resources.Vector, numServers)
+	for i, s := range placement {
+		if s >= 0 {
+			loads[s] = loads[s].Add(req.Spec.Containers[i].Demand)
+		}
+	}
+	ceil := resources.UtilizationCaps(target)
+
+	// domainOf maps a server to its fault-domain id at the given level
+	// (the server id itself at LevelServer).
+	domainOf := func(server int) int { return server }
+	numDomains := numServers
+	if domain > topology.LevelServer {
+		subtrees := req.Topo.SubtreesAtLevel(domain)
+		byServer := make([]int, numServers)
+		for di, st := range subtrees {
+			for _, s := range st.ServerIDs {
+				byServer[s] = di
+			}
+		}
+		domainOf = func(server int) int { return byServer[server] }
+		numDomains = len(subtrees)
+	}
+
+	for _, members := range byGroup {
+		// Degrade to server granularity when domains are scarcer than
+		// replicas: distinct servers is the strongest satisfiable goal.
+		dOf, nD := domainOf, numDomains
+		if len(members) > numDomains {
+			dOf = func(server int) int { return server }
+			nD = numServers
+		}
+		if len(members) > nD {
+			continue // more replicas than servers: nothing to repair toward
+		}
+		onDomain := make(map[int]bool, len(members))
+		var extras []int
+		for _, m := range members {
+			d := dOf(placement[m])
+			if onDomain[d] {
+				extras = append(extras, m)
+			} else {
+				onDomain[d] = true
+			}
+		}
+		for _, m := range extras {
+			demand := req.Spec.Containers[m].Demand
+			best, bestU := -1, 2.0
+			for s := 0; s < numServers; s++ {
+				if onDomain[dOf(s)] || s == placement[m] {
+					continue
+				}
+				if !loads[s].Add(demand).Fits(req.Topo.Capacity[s].PerDimScale(ceil)) {
+					continue
+				}
+				if u := loads[s].MaxUtilization(req.Topo.Capacity[s]); u < bestU {
+					best, bestU = s, u
+				}
+			}
+			if best < 0 {
+				continue // infeasible: leave in place
+			}
+			loads[placement[m]] = loads[placement[m]].Sub(demand)
+			loads[best] = loads[best].Add(demand)
+			placement[m] = best
+			onDomain[dOf(best)] = true
+		}
+	}
+}
+
+// placeSymmetric packs leaf groups onto consecutive servers with a
+// next-fit scan: servers are numbered in (pod, rack, server) order by the
+// builders, so consecutive packing keeps sibling groups in the same rack
+// and cousin groups in the same pod — the paper's left-most-subtree
+// locality (§III-B, Fig. 6) — while letting small adjacent groups share a
+// server up to the Peak Energy Efficiency target.
+func (p Goldilocks) placeSymmetric(req Request, tree *partition.Tree, target float64) (Result, error) {
+	numServers := req.Topo.NumServers()
+	placement := make([]int, req.Spec.NumContainers())
+	for i := range placement {
+		placement[i] = -1
+	}
+	ceil := resources.UtilizationCaps(target)
+	server := 0
+	var used resources.Vector
+	for gi, leaf := range tree.Leaves {
+		for server < numServers {
+			usable := req.Topo.Capacity[server].PerDimScale(ceil)
+			if used.Add(leaf.Demand).Fits(usable) {
+				break
+			}
+			// Only advance when the current server already holds
+			// something; an empty server that still cannot fit the
+			// group means the group itself is oversized.
+			if used.IsZero() {
+				return Result{}, fmt.Errorf("%w: group %d demand %v exceeds a whole server at %.0f%%",
+					ErrNoCapacity, gi, leaf.Demand, target*100)
+			}
+			server++
+			used = resources.Vector{}
+		}
+		if server >= numServers {
+			return Result{}, fmt.Errorf("%w: %d groups need more than %d servers",
+				ErrNoCapacity, len(tree.Leaves), numServers)
+		}
+		used = used.Add(leaf.Demand)
+		for _, v := range leaf.Vertices {
+			placement[v] = server
+		}
+	}
+	return Result{Placement: placement}, nil
+}
+
+// placeAsymmetric converts leaf groups into Virtual Clusters — each
+// container's total bandwidth is its network demand, its inter-group share
+// is derived from the fraction of its (positive) edge weight that crosses
+// group boundaries — and delegates to the §IV placement.
+func (p Goldilocks) placeAsymmetric(req Request, g *graph.Graph, tree *partition.Tree, target float64) (Result, error) {
+	part := tree.Assignment(g.NumVertices())
+	groups := make([]vc.Group, len(tree.Leaves))
+	for li, leaf := range tree.Leaves {
+		grp := vc.Group{ID: li, Containers: leaf.Vertices}
+		for _, v := range leaf.Vertices {
+			demand := req.Spec.Containers[v].Demand
+			total := demand[resources.Network]
+			grp.Demands = append(grp.Demands, demand)
+			grp.TotalMbps = append(grp.TotalMbps, total)
+			grp.InterMbps = append(grp.InterMbps, total*interFraction(g, part, v))
+		}
+		groups[li] = grp
+	}
+	pl, err := vc.Place(req.Topo, req.Spec.NumContainers(), groups, target)
+	if err != nil {
+		return Result{}, fmt.Errorf("goldilocks: asymmetric placement failed: %w", err)
+	}
+	// One-shot placement: reservations only matter while choosing; the
+	// epoch runner re-places from scratch next epoch.
+	defer pl.Release()
+	return Result{Placement: pl.ServerOf}, nil
+}
+
+// interFraction returns the share of vertex v's positive incident edge
+// weight that crosses its group boundary.
+func interFraction(g *graph.Graph, part []int, v int) float64 {
+	var total, inter float64
+	for _, e := range g.Neighbors(v) {
+		if e.Weight <= 0 {
+			continue
+		}
+		total += e.Weight
+		if part[e.To] != part[v] {
+			inter += e.Weight
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return inter / total
+}

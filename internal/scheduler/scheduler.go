@@ -1,0 +1,134 @@
+// Package scheduler implements the container placement policies the paper
+// evaluates (§VI): the Goldilocks graph-partition policy and the four
+// published alternatives it is compared against — E-PVM (least-utilized,
+// all servers on), mPP (first-fit decreasing onto the least power-slope
+// server, packed to 95%), Borg (stranded-resource-minimizing packing, 95%)
+// and RC-Informed (bucket placement on *reserved* resources with 125% CPU
+// oversubscription).
+//
+// Every policy consumes a Request (the workload spec plus the topology)
+// and produces a Placement: container index → server id. Only Goldilocks
+// looks at the container graph; the baselines place containers one at a
+// time, which is precisely the difference the paper studies.
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"goldilocks/internal/resources"
+	"goldilocks/internal/topology"
+	"goldilocks/internal/workload"
+)
+
+// ErrNoCapacity is returned when a container cannot be placed on any
+// server without violating the policy's utilization cap.
+var ErrNoCapacity = errors.New("scheduler: no server can host container")
+
+// Request is the input of one scheduling epoch.
+type Request struct {
+	Spec *workload.Spec
+	Topo *topology.Topology
+}
+
+// Result is the outcome of one scheduling epoch.
+type Result struct {
+	// Placement maps container index (into Spec.Containers) to server id.
+	Placement []int
+	// AllServersOn marks policies (E-PVM) that never power servers down.
+	AllServersOn bool
+}
+
+// ActiveServers returns which servers host at least one container (every
+// server when AllServersOn).
+func (r Result) ActiveServers(numServers int) []bool {
+	active := make([]bool, numServers)
+	if r.AllServersOn {
+		for i := range active {
+			active[i] = true
+		}
+		return active
+	}
+	for _, s := range r.Placement {
+		if s >= 0 && s < numServers {
+			active[s] = true
+		}
+	}
+	return active
+}
+
+// NumActive counts active servers.
+func (r Result) NumActive(numServers int) int {
+	n := 0
+	for _, a := range r.ActiveServers(numServers) {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Policy is a container placement algorithm.
+type Policy interface {
+	// Name identifies the policy in reports ("Goldilocks", "Borg", ...).
+	Name() string
+	// Place computes a placement for the request. Implementations must
+	// not retain or mutate the request.
+	Place(req Request) (Result, error)
+}
+
+// serverLoad tracks the running allocation on each server during greedy
+// placement.
+type serverLoad struct {
+	used []resources.Vector
+}
+
+func newServerLoad(n int) *serverLoad {
+	return &serverLoad{used: make([]resources.Vector, n)}
+}
+
+func (l *serverLoad) add(server int, d resources.Vector) {
+	l.used[server] = l.used[server].Add(d)
+}
+
+// fits reports whether adding d to the server keeps it within the usable
+// capacity (the physical capacity already scaled by the policy's
+// per-dimension utilization ceilings).
+func (l *serverLoad) fits(server int, d, usable resources.Vector) bool {
+	return l.used[server].Add(d).Fits(usable)
+}
+
+func (l *serverLoad) utilization(server int, capacity resources.Vector) float64 {
+	return l.used[server].MaxUtilization(capacity)
+}
+
+// validate rejects malformed requests before any policy logic runs.
+func validate(req Request) error {
+	if req.Spec == nil || req.Topo == nil {
+		return errors.New("scheduler: nil spec or topology")
+	}
+	if req.Topo.NumServers() == 0 && req.Spec.NumContainers() > 0 {
+		return fmt.Errorf("scheduler: %d containers but no servers", req.Spec.NumContainers())
+	}
+	return nil
+}
+
+// demandOrder returns container indices sorted by descending dominant
+// normalized demand — the First Fit Decreasing order mPP and Borg use.
+func demandOrder(spec *workload.Spec, ref resources.Vector) []int {
+	type kv struct {
+		idx int
+		key float64
+	}
+	items := make([]kv, len(spec.Containers))
+	for i, c := range spec.Containers {
+		items[i] = kv{idx: i, key: c.Demand.Normalize(ref).Sum()}
+	}
+	sort.SliceStable(items, func(a, b int) bool { return items[a].key > items[b].key })
+	order := make([]int, len(items))
+	for i, it := range items {
+		order[i] = it.idx
+	}
+	return order
+}

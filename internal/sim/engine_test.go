@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	var e Engine
+	var order []int
+	e.At(3*time.Second, func() { order = append(order, 3) })
+	e.At(1*time.Second, func() { order = append(order, 1) })
+	e.At(2*time.Second, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("final time = %v", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(time.Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	var e Engine
+	var fired time.Duration
+	e.At(time.Second, func() {
+		e.After(2*time.Second, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 3*time.Second {
+		t.Fatalf("fired at %v, want 3s", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var e Engine
+	fired := false
+	ev := e.At(time.Second, func() { fired = true })
+	ev.Cancel()
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() should report true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Clock does not advance past cancelled events that were the only
+	// content... actually Step skips them without advancing.
+	if e.Now() != 0 {
+		t.Fatalf("clock advanced to %v on cancelled event", e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var e Engine
+	e.At(2*time.Second, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past must panic")
+		}
+	}()
+	e.At(time.Second, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay must panic")
+		}
+	}()
+	e.After(-time.Second, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4} {
+		d := d * time.Second
+		e.At(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(2500 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 2500*time.Millisecond {
+		t.Fatalf("clock = %v, want 2.5s", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("after Run fired %d, want 4", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	var e Engine
+	e.RunUntil(5 * time.Second)
+	if e.Now() != 5*time.Second {
+		t.Fatalf("idle clock = %v", e.Now())
+	}
+	// RunUntil earlier than now must not rewind.
+	e.RunUntil(time.Second)
+	if e.Now() != 5*time.Second {
+		t.Fatal("clock rewound")
+	}
+}
+
+func TestEventCascade(t *testing.T) {
+	// An event scheduling another at the same instant still fires it.
+	var e Engine
+	count := 0
+	var recur func()
+	recur = func() {
+		count++
+		if count < 10 {
+			e.After(0, recur)
+		}
+	}
+	e.At(time.Second, recur)
+	e.Run()
+	if count != 10 {
+		t.Fatalf("cascade fired %d times, want 10", count)
+	}
+}
+
+func BenchmarkEngine(b *testing.B) {
+	var e Engine
+	for i := 0; i < b.N; i++ {
+		e.After(time.Duration(i%1000)*time.Microsecond, func() {})
+		if e.Pending() > 10000 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

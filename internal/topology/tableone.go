@@ -1,0 +1,78 @@
+package topology
+
+import "goldilocks/internal/power"
+
+// DCSpec is one row of Table I: the inventory of a published data center
+// design with the Open Compute power models the paper matched to it. The
+// Fig. 3 power-breakdown analysis works on these counts analytically (the
+// paper: "results are obtained through mathematical analysis of bin
+// packing") rather than instantiating hundred-thousand-server graphs.
+type DCSpec struct {
+	Name        string
+	NumServers  int
+	NumLinks    int
+	Server      power.ServerModel
+	ToRCount    int
+	ToRModel    power.SwitchModel
+	FabricCount int
+	FabricModel power.SwitchModel
+}
+
+// NumSwitches returns the total switch count.
+func (s DCSpec) NumSwitches() int { return s.ToRCount + s.FabricCount }
+
+// ServerPowerAt returns the total server power with every server on at
+// utilization u.
+func (s DCSpec) ServerPowerAt(u float64) float64 {
+	return float64(s.NumServers) * s.Server.Power(u)
+}
+
+// SwitchPowerFull returns total network power with every switch fully on.
+func (s DCSpec) SwitchPowerFull() float64 {
+	return float64(s.ToRCount)*s.ToRModel.MaxPower() +
+		float64(s.FabricCount)*s.FabricModel.MaxPower()
+}
+
+// TotalPowerAt returns server + network power for the uniform baseline.
+func (s DCSpec) TotalPowerAt(serverUtil float64) float64 {
+	return s.ServerPowerAt(serverUtil) + s.SwitchPowerFull()
+}
+
+// TableI reproduces the five data center configurations of Table I.
+var TableI = []DCSpec{
+	{
+		Name:       "Google",
+		NumServers: 98304, NumLinks: 147456,
+		Server:   power.Facebook1S,
+		ToRCount: 2048, ToRModel: power.Altoline6940x2,
+		FabricCount: 3584, FabricModel: power.Altoline6940x2,
+	},
+	{
+		Name:       "Facebook",
+		NumServers: 184320, NumLinks: 36864,
+		Server:   power.Facebook1S,
+		ToRCount: 4608, ToRModel: power.Wedge,
+		FabricCount: 576, FabricModel: power.SixPack,
+	},
+	{
+		Name:       "VL2(96)",
+		NumServers: 46080, NumLinks: 9216,
+		Server:   power.MicrosoftBlade,
+		ToRCount: 2304, ToRModel: power.Wedge,
+		FabricCount: 144, FabricModel: power.SixPack,
+	},
+	{
+		Name:       "Fat-tree(32)",
+		NumServers: 32768, NumLinks: 2048,
+		Server:   power.MicrosoftBlade,
+		ToRCount: 1280, ToRModel: power.Altoline6940,
+		FabricCount: 0, FabricModel: power.Altoline6940,
+	},
+	{
+		Name:       "Fat-tree(72)",
+		NumServers: 93312, NumLinks: 10368,
+		Server:   power.MicrosoftBlade,
+		ToRCount: 6480, ToRModel: power.Altoline6920,
+		FabricCount: 0, FabricModel: power.Altoline6920,
+	},
+}

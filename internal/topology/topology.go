@@ -1,0 +1,320 @@
+// Package topology models the data center networks Goldilocks places
+// containers on. The paper's algorithms view the DCN as a hierarchy of
+// substructures — server ⊂ rack ⊂ pod ⊂ data center — and the package
+// represents exactly that: a tree of Nodes whose leaves are servers, where
+// every non-root node owns an aggregate *outbound link* summarizing the
+// bisection bandwidth between its subtree and the rest of the network
+// (the quantity Eqs. 4–5 reserve against).
+//
+// Builders cover the paper's networks: the 16-server leaf-spine testbed
+// (§V), k-ary fat-trees (§VI-B uses k=28: 5488 servers, 980 switches), and
+// the five Table I data center specifications used for the Fig. 3 power
+// breakdown. Link and switch failures make a topology asymmetric (§IV).
+package topology
+
+import (
+	"fmt"
+
+	"goldilocks/internal/power"
+	"goldilocks/internal/resources"
+)
+
+// Level identifies a node's height in the hierarchy.
+type Level int
+
+// Node levels, bottom-up.
+const (
+	LevelServer Level = iota
+	LevelRack
+	LevelPod
+	LevelRoot
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelServer:
+		return "server"
+	case LevelRack:
+		return "rack"
+	case LevelPod:
+		return "pod"
+	case LevelRoot:
+		return "root"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// Link is the aggregate outbound connectivity of a subtree: the bisection
+// bandwidth between the subtree and the remainder of the data center.
+// Reserved tracks Virtual Cluster bandwidth reservations (§IV).
+type Link struct {
+	CapacityMbps float64
+	ReservedMbps float64
+}
+
+// Residual returns the unreserved bandwidth.
+func (l *Link) Residual() float64 {
+	r := l.CapacityMbps - l.ReservedMbps
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Reserve consumes mbps of residual bandwidth; it reports whether the
+// reservation fit.
+func (l *Link) Reserve(mbps float64) bool {
+	if mbps < 0 || mbps > l.Residual()+1e-9 {
+		return false
+	}
+	l.ReservedMbps += mbps
+	return true
+}
+
+// Release returns mbps of reserved bandwidth.
+func (l *Link) Release(mbps float64) {
+	l.ReservedMbps -= mbps
+	if l.ReservedMbps < 0 {
+		l.ReservedMbps = 0
+	}
+}
+
+// SwitchGroup is a set of identical switches attached to a node (e.g. the
+// k/2 aggregation switches of a fat-tree pod).
+type SwitchGroup struct {
+	Model power.SwitchModel
+	Count int
+}
+
+// Node is one vertex of the hierarchy tree. Servers are leaves
+// (Level == LevelServer); the root has a nil Uplink.
+type Node struct {
+	ID       int
+	Level    Level
+	Parent   *Node
+	Children []*Node
+	// ServerIDs lists all servers underneath this node, ascending.
+	ServerIDs []int
+	// Uplink is the aggregate outbound link of this subtree; nil at root.
+	Uplink *Link
+	// Switches attached at this node (ToR at racks, aggregation at pods,
+	// core/spine at root).
+	Switches []SwitchGroup
+	// ServerID is the server index for leaves, -1 otherwise.
+	ServerID int
+}
+
+// IsServer reports whether the node is a server leaf.
+func (n *Node) IsServer() bool { return n.Level == LevelServer }
+
+// Topology is a complete data center network.
+type Topology struct {
+	Name string
+	Root *Node
+	// ServerNode maps server id to its leaf node.
+	ServerNode []*Node
+	// Capacity is the per-server resource capacity (heterogeneous servers
+	// simply differ here).
+	Capacity []resources.Vector
+	// Server is the per-server power model.
+	Server []power.ServerModel
+	// nodes lists every node, servers first, then racks, pods, root.
+	nodes []*Node
+}
+
+// NumServers returns the number of servers.
+func (t *Topology) NumServers() int { return len(t.ServerNode) }
+
+// Nodes returns every node in the topology. The slice is owned by the
+// topology and must not be modified.
+func (t *Topology) Nodes() []*Node { return t.nodes }
+
+// NumSwitches counts physical switches across all nodes.
+func (t *Topology) NumSwitches() int {
+	total := 0
+	for _, n := range t.nodes {
+		for _, sg := range n.Switches {
+			total += sg.Count
+		}
+	}
+	return total
+}
+
+// HopDistance returns the number of links on the shortest path between two
+// servers: 0 to itself, 2 within a rack, 4 within a pod, 6 across pods in a
+// three-tier network (twice the level of the lowest common ancestor).
+func (t *Topology) HopDistance(a, b int) int {
+	if a == b {
+		return 0
+	}
+	na, nb := t.ServerNode[a], t.ServerNode[b]
+	// Walk both up to equal depth, then in lockstep to the LCA.
+	hops := 0
+	for depth(na) > depth(nb) {
+		na = na.Parent
+		hops++
+	}
+	for depth(nb) > depth(na) {
+		nb = nb.Parent
+		hops++
+	}
+	for na != nb {
+		na, nb = na.Parent, nb.Parent
+		hops += 2
+	}
+	return hops
+}
+
+func depth(n *Node) int {
+	d := 0
+	for n.Parent != nil {
+		n = n.Parent
+		d++
+	}
+	return d
+}
+
+// LCA returns the lowest common ancestor node of two servers.
+func (t *Topology) LCA(a, b int) *Node {
+	na, nb := t.ServerNode[a], t.ServerNode[b]
+	for depth(na) > depth(nb) {
+		na = na.Parent
+	}
+	for depth(nb) > depth(na) {
+		nb = nb.Parent
+	}
+	for na != nb {
+		na, nb = na.Parent, nb.Parent
+	}
+	return na
+}
+
+// PathLinks returns the aggregate links traversed by traffic between two
+// servers: the uplinks of every subtree strictly below the LCA on both
+// branches. A flow between servers in the same rack crosses both server
+// NIC links; across racks it additionally crosses the rack uplinks, etc.
+func (t *Topology) PathLinks(a, b int) []*Link {
+	if a == b {
+		return nil
+	}
+	lca := t.LCA(a, b)
+	var links []*Link
+	for n := t.ServerNode[a]; n != lca; n = n.Parent {
+		links = append(links, n.Uplink)
+	}
+	for n := t.ServerNode[b]; n != lca; n = n.Parent {
+		links = append(links, n.Uplink)
+	}
+	return links
+}
+
+// SubtreesAtLevel returns all nodes of the given level in left-to-right
+// order.
+func (t *Topology) SubtreesAtLevel(l Level) []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Level == l {
+			out = append(out, n)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return out
+}
+
+// TotalCapacity sums server capacities.
+func (t *Topology) TotalCapacity() resources.Vector {
+	return resources.Sum(t.Capacity)
+}
+
+// AverageCapacity returns the mean per-server capacity; the asymmetric
+// placement algorithm partitions against this before fitting heterogeneous
+// servers individually (§IV-A).
+func (t *Topology) AverageCapacity() resources.Vector {
+	n := t.NumServers()
+	if n == 0 {
+		return resources.Vector{}
+	}
+	return t.TotalCapacity().Scale(1 / float64(n))
+}
+
+// FailUplinkFraction degrades the outbound capacity of a node by the given
+// fraction (0 = no failure, 1 = fully cut), making the topology asymmetric.
+// It returns an error for the root (which has no uplink) or an out-of-range
+// fraction.
+func (t *Topology) FailUplinkFraction(n *Node, fraction float64) error {
+	if n.Uplink == nil {
+		return fmt.Errorf("topology: node %d has no uplink", n.ID)
+	}
+	if fraction < 0 || fraction > 1 {
+		return fmt.Errorf("topology: invalid failure fraction %v", fraction)
+	}
+	n.Uplink.CapacityMbps *= 1 - fraction
+	return nil
+}
+
+// IsSymmetric reports whether all subtrees at every level have equal
+// outbound capacity and all servers share one capacity vector.
+func (t *Topology) IsSymmetric() bool {
+	byLevel := make(map[Level]float64)
+	seen := make(map[Level]bool)
+	for _, n := range t.nodes {
+		if n.Uplink == nil {
+			continue
+		}
+		if !seen[n.Level] {
+			byLevel[n.Level] = n.Uplink.CapacityMbps
+			seen[n.Level] = true
+		} else if byLevel[n.Level] != n.Uplink.CapacityMbps {
+			return false
+		}
+	}
+	for _, c := range t.Capacity[1:] {
+		if c != t.Capacity[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the topology (links, capacities); useful for what-if
+// failure experiments.
+func (t *Topology) Clone() *Topology {
+	c := &Topology{
+		Name:       t.Name,
+		Capacity:   append([]resources.Vector(nil), t.Capacity...),
+		Server:     append([]power.ServerModel(nil), t.Server...),
+		ServerNode: make([]*Node, len(t.ServerNode)),
+	}
+	var cloneNode func(n *Node, parent *Node) *Node
+	cloneNode = func(n *Node, parent *Node) *Node {
+		nn := &Node{
+			ID:        n.ID,
+			Level:     n.Level,
+			Parent:    parent,
+			ServerIDs: append([]int(nil), n.ServerIDs...),
+			Switches:  append([]SwitchGroup(nil), n.Switches...),
+			ServerID:  n.ServerID,
+		}
+		if n.Uplink != nil {
+			l := *n.Uplink
+			nn.Uplink = &l
+		}
+		for _, ch := range n.Children {
+			nn.Children = append(nn.Children, cloneNode(ch, nn))
+		}
+		c.nodes = append(c.nodes, nn)
+		if nn.IsServer() {
+			c.ServerNode[nn.ServerID] = nn
+		}
+		return nn
+	}
+	c.Root = cloneNode(t.Root, nil)
+	return c
+}

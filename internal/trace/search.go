@@ -1,0 +1,164 @@
+// Package trace synthesizes the Microsoft search trace the paper's
+// large-scale simulation is driven by (Figs. 5, 7(b), 13). The real trace
+// (from the DCTCP measurement study) is proprietary; the generator
+// reproduces the graph-shape statistics the paper publishes and uses:
+//
+//   - 5488 vertices and 128538 edges (≈45 distinct connections per VM);
+//   - uniform 12 GB memory per vertex (the in-memory search index);
+//   - CPU and network vertex weights spread over a small multiplicative
+//     range (Fig. 5(b)), derived from the Fig. 12 calibration curves;
+//   - heavy-tailed edge weights (flow counts);
+//   - two flow classes: 1.6–2 KB search queries and 1–50 MB background
+//     updates (assumed Hadoop, §VI-B).
+package trace
+
+import (
+	"math"
+	"math/rand"
+
+	"goldilocks/internal/resources"
+	"goldilocks/internal/workload"
+)
+
+// SearchTraceOptions parameterizes the synthetic trace.
+type SearchTraceOptions struct {
+	Vertices int
+	Edges    int
+	Seed     int64
+}
+
+// DefaultSearchTrace matches the published trace dimensions.
+func DefaultSearchTrace() SearchTraceOptions {
+	return SearchTraceOptions{Vertices: 5488, Edges: 128538, Seed: 19}
+}
+
+// Synthesize builds the container workload for the trace: a two-tier
+// search topology (mid-level aggregators fanning out to index-serving
+// nodes) with background all-to-some update traffic. The result's flow
+// counts, demands, and memory footprint follow Fig. 5.
+func Synthesize(opts SearchTraceOptions) *workload.Spec {
+	if opts.Vertices <= 0 {
+		return &workload.Spec{}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	s := &workload.Spec{}
+
+	// Tier split: ~4% aggregators, rest ISNs (hubs carry the fan-out that
+	// produces the trace's skewed degree distribution).
+	nAgg := opts.Vertices / 25
+	if nAgg < 1 {
+		nAgg = 1
+	}
+	for i := 0; i < opts.Vertices; i++ {
+		role := "isn"
+		if i < nAgg {
+			role = "aggregator"
+		}
+		s.Containers = append(s.Containers, workload.Container{
+			ID:     i,
+			App:    workload.WebSearch,
+			Demand: resources.New(0, workload.SolrMemoryMB, 0), // filled below
+			Role:   role,
+		})
+	}
+
+	// Edge generation: every edge attaches one endpoint preferentially to
+	// the aggregator tier (probability pHub) and the other uniformly.
+	// Flow-count weights follow a bounded Pareto, giving Fig. 5(b)'s
+	// heavy-tailed edge-weight CDF.
+	const pHub = 0.45
+	seen := make(map[[2]int]bool, opts.Edges)
+	queryRate := make([]float64, opts.Vertices) // relative per-vertex query load
+	netMbps := make([]float64, opts.Vertices)
+	edges := 0
+	for guard := 0; edges < opts.Edges && guard < opts.Edges*20; guard++ {
+		var a int
+		if rng.Float64() < pHub {
+			a = rng.Intn(nAgg)
+		} else {
+			a = rng.Intn(opts.Vertices)
+		}
+		b := rng.Intn(opts.Vertices)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		flows := boundedPareto(rng, 1, 2000, 1.6)
+		s.Flows = append(s.Flows, workload.Flow{A: a, B: b, Count: math.Round(flows)})
+		edges++
+
+		// Each flow is mostly short queries plus occasional background
+		// updates; accumulate the per-vertex offered load.
+		queryRate[a] += flows * 0.02
+		queryRate[b] += flows * 0.02
+		bg := 0.0
+		if rng.Float64() < 0.1 { // this pair also carries update traffic
+			bg = 0.5 + rng.Float64()*4 // Mbps of background updates
+		}
+		netMbps[a] += flows*0.016 + bg // 2 KB queries at the flow rate
+		netMbps[b] += flows*0.016 + bg
+	}
+
+	// Vertex weights: CPU from the Solr calibration at the accumulated
+	// query rate (capped at the trace's 120 RPS per ISN), network from
+	// the accumulated traffic, memory constant.
+	for i := range s.Containers {
+		rate := math.Min(queryRate[i], 120)
+		cpu := workload.SolrCPUForRPS(rate)
+		s.Containers[i].Demand = resources.New(cpu, workload.SolrMemoryMB, netMbps[i])
+	}
+	return s
+}
+
+// boundedPareto samples a Pareto(α) variate truncated to [lo, hi].
+func boundedPareto(rng *rand.Rand, lo, hi, alpha float64) float64 {
+	u := rng.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+// FlowClass distinguishes the trace's two traffic types.
+type FlowClass int
+
+// The trace's flow classes (§VI-B).
+const (
+	QueryFlow      FlowClass = iota // 1.6–2 KB search queries
+	BackgroundFlow                  // 1–50 MB update traffic
+)
+
+// FlowSizeBytes samples a flow size for the class, matching the ranges the
+// paper reports.
+func FlowSizeBytes(rng *rand.Rand, class FlowClass) float64 {
+	switch class {
+	case QueryFlow:
+		return 1600 + rng.Float64()*400 // 1.6–2 KB
+	case BackgroundFlow:
+		return 1e6 + rng.Float64()*49e6 // 1–50 MB
+	default:
+		return 1600
+	}
+}
+
+// Snapshot returns the induced sub-spec on the first n containers — the
+// paper's Fig. 5(a)/7(b) visualizations use the 100-vertex snapshot
+// (IP range 10.0.0.1–10.0.0.100).
+func Snapshot(s *workload.Spec, n int) *workload.Spec {
+	if n > len(s.Containers) {
+		n = len(s.Containers)
+	}
+	out := &workload.Spec{Containers: append([]workload.Container(nil), s.Containers[:n]...)}
+	for _, f := range s.Flows {
+		if f.A < n && f.B < n {
+			out.Flows = append(out.Flows, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"sort"
+
+	"goldilocks/internal/resources"
+	"goldilocks/internal/workload"
+)
+
+// CDFPoint is one point of an empirical CDF over values normalized to the
+// smallest observation — exactly the Fig. 5(b) axes ("normalized to the
+// smallest value in the distribution").
+type CDFPoint struct {
+	NormalizedValue float64 // value / min(value)
+	Fraction        float64 // P(X ≤ value)
+}
+
+// NormalizedCDF computes the empirical CDF of values normalized to their
+// minimum positive observation. Non-positive values are dropped (an ISN
+// with zero accumulated traffic carries no information for the plot).
+func NormalizedCDF(values []float64) []CDFPoint {
+	var pos []float64
+	for _, v := range values {
+		if v > 0 {
+			pos = append(pos, v)
+		}
+	}
+	if len(pos) == 0 {
+		return nil
+	}
+	sort.Float64s(pos)
+	min := pos[0]
+	out := make([]CDFPoint, len(pos))
+	for i, v := range pos {
+		out[i] = CDFPoint{
+			NormalizedValue: v / min,
+			Fraction:        float64(i+1) / float64(len(pos)),
+		}
+	}
+	return out
+}
+
+// Distributions holds the four Fig. 5(b) series.
+type Distributions struct {
+	VertexCPU     []CDFPoint
+	VertexMemory  []CDFPoint
+	VertexNetwork []CDFPoint
+	EdgeWeight    []CDFPoint
+}
+
+// SpecDistributions extracts the Fig. 5(b) weight distributions from a
+// workload spec.
+func SpecDistributions(s *workload.Spec) Distributions {
+	var cpu, mem, net, ew []float64
+	for _, c := range s.Containers {
+		cpu = append(cpu, c.Demand[resources.CPU])
+		mem = append(mem, c.Demand[resources.Memory])
+		net = append(net, c.Demand[resources.Network])
+	}
+	for _, f := range s.Flows {
+		ew = append(ew, f.Count)
+	}
+	return Distributions{
+		VertexCPU:     NormalizedCDF(cpu),
+		VertexMemory:  NormalizedCDF(mem),
+		VertexNetwork: NormalizedCDF(net),
+		EdgeWeight:    NormalizedCDF(ew),
+	}
+}
+
+// MaxNormalized returns the largest normalized value of a CDF (the spread
+// of the distribution), or 0 for an empty CDF.
+func MaxNormalized(cdf []CDFPoint) float64 {
+	if len(cdf) == 0 {
+		return 0
+	}
+	return cdf[len(cdf)-1].NormalizedValue
+}
+
+// AverageDegree returns the mean number of distinct connections per
+// container (the paper quotes ≈45 for the search trace).
+func AverageDegree(s *workload.Spec) float64 {
+	if len(s.Containers) == 0 {
+		return 0
+	}
+	return 2 * float64(len(s.Flows)) / float64(len(s.Containers))
+}

@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"goldilocks/internal/resources"
+	"goldilocks/internal/workload"
+)
+
+func TestSynthesizeDimensions(t *testing.T) {
+	s := Synthesize(DefaultSearchTrace())
+	if got := len(s.Containers); got != 5488 {
+		t.Fatalf("vertices = %d, want 5488", got)
+	}
+	if got := len(s.Flows); got != 128538 {
+		t.Fatalf("edges = %d, want 128538", got)
+	}
+}
+
+func TestSynthesizeAverageDegreeNear45(t *testing.T) {
+	s := Synthesize(DefaultSearchTrace())
+	avg := AverageDegree(s)
+	if avg < 40 || avg > 52 {
+		t.Fatalf("average connections per VM = %v, want ≈45 (intro, [19])", avg)
+	}
+}
+
+func TestSynthesizeMemoryUniform12GB(t *testing.T) {
+	s := Synthesize(SearchTraceOptions{Vertices: 500, Edges: 5000, Seed: 1})
+	for i, c := range s.Containers {
+		if c.Demand[resources.Memory] != workload.SolrMemoryMB {
+			t.Fatalf("vertex %d memory = %v, want 12 GB (uniform index footprint)",
+				i, c.Demand[resources.Memory])
+		}
+	}
+}
+
+func TestSynthesizeCPUWithinSolrRange(t *testing.T) {
+	s := Synthesize(SearchTraceOptions{Vertices: 500, Edges: 5000, Seed: 2})
+	lo, hi := math.Inf(1), 0.0
+	for _, c := range s.Containers {
+		cpu := c.Demand[resources.CPU]
+		if cpu < workload.SolrCPUForRPS(0) || cpu > workload.SolrCPUForRPS(120)+1e-9 {
+			t.Fatalf("vertex CPU %v outside calibration range", cpu)
+		}
+		lo = math.Min(lo, cpu)
+		hi = math.Max(hi, cpu)
+	}
+	if hi/lo < 2 {
+		t.Errorf("CPU spread %vx too narrow for Fig. 5(b)", hi/lo)
+	}
+}
+
+func TestSynthesizeEdgeWeightsHeavyTailed(t *testing.T) {
+	s := Synthesize(SearchTraceOptions{Vertices: 1000, Edges: 10000, Seed: 3})
+	d := SpecDistributions(s)
+	spread := MaxNormalized(d.EdgeWeight)
+	if spread < 50 {
+		t.Fatalf("edge-weight spread = %vx, want heavy tail (≥ 50x)", spread)
+	}
+	// Memory is constant ⇒ normalized distribution is all ones.
+	if got := MaxNormalized(d.VertexMemory); got != 1 {
+		t.Fatalf("memory spread = %v, want 1 (uniform)", got)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	opts := SearchTraceOptions{Vertices: 300, Edges: 2500, Seed: 7}
+	a := Synthesize(opts)
+	b := Synthesize(opts)
+	if len(a.Flows) != len(b.Flows) {
+		t.Fatal("flow counts differ between runs")
+	}
+	for i := range a.Flows {
+		if a.Flows[i] != b.Flows[i] {
+			t.Fatal("trace must be deterministic per seed")
+		}
+	}
+}
+
+func TestSynthesizeNoSelfOrDuplicateEdges(t *testing.T) {
+	s := Synthesize(SearchTraceOptions{Vertices: 400, Edges: 3000, Seed: 4})
+	seen := make(map[[2]int]bool)
+	for _, f := range s.Flows {
+		if f.A == f.B {
+			t.Fatal("self edge")
+		}
+		a, b := f.A, f.B
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			t.Fatalf("duplicate edge %d-%d", a, b)
+		}
+		seen[[2]int{a, b}] = true
+		if f.Count < 1 {
+			t.Fatalf("edge flow count %v < 1", f.Count)
+		}
+	}
+}
+
+func TestSynthesizeEmpty(t *testing.T) {
+	s := Synthesize(SearchTraceOptions{})
+	if len(s.Containers) != 0 || len(s.Flows) != 0 {
+		t.Fatal("zero vertices must give an empty spec")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	s := Synthesize(SearchTraceOptions{Vertices: 300, Edges: 2500, Seed: 5})
+	snap := Snapshot(s, 100)
+	if len(snap.Containers) != 100 {
+		t.Fatalf("snapshot containers = %d", len(snap.Containers))
+	}
+	for _, f := range snap.Flows {
+		if f.A >= 100 || f.B >= 100 {
+			t.Fatalf("snapshot flow out of range: %+v", f)
+		}
+	}
+	if len(snap.Flows) == 0 {
+		t.Fatal("100-vertex snapshot should retain some edges")
+	}
+	big := Snapshot(s, 10000)
+	if len(big.Containers) != 300 {
+		t.Fatal("oversized snapshot must clamp")
+	}
+}
+
+func TestBoundedPareto(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	small, big := 0, 0
+	for i := 0; i < 10000; i++ {
+		v := boundedPareto(rng, 1, 2000, 1.6)
+		if v < 1 || v > 2000 {
+			t.Fatalf("sample %v outside bounds", v)
+		}
+		if v < 10 {
+			small++
+		}
+		if v > 500 {
+			big++
+		}
+	}
+	if small < 7000 {
+		t.Errorf("Pareto mass below 10 = %d/10000, want dominant", small)
+	}
+	if big == 0 {
+		t.Error("no tail samples above 500")
+	}
+}
+
+func TestFlowSizeBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		q := FlowSizeBytes(rng, QueryFlow)
+		if q < 1600 || q > 2000 {
+			t.Fatalf("query flow size %v outside 1.6–2 KB", q)
+		}
+		b := FlowSizeBytes(rng, BackgroundFlow)
+		if b < 1e6 || b > 50e6 {
+			t.Fatalf("background flow size %v outside 1–50 MB", b)
+		}
+	}
+	if d := FlowSizeBytes(rng, FlowClass(9)); d != 1600 {
+		t.Fatal("unknown class must default to query size")
+	}
+}
+
+func TestNormalizedCDF(t *testing.T) {
+	cdf := NormalizedCDF([]float64{2, 4, 8, 0, -1})
+	if len(cdf) != 3 {
+		t.Fatalf("cdf points = %d, want 3 (non-positive dropped)", len(cdf))
+	}
+	if cdf[0].NormalizedValue != 1 || cdf[0].Fraction != 1.0/3 {
+		t.Fatalf("first point = %+v", cdf[0])
+	}
+	if cdf[2].NormalizedValue != 4 || cdf[2].Fraction != 1 {
+		t.Fatalf("last point = %+v", cdf[2])
+	}
+	if NormalizedCDF(nil) != nil {
+		t.Fatal("empty input must return nil")
+	}
+	if MaxNormalized(nil) != 0 {
+		t.Fatal("MaxNormalized(nil) must be 0")
+	}
+}
+
+func TestAverageDegreeEmpty(t *testing.T) {
+	if AverageDegree(&workload.Spec{}) != 0 {
+		t.Fatal("empty spec degree must be 0")
+	}
+}
+
+func BenchmarkSynthesizeFullTrace(b *testing.B) {
+	opts := DefaultSearchTrace()
+	for i := 0; i < b.N; i++ {
+		Synthesize(opts)
+	}
+}

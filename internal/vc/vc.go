@@ -1,0 +1,237 @@
+// Package vc implements the paper's asymmetric-topology placement (§IV):
+// each container group becomes a Virtual Cluster (the Oktopus abstraction)
+// whose containers hang off one virtual switch. A group is placed on the
+// smallest left-most subtree whose heterogeneous servers can absorb its
+// members and whose outbound links can absorb the bandwidth reservation of
+// Eqs. 4–5:
+//
+//	R = min(Σ_{q∈inside} B_q,  Σ_{r∈intra-outside} B_r + Σ_{s∈inter} B_s)
+//
+// — the reservation on a boundary never exceeds the total bandwidth of the
+// containers inside it, nor the total traffic that actually wants to cross
+// it (intra-group traffic to members placed outside plus, conservatively,
+// all inter-group traffic).
+package vc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"goldilocks/internal/resources"
+	"goldilocks/internal/topology"
+)
+
+// ErrUnplaceable is returned when a group fits no subtree, even the root.
+var ErrUnplaceable = errors.New("vc: group cannot be placed")
+
+// Group is one Virtual Cluster: a set of containers with their demands and
+// bandwidth requirements. TotalMbps[i] is B_i, the container's total
+// traffic (intra + inter); InterMbps[i] is the share of B_i destined to
+// other groups.
+type Group struct {
+	ID         int
+	Containers []int
+	Demands    []resources.Vector
+	TotalMbps  []float64
+	InterMbps  []float64
+}
+
+// totalBandwidth returns ΣB_i over the group.
+func (g Group) totalBandwidth() float64 {
+	s := 0.0
+	for _, b := range g.TotalMbps {
+		s += b
+	}
+	return s
+}
+
+// interBandwidth returns the Σ over members of inter-group traffic.
+func (g Group) interBandwidth() float64 {
+	s := 0.0
+	for _, b := range g.InterMbps {
+		s += b
+	}
+	return s
+}
+
+// Placement is the result of Place.
+type Placement struct {
+	// ServerOf maps global container index → server id (-1 if the index
+	// was not part of any group).
+	ServerOf []int
+	// Reserved lists the bandwidth reservations committed on links, so
+	// callers can release them when the epoch ends.
+	Reserved map[*topology.Link]float64
+}
+
+// Release returns all committed reservations to the topology.
+func (p *Placement) Release() {
+	for l, mbps := range p.Reserved {
+		l.Release(mbps)
+	}
+	p.Reserved = map[*topology.Link]float64{}
+}
+
+// Place assigns every group to servers of the (possibly asymmetric,
+// heterogeneous) topology. Groups are processed in order; each lands on
+// the smallest left-most subtree that satisfies both server-side resources
+// (per-server utilization ≤ targetUtil) and outbound-bandwidth
+// reservations on every boundary it spans. numContainers sizes the
+// returned ServerOf slice.
+func Place(topo *topology.Topology, numContainers int, groups []Group, targetUtil float64) (*Placement, error) {
+	if targetUtil <= 0 || targetUtil > 1 {
+		return nil, fmt.Errorf("vc: target utilization %v outside (0, 1]", targetUtil)
+	}
+	pl := &Placement{
+		ServerOf: make([]int, numContainers),
+		Reserved: make(map[*topology.Link]float64),
+	}
+	for i := range pl.ServerOf {
+		pl.ServerOf[i] = -1
+	}
+	used := make([]resources.Vector, topo.NumServers())
+
+	// Candidate subtrees smallest-first, left-most within a level: racks,
+	// pods, then the root.
+	candidates := topo.SubtreesAtLevel(topology.LevelRack)
+	candidates = append(candidates, topo.SubtreesAtLevel(topology.LevelPod)...)
+	candidates = append(candidates, topo.Root)
+
+	for _, g := range groups {
+		if err := validateGroup(g, numContainers); err != nil {
+			return nil, err
+		}
+		placed := false
+		for _, sub := range candidates {
+			if tryPlaceGroup(topo, sub, g, targetUtil, used, pl) {
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			pl.Release()
+			return nil, fmt.Errorf("%w: group %d (%d containers, %v Mbps)",
+				ErrUnplaceable, g.ID, len(g.Containers), g.totalBandwidth())
+		}
+	}
+	return pl, nil
+}
+
+func validateGroup(g Group, numContainers int) error {
+	if len(g.Demands) != len(g.Containers) || len(g.TotalMbps) != len(g.Containers) ||
+		len(g.InterMbps) != len(g.Containers) {
+		return fmt.Errorf("vc: group %d has inconsistent slice lengths", g.ID)
+	}
+	for _, c := range g.Containers {
+		if c < 0 || c >= numContainers {
+			return fmt.Errorf("vc: group %d references container %d outside [0, %d)", g.ID, c, numContainers)
+		}
+	}
+	return nil
+}
+
+// tryPlaceGroup attempts to place the whole group under subtree `sub`.
+// On success it commits server loads and bandwidth reservations and
+// returns true; on failure it leaves all state untouched.
+func tryPlaceGroup(topo *topology.Topology, sub *topology.Node, g Group, targetUtil float64, used []resources.Vector, pl *Placement) bool {
+	// Phase 1: fit containers onto servers (first-fit decreasing over the
+	// subtree's servers, which are already in left-most order).
+	order := make([]int, len(g.Containers))
+	for i := range order {
+		order[i] = i
+	}
+	ref := topo.AverageCapacity()
+	sort.SliceStable(order, func(a, b int) bool {
+		return g.Demands[order[a]].Normalize(ref).Sum() > g.Demands[order[b]].Normalize(ref).Sum()
+	})
+
+	ceil := resources.UtilizationCaps(targetUtil)
+	assignment := make(map[int]int, len(g.Containers)) // member idx → server
+	tentative := make(map[int]resources.Vector)        // server → extra load
+	for _, m := range order {
+		placedOn := -1
+		for _, s := range sub.ServerIDs {
+			load := used[s].Add(tentative[s]).Add(g.Demands[m])
+			if load.Fits(topo.Capacity[s].PerDimScale(ceil)) {
+				placedOn = s
+				break
+			}
+		}
+		if placedOn < 0 {
+			return false
+		}
+		assignment[m] = placedOn
+		tentative[placedOn] = tentative[placedOn].Add(g.Demands[m])
+	}
+
+	// Phase 2: bandwidth reservations on every boundary the group spans.
+	// For each node under (and including) sub whose subtree contains some
+	// group members, reserve Eq. 4/5's R on its uplink.
+	reservations, ok := computeReservations(topo, sub, g, assignment)
+	if !ok {
+		return false
+	}
+
+	// Commit.
+	for s, extra := range tentative {
+		used[s] = used[s].Add(extra)
+	}
+	for m, s := range assignment {
+		pl.ServerOf[g.Containers[m]] = s
+	}
+	for l, r := range reservations {
+		if !l.Reserve(r) {
+			// computeReservations already checked residuals; a failed
+			// commit means concurrent mutation — treat as a bug.
+			panic("vc: reservation commit failed after residual check")
+		}
+		pl.Reserved[l] += r
+	}
+	return true
+}
+
+// computeReservations derives the per-uplink reservation for the group
+// given its member→server assignment, checking residual capacity. It
+// covers the uplink of sub itself and of every descendant subtree that
+// holds a strict subset of the group (rack boundaries when the group spans
+// racks inside a pod, and the server NIC links).
+func computeReservations(topo *topology.Topology, sub *topology.Node, g Group, assignment map[int]int) (map[*topology.Link]float64, bool) {
+	totalB := g.totalBandwidth()
+	interB := g.interBandwidth()
+
+	// Aggregate member bandwidth per node on the path from each member's
+	// server up to (and including) sub.
+	insideB := make(map[*topology.Node]float64)
+	for m, server := range assignment {
+		n := topo.ServerNode[server]
+		for {
+			insideB[n] += g.TotalMbps[m]
+			if n == sub {
+				break
+			}
+			n = n.Parent
+		}
+	}
+
+	res := make(map[*topology.Link]float64, len(insideB))
+	for n, inB := range insideB {
+		if n.Uplink == nil {
+			continue // root: no outbound boundary
+		}
+		// Traffic wanting to cross this boundary: intra-group traffic to
+		// members outside n, plus (conservatively, Eq. 5) the whole
+		// inter-group traffic.
+		outB := (totalB - inB) + interB
+		r := math.Min(inB, outB)
+		if r <= 0 {
+			continue
+		}
+		if r > n.Uplink.Residual()+1e-9 {
+			return nil, false
+		}
+		res[n.Uplink] = r
+	}
+	return res, true
+}

@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON hardens the workload parser against malformed input: it
+// must never panic, and anything it accepts must round-trip through
+// WriteJSON and parse again to the same shape.
+func FuzzReadJSON(f *testing.F) {
+	var seed bytes.Buffer
+	if err := TwitterWorkload(12, 1).WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"containers":[],"flows":[]}`)
+	f.Add(`{"containers":[{"id":0,"cpu_percent":1,"memory_mb":2,"network_mbps":3}],"flows":[]}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add(`{"containers":[{"id":0,"cpu_percent":1e308,"memory_mb":1,"network_mbps":1}],"flows":[{"a":0,"b":0,"count":-1}]}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		spec, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var out bytes.Buffer
+		if err := spec.WriteJSON(&out); err != nil {
+			t.Fatalf("accepted spec failed to serialize: %v", err)
+		}
+		again, err := ReadJSON(&out)
+		if err != nil {
+			t.Fatalf("serialized spec failed to parse: %v", err)
+		}
+		if again.NumContainers() != spec.NumContainers() || len(again.Flows) != len(spec.Flows) {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				spec.NumContainers(), len(spec.Flows), again.NumContainers(), len(again.Flows))
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"goldilocks/internal/resources"
+)
+
+// The JSON interchange format for workload specs: what goldilocks-place
+// loads and what external tooling (or the monitor pipeline) can emit. The
+// on-disk schema is deliberately flat and explicit rather than mirroring
+// the in-memory structs, so it can stay stable across refactors.
+
+type specJSON struct {
+	Containers []containerJSON `json:"containers"`
+	Flows      []flowJSON      `json:"flows"`
+}
+
+type containerJSON struct {
+	ID           int     `json:"id"`
+	App          string  `json:"app,omitempty"`
+	Role         string  `json:"role,omitempty"`
+	ReplicaGroup string  `json:"replica_group,omitempty"`
+	CPUPercent   float64 `json:"cpu_percent"`
+	MemoryMB     float64 `json:"memory_mb"`
+	NetworkMbps  float64 `json:"network_mbps"`
+	// Reserved* default to the demand when omitted.
+	ReservedCPUPercent  float64 `json:"reserved_cpu_percent,omitempty"`
+	ReservedMemoryMB    float64 `json:"reserved_memory_mb,omitempty"`
+	ReservedNetworkMbps float64 `json:"reserved_network_mbps,omitempty"`
+	ServiceTimeMS       float64 `json:"service_time_ms,omitempty"`
+}
+
+type flowJSON struct {
+	A     int     `json:"a"`
+	B     int     `json:"b"`
+	Count float64 `json:"count"`
+}
+
+// WriteJSON serializes the spec.
+func (s *Spec) WriteJSON(w io.Writer) error {
+	out := specJSON{
+		Containers: make([]containerJSON, len(s.Containers)),
+		Flows:      make([]flowJSON, len(s.Flows)),
+	}
+	for i, c := range s.Containers {
+		cj := containerJSON{
+			ID:            c.ID,
+			App:           c.App.Name,
+			Role:          c.Role,
+			ReplicaGroup:  c.ReplicaGroup,
+			CPUPercent:    c.Demand[resources.CPU],
+			MemoryMB:      c.Demand[resources.Memory],
+			NetworkMbps:   c.Demand[resources.Network],
+			ServiceTimeMS: c.App.ServiceTimeMS,
+		}
+		if !c.Reserved.IsZero() && c.Reserved != c.Demand {
+			cj.ReservedCPUPercent = c.Reserved[resources.CPU]
+			cj.ReservedMemoryMB = c.Reserved[resources.Memory]
+			cj.ReservedNetworkMbps = c.Reserved[resources.Network]
+		}
+		out.Containers[i] = cj
+	}
+	for i, f := range s.Flows {
+		out.Flows[i] = flowJSON{A: f.A, B: f.B, Count: f.Count}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a spec written by WriteJSON (or hand-authored in the
+// same schema) and validates it: flow endpoints must reference containers,
+// counts may not be NaN/negative-zero nonsense, demands must be
+// non-negative.
+func ReadJSON(r io.Reader) (*Spec, error) {
+	var in specJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("workload: decoding spec: %w", err)
+	}
+	s := &Spec{}
+	for i, cj := range in.Containers {
+		if cj.CPUPercent < 0 || cj.MemoryMB < 0 || cj.NetworkMbps < 0 {
+			return nil, fmt.Errorf("workload: container %d has negative demand", i)
+		}
+		demand := resources.New(cj.CPUPercent, cj.MemoryMB, cj.NetworkMbps)
+		reserved := demand
+		if cj.ReservedCPUPercent != 0 || cj.ReservedMemoryMB != 0 || cj.ReservedNetworkMbps != 0 {
+			reserved = resources.New(cj.ReservedCPUPercent, cj.ReservedMemoryMB, cj.ReservedNetworkMbps)
+		}
+		s.Containers = append(s.Containers, Container{
+			ID:           cj.ID,
+			App:          AppProfile{Name: cj.App, Demand: demand, ServiceTimeMS: cj.ServiceTimeMS},
+			Demand:       demand,
+			Reserved:     reserved,
+			Role:         cj.Role,
+			ReplicaGroup: cj.ReplicaGroup,
+		})
+	}
+	n := len(s.Containers)
+	for i, fj := range in.Flows {
+		if fj.A < 0 || fj.A >= n || fj.B < 0 || fj.B >= n {
+			return nil, fmt.Errorf("workload: flow %d references container outside [0, %d)", i, n)
+		}
+		if fj.A == fj.B {
+			return nil, fmt.Errorf("workload: flow %d is a self-loop", i)
+		}
+		s.Flows = append(s.Flows, Flow{A: fj.A, B: fj.B, Count: fj.Count})
+	}
+	return s, nil
+}

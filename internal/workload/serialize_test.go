@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"goldilocks/internal/resources"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := MixtureWorkload(60, 3)
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumContainers() != orig.NumContainers() {
+		t.Fatalf("containers %d vs %d", back.NumContainers(), orig.NumContainers())
+	}
+	if len(back.Flows) != len(orig.Flows) {
+		t.Fatalf("flows %d vs %d", len(back.Flows), len(orig.Flows))
+	}
+	for i := range orig.Containers {
+		a, b := orig.Containers[i], back.Containers[i]
+		if a.ID != b.ID || a.Demand != b.Demand || a.ReplicaGroup != b.ReplicaGroup || a.Role != b.Role {
+			t.Fatalf("container %d mismatch: %+v vs %+v", i, a, b)
+		}
+		if a.Reservation() != b.Reservation() {
+			t.Fatalf("container %d reservation mismatch: %v vs %v", i, a.Reservation(), b.Reservation())
+		}
+	}
+	for i := range orig.Flows {
+		if orig.Flows[i] != back.Flows[i] {
+			t.Fatalf("flow %d mismatch", i)
+		}
+	}
+}
+
+func TestJSONRoundTripGraphEquivalent(t *testing.T) {
+	orig := TwitterWorkload(40, 2)
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, g2 := orig.Graph(), back.Graph()
+	if g1.NumVertices() != g2.NumVertices() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("graphs differ structurally after round trip")
+	}
+	if g1.TotalEdgeWeight() != g2.TotalEdgeWeight() {
+		t.Fatal("edge weights differ after round trip")
+	}
+}
+
+func TestReadJSONValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"flow out of range", `{"containers":[{"id":0,"cpu_percent":1,"memory_mb":1,"network_mbps":1}],"flows":[{"a":0,"b":5,"count":1}]}`},
+		{"self loop", `{"containers":[{"id":0,"cpu_percent":1,"memory_mb":1,"network_mbps":1}],"flows":[{"a":0,"b":0,"count":1}]}`},
+		{"negative demand", `{"containers":[{"id":0,"cpu_percent":-1,"memory_mb":1,"network_mbps":1}],"flows":[]}`},
+		{"unknown field", `{"containers":[],"flows":[],"bogus":1}`},
+		{"not json", `hello`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(tt.in)); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestReadJSONDefaultsReservedToDemand(t *testing.T) {
+	in := `{"containers":[{"id":7,"cpu_percent":10,"memory_mb":100,"network_mbps":5}],"flows":[]}`
+	s, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resources.New(10, 100, 5)
+	if s.Containers[0].Reservation() != want {
+		t.Fatalf("reservation = %v, want demand %v", s.Containers[0].Reservation(), want)
+	}
+}
