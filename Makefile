@@ -1,0 +1,40 @@
+# Single source of truth for build/test/bench invocations: CI (see
+# .github/workflows/ci.yml) and local workflows run the same targets, so a
+# green `make race bench` locally means a green pipeline.
+
+GO ?= go
+
+# Benchmarks guarded by CI: the partitioner and the scheduling policies —
+# the two hot paths of an epoch. Keep in sync with BENCH_BASELINE.txt.
+BENCH_PATTERN ?= Partition|Schedule|Place
+BENCH_COUNT   ?= 5
+
+.PHONY: all build test race bench fmt fmt-check vet ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./...
+
+# Benchmark the guarded hot paths; pipe through tee so CI can archive the
+# raw output and benchstat can diff it against BENCH_BASELINE.txt.
+bench:
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -run '^$$' -count=$(BENCH_COUNT) ./... | tee bench.txt
+
+fmt:
+	gofmt -l -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build fmt-check vet race

@@ -6,10 +6,12 @@
 package goldilocks
 
 import (
+	"fmt"
 	"testing"
 
 	"goldilocks/internal/experiments"
 	"goldilocks/internal/trace"
+	"goldilocks/internal/workload"
 )
 
 // BenchmarkFig1aPowerCurves regenerates the Fig. 1(a) normalized
@@ -163,6 +165,45 @@ func BenchmarkFig13LargeScale(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig13(opts); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartitionParallel measures the parallel multilevel partitioner
+// across worker counts on realistic container graphs: the Fig. 10 Mixture
+// workload at 1k and 5k containers and the Twitter caching workload at 10k.
+// Capacity is sized so each graph splits into ~n/80 leaf groups (≈ 70%-PEE
+// servers). The same seed is used at every parallelism level, and the
+// partitioner guarantees identical output, so the subbenchmarks measure
+// pure wall-clock scaling: p4 vs p1 is the headline speedup (≥ 2x on a
+// 4-core host); on fewer cores the extra workers just interleave.
+func BenchmarkPartitionParallel(b *testing.B) {
+	cases := []struct {
+		name string
+		spec *Spec
+	}{
+		{"mixture-1k", workload.MixtureWorkload(1000, 7)},
+		{"mixture-5k", workload.MixtureWorkload(5000, 7)},
+		{"twitter-10k", workload.TwitterWorkload(10000, 7)},
+	}
+	for _, c := range cases {
+		g := c.spec.Graph()
+		cap := serverCapacityFor(g, g.NumVertices()/80)
+		for _, p := range []int{1, 2, 4, 8} {
+			opts := DefaultPartitionOptions()
+			opts.Seed = 1
+			opts.Parallelism = p
+			b.Run(fmt.Sprintf("%s/p%d", c.name, p), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					tree, err := PartitionToFit(g, cap, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(tree.Leaves) < 2 {
+						b.Fatalf("degenerate partition: %d leaves", len(tree.Leaves))
+					}
+				}
+			})
 		}
 	}
 }

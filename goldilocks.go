@@ -96,7 +96,11 @@ type (
 	EpochInput = cluster.EpochInput
 	// EpochReport is one epoch's measured outcome.
 	EpochReport = cluster.EpochReport
-	// PartitionOptions tunes the multilevel graph partitioner.
+	// PartitionOptions tunes the multilevel graph partitioner, including
+	// its worker count (Parallelism, default GOMAXPROCS): partitioning
+	// fans the independent subproblems of the recursive bisection across
+	// a bounded pool, and the result for a fixed Seed is identical at
+	// every parallelism level.
 	PartitionOptions = partition.Options
 	// PartitionTree is the fit-driven recursive partitioning result.
 	PartitionTree = partition.Tree
@@ -214,7 +218,9 @@ func NewRunner(topo *Topology, policy Policy, opts RunnerOptions) *Runner {
 func DefaultRunnerOptions() RunnerOptions { return cluster.DefaultOptions() }
 
 // PartitionToFit recursively bipartitions the container graph until every
-// leaf group fits usableCapacity (Eq. 1–3 of the paper).
+// leaf group fits usableCapacity (Eq. 1–3 of the paper). Independent
+// subproblems run on up to opts.Parallelism workers; the tree is
+// deterministic for a fixed opts.Seed regardless of the worker count.
 func PartitionToFit(g *Graph, usableCapacity Vector, opts PartitionOptions) (*PartitionTree, error) {
 	return partition.PartitionToFit(g, usableCapacity, 1.0, opts)
 }

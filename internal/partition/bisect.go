@@ -2,6 +2,7 @@ package partition
 
 import (
 	"math/rand"
+	"sync"
 
 	"goldilocks/internal/graph"
 	"goldilocks/internal/resources"
@@ -31,22 +32,28 @@ func Bisect(g *graph.Graph, opts Options) Bisection {
 // ~1/k of the weight (Eq. 3).
 func BisectFraction(g *graph.Graph, opts Options, frac float64) Bisection {
 	opts = opts.withDefaults()
+	return bisectFraction(g, opts, frac, newLimiter(opts.Parallelism))
+}
+
+// bisectFraction is BisectFraction with opts already defaulted and an
+// explicit worker-slot limiter, so the recursive driver can share one
+// run-wide parallelism budget across every nested bisection.
+func bisectFraction(g *graph.Graph, opts Options, frac float64, lim limiter) Bisection {
 	if frac <= 0 || frac >= 1 {
 		frac = 0.5
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
 	n := g.NumVertices()
 	if n < 2 {
 		return Bisection{Side: make([]int, n)}
 	}
 
-	levels := coarsen(g, opts, rng)
+	levels := coarsen(g, opts)
 	coarsest := g
 	if len(levels) > 0 {
 		coarsest = levels[len(levels)-1].g
 	}
 
-	side := initialBisection(coarsest, opts, rng, frac)
+	side := initialBisection(coarsest, opts, frac, lim)
 	cut := fmRefine(coarsest, side, opts, frac)
 
 	for i := len(levels) - 1; i >= 0; i-- {
@@ -63,30 +70,60 @@ func BisectFraction(g *graph.Graph, opts Options, frac float64) Bisection {
 // initialBisection produces a balanced starting bisection of a (small)
 // graph by greedy graph growing: grow a region from a seed vertex, always
 // absorbing the frontier vertex with the largest attraction to the region,
-// until the region holds roughly frac of the total weight. Several seeds
-// are tried; the best cut after a quick refinement wins. Falls back to a
-// weight-balanced split when growing cannot balance (e.g. all edges
+// until the region holds roughly frac of the total weight. The
+// opts.InitialTries seeds run concurrently when worker slots are free —
+// each try owns a generator derived from (opts.Seed, try), and the winner
+// is chosen by a fixed-order reduction (lowest cut, earliest try breaking
+// ties), so the result does not depend on completion order. Falls back to
+// a weight-balanced split when growing cannot balance (e.g. all edges
 // negative).
-func initialBisection(g *graph.Graph, opts Options, rng *rand.Rand, frac float64) []int {
+func initialBisection(g *graph.Graph, opts Options, frac float64, lim limiter) []int {
 	n := g.NumVertices()
 	total := g.TotalVertexWeight()
 	target := total.Scale(frac)
 
-	bestSide := balancedFallback(g, frac)
-	bestCut := g.CutWeight(bestSide)
-
 	quickOpts := opts
 	quickOpts.FMPasses = 2
-	for try := 0; try < opts.InitialTries; try++ {
+
+	type tryResult struct {
+		side []int
+		cut  float64
+		ok   bool
+	}
+	results := make([]tryResult, opts.InitialTries)
+	runTry := func(try int) {
+		rng := rand.New(rand.NewSource(deriveSeed(opts.Seed, saltInitial, uint64(try))))
 		side := growFromSeed(g, rng.Intn(n), target)
 		bal := newBalanceState(g, side, opts.BalanceEps, frac)
 		if !bal.isBalanced() {
-			continue
+			return
 		}
 		cut := fmRefine(g, side, quickOpts, frac)
-		if cut < bestCut {
-			bestCut = cut
-			bestSide = side
+		results[try] = tryResult{side: side, cut: cut, ok: true}
+	}
+
+	var wg sync.WaitGroup
+	for try := 0; try < opts.InitialTries; try++ {
+		// The last try runs inline: the caller would otherwise idle.
+		if try < opts.InitialTries-1 && lim.tryAcquire() {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				defer lim.release()
+				runTry(t)
+			}(try)
+		} else {
+			runTry(try)
+		}
+	}
+	wg.Wait()
+
+	bestSide := balancedFallback(g, frac)
+	bestCut := g.CutWeight(bestSide)
+	for _, r := range results {
+		if r.ok && r.cut < bestCut {
+			bestCut = r.cut
+			bestSide = r.side
 		}
 	}
 	return bestSide

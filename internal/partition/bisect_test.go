@@ -227,7 +227,7 @@ func TestCoarsenPreservesTotals(t *testing.T) {
 	for i := 0; i < 900; i++ {
 		g.AddEdge(rng.Intn(n), rng.Intn(n), float64(1+rng.Intn(4)))
 	}
-	levels := coarsen(g, DefaultOptions(), rng)
+	levels := coarsen(g, DefaultOptions())
 	if len(levels) == 0 {
 		t.Fatal("expected at least one coarsening level for n=300")
 	}

@@ -102,10 +102,15 @@ func contract(g *graph.Graph, match []int) coarseLevel {
 // enough or matching stops shrinking it. levels[0] corresponds to the
 // contraction of the original graph; the coarsest graph is
 // levels[len(levels)-1].g (or the original graph if no contraction helped).
-func coarsen(g *graph.Graph, opts Options, rng *rand.Rand) []coarseLevel {
+//
+// Each level's matching order comes from a generator derived from
+// (opts.Seed, level) rather than one shared across the run, so coarsening
+// draws no state reachable from other goroutines (see parallel.go).
+func coarsen(g *graph.Graph, opts Options) []coarseLevel {
 	var levels []coarseLevel
 	cur := g
 	for cur.NumVertices() > opts.CoarsenTo {
+		rng := rand.New(rand.NewSource(deriveSeed(opts.Seed, saltCoarsen, uint64(len(levels)))))
 		match := heavyEdgeMatching(cur, rng)
 		lvl := contract(cur, match)
 		// Stall detection: if matching barely shrank the graph (e.g.

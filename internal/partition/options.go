@@ -10,6 +10,8 @@
 // different groups and hence different fault domains.
 package partition
 
+import "runtime"
+
 // Options tunes the multilevel bisection. The zero value is not usable;
 // start from DefaultOptions.
 type Options struct {
@@ -29,6 +31,13 @@ type Options struct {
 	// Seed seeds the deterministic RNG used for seeds/tie-breaking, so
 	// partitions are reproducible.
 	Seed int64
+	// Parallelism bounds the number of concurrent workers used for the
+	// recursive bisection fan-out and the initial-bisection seed tries.
+	// The output is identical at every parallelism level for a fixed
+	// Seed (every subproblem derives its own RNG from structural
+	// coordinates — see parallel.go). Values ≤ 0 mean
+	// runtime.GOMAXPROCS(0); 1 forces a strictly serial run.
+	Parallelism int
 }
 
 // DefaultOptions returns the tuning used by all Goldilocks experiments.
@@ -39,6 +48,7 @@ func DefaultOptions() Options {
 		FMPasses:     8,
 		InitialTries: 6,
 		Seed:         1,
+		Parallelism:  runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -55,6 +65,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.InitialTries <= 0 {
 		o.InitialTries = d.InitialTries
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return o
 }

@@ -1,0 +1,77 @@
+package partition
+
+// Parallel execution plumbing for the multilevel partitioner.
+//
+// Determinism contract: the partition produced for a fixed Options.Seed is
+// bit-identical at every Options.Parallelism level. Randomness is never
+// drawn from a generator shared across subproblems; instead every
+// subproblem — a coarsening level, a greedy-growing initial-bisection try,
+// a recursive split, a balance-ladder attempt — derives its own generator
+// by hashing the run seed with the subproblem's structural coordinates
+// (level, try index, recursion depth, first vertex id, vertex count).
+// Structural coordinates are invariant under goroutine scheduling, so
+// concurrency can reorder *work* but never random draws, and the parallel
+// result equals the serial one. The experiment drivers rely on this to
+// reproduce the paper's figures regardless of the host's core count.
+
+// Salts separating the seed-derivation domains, so e.g. coarsening level 3
+// and initial-bisection try 3 never collide.
+const (
+	saltCoarsen uint64 = 0x9e3779b97f4a7c15
+	saltInitial uint64 = 0xc2b2ae3d27d4eb4f
+	saltSplit   uint64 = 0x165667b19e3779f9
+	saltKWay    uint64 = 0x27d4eb2f165667c5
+)
+
+// deriveSeed hashes a parent seed and structural coordinates into a child
+// seed with a splitmix64 chain, decorrelating sibling subproblems while
+// keeping every generator reproducible from Options.Seed alone.
+func deriveSeed(parent int64, coords ...uint64) int64 {
+	h := splitmix64(uint64(parent))
+	for _, c := range coords {
+		h = splitmix64(h ^ c)
+	}
+	return int64(h)
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap
+// avalanche mix whose output is uniformly distributed even for sequential
+// inputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// limiter bounds the number of *extra* goroutines one partitioning run may
+// have in flight: a run with Options.Parallelism = P holds P−1 slots, so at
+// most P workers (the calling goroutine plus the spawned ones) execute
+// concurrently. The nil limiter (Parallelism ≤ 1) grants no slots and the
+// run is strictly serial. Acquisition never blocks — when no slot is free
+// the caller simply does the work itself — so recursive fan-out cannot
+// deadlock however deep it nests.
+type limiter chan struct{}
+
+func newLimiter(parallelism int) limiter {
+	if parallelism <= 1 {
+		return nil
+	}
+	return make(limiter, parallelism-1)
+}
+
+// tryAcquire reserves a worker slot without blocking; the caller must
+// release it when the spawned work finishes.
+func (l limiter) tryAcquire() bool {
+	if l == nil {
+		return false
+	}
+	select {
+	case l <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l limiter) release() { <-l }

@@ -3,6 +3,7 @@ package partition
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"goldilocks/internal/graph"
 	"goldilocks/internal/resources"
@@ -84,7 +85,7 @@ func PartitionToFit(g *graph.Graph, capacity resources.Vector, targetUtil float6
 		}
 	}
 
-	root, err := splitToFit(g, all, demand, usable, 0, opts)
+	root, err := splitToFit(g, all, demand, usable, 0, opts, newLimiter(opts.Parallelism))
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +99,7 @@ func PartitionToFit(g *graph.Graph, capacity resources.Vector, targetUtil float6
 // means the bisection failed to make progress.
 const maxDepth = 64
 
-func splitToFit(g *graph.Graph, vertices []int, demand, usable resources.Vector, depth int, opts Options) (*Group, error) {
+func splitToFit(g *graph.Graph, vertices []int, demand, usable resources.Vector, depth int, opts Options, lim limiter) (*Group, error) {
 	grp := &Group{Vertices: vertices, Demand: demand, Depth: depth}
 	if demand.Fits(usable) {
 		return grp, nil
@@ -124,15 +125,22 @@ func splitToFit(g *graph.Graph, vertices []int, demand, usable resources.Vector,
 	// budget cascades into stranded half-full leaves; retry across seeds
 	// and progressively looser balance tolerances (chunky vertices can
 	// make tight fractions infeasible), keeping the split with the
-	// smallest combined child budget (cut weight breaks ties).
+	// smallest combined child budget (cut weight breaks ties). Each try's
+	// seed derives from the subproblem's structural coordinates (depth,
+	// first vertex, size, try), which both decorrelates sibling splits
+	// and keeps every random generator private to one goroutine — the
+	// ladder itself stays sequential because its early exit usually stops
+	// after one try, and speculating the later tries inflates total work,
+	// starving the recursion fan-out of worker slots.
 	var bestSide []int
 	bestBudget, bestCut := int(^uint(0)>>1), 0.0
 	epsLadder := []float64{opts.BalanceEps, opts.BalanceEps * 2, opts.BalanceEps * 4}
 	for try := 0; try < len(epsLadder); try++ {
 		subOpts := opts
 		subOpts.BalanceEps = epsLadder[try]
-		subOpts.Seed = opts.Seed + int64(depth)*7919 + int64(len(vertices)) + int64(try)*104729
-		bis := BisectFraction(sub, subOpts, frac)
+		subOpts.Seed = deriveSeed(opts.Seed, saltSplit,
+			uint64(depth), uint64(vertices[0]), uint64(len(vertices)), uint64(try))
+		bis := bisectFraction(sub, subOpts, frac, lim)
 		var ld, rd resources.Vector
 		for sv, side := range bis.Side {
 			w := g.VertexWeight(toOrig[sv])
@@ -178,12 +186,39 @@ func splitToFit(g *graph.Graph, vertices []int, demand, usable resources.Vector,
 		}
 	}
 
+	// The two child subproblems are fully independent (disjoint vertex
+	// sets, read-only access to g), so the right child runs on a spare
+	// worker slot when one is free. Child seeds depend only on structure,
+	// so the tree is identical however the recursion is scheduled.
 	var err error
-	grp.Left, err = splitToFit(g, leftV, leftD, usable, depth+1, opts)
+	if lim.tryAcquire() {
+		var (
+			rightGrp *Group
+			rightErr error
+			wg       sync.WaitGroup
+		)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer lim.release()
+			rightGrp, rightErr = splitToFit(g, rightV, rightD, usable, depth+1, opts, lim)
+		}()
+		grp.Left, err = splitToFit(g, leftV, leftD, usable, depth+1, opts, lim)
+		wg.Wait()
+		if err != nil {
+			return nil, err
+		}
+		if rightErr != nil {
+			return nil, rightErr
+		}
+		grp.Right = rightGrp
+		return grp, nil
+	}
+	grp.Left, err = splitToFit(g, leftV, leftD, usable, depth+1, opts, lim)
 	if err != nil {
 		return nil, err
 	}
-	grp.Right, err = splitToFit(g, rightV, rightD, usable, depth+1, opts)
+	grp.Right, err = splitToFit(g, rightV, rightD, usable, depth+1, opts, lim)
 	if err != nil {
 		return nil, err
 	}
@@ -260,7 +295,7 @@ func kwaySplit(g *graph.Graph, vertices []int, k int, opts Options, next *int, p
 	kRight := k - kLeft
 	sub, toOrig := g.Subgraph(vertices)
 	subOpts := opts
-	subOpts.Seed = opts.Seed + int64(len(vertices))*31 + int64(k)
+	subOpts.Seed = deriveSeed(opts.Seed, saltKWay, uint64(vertices[0]), uint64(len(vertices)), uint64(k))
 	frac := float64(kRight) / float64(k) // side 1 feeds the right recursion
 	bis := BisectFraction(sub, subOpts, frac)
 

@@ -2,6 +2,7 @@ package partition
 
 import (
 	"container/heap"
+	"sync"
 
 	"goldilocks/internal/graph"
 	"goldilocks/internal/resources"
@@ -75,6 +76,37 @@ func (h *gainHeap) Pop() interface{} {
 	return it
 }
 
+// fmScratch holds the per-call working memory of fmRefine: the gain and
+// stamp arrays plus the heap/move buckets rebuilt every pass. One refinement
+// runs per level per bisection, and a parallel partitioning run fires many
+// bisections at once, so these allocations dominate the partitioner's
+// allocation volume without pooling. Stamps need no reset between uses:
+// every pass bumps stamps[v] before publishing heap entries, so entries
+// from a previous owner can never match.
+type fmScratch struct {
+	gains    []float64
+	stamps   []uint64
+	locked   []bool
+	moves    []int
+	heap     gainHeap
+	deferred []gainItem
+}
+
+var fmScratchPool = sync.Pool{New: func() interface{} { return new(fmScratch) }}
+
+// grow resizes the vertex-indexed arrays to n, reallocating only when the
+// pooled capacity is too small.
+func (s *fmScratch) grow(n int) {
+	if cap(s.gains) < n {
+		s.gains = make([]float64, n)
+		s.stamps = make([]uint64, n)
+		s.locked = make([]bool, n)
+	}
+	s.gains = s.gains[:n]
+	s.stamps = s.stamps[:n]
+	s.locked = s.locked[:n]
+}
+
 // fmRefine runs Fiduccia–Mattheyses passes on the bisection in sideOf,
 // mutating it in place, and returns the resulting cut weight. frac is side
 // 1's target weight share. Each pass tentatively moves vertices in order of
@@ -89,10 +121,13 @@ func fmRefine(g *graph.Graph, sideOf []int, opts Options, frac float64) float64 
 	bal := newBalanceState(g, sideOf, opts.BalanceEps, frac)
 	cut := g.CutWeight(sideOf)
 
-	gains := make([]float64, n)
-	stamps := make([]uint64, n)
-	locked := make([]bool, n)
-	moves := make([]int, 0, n)
+	scr := fmScratchPool.Get().(*fmScratch)
+	scr.grow(n)
+	defer fmScratchPool.Put(scr)
+	gains := scr.gains
+	stamps := scr.stamps
+	locked := scr.locked
+	moves := scr.moves[:0]
 
 	computeGain := func(v int) float64 {
 		gain := 0.0
@@ -107,7 +142,7 @@ func fmRefine(g *graph.Graph, sideOf []int, opts Options, frac float64) float64 
 	}
 
 	for pass := 0; pass < opts.FMPasses; pass++ {
-		h := make(gainHeap, 0, n)
+		h := scr.heap[:0]
 		for v := 0; v < n; v++ {
 			locked[v] = false
 			gains[v] = computeGain(v)
@@ -120,7 +155,7 @@ func fmRefine(g *graph.Graph, sideOf []int, opts Options, frac float64) float64 
 		curCut := cut
 		bestCut := cut
 		bestPrefix := 0
-		deferred := make([]gainItem, 0, 8)
+		deferred := scr.deferred[:0]
 
 		for h.Len() > 0 {
 			it := heap.Pop(&h).(gainItem)
@@ -179,11 +214,15 @@ func fmRefine(g *graph.Graph, sideOf []int, opts Options, frac float64) float64 
 			bal.apply(g.VertexWeight(v), sideOf[v])
 			sideOf[v] = 1 - sideOf[v]
 		}
+		// Hand grown buffers back to the scratch so later passes (and the
+		// next pooled user) reuse their capacity.
+		scr.heap, scr.deferred = h[:0], deferred[:0]
 		if bestCut >= cut-1e-12 {
 			cut = bestCut
 			break // converged: no improvement this pass
 		}
 		cut = bestCut
 	}
+	scr.moves = moves
 	return cut
 }

@@ -22,7 +22,10 @@ type Goldilocks struct {
 	// Energy Efficiency point in every experiment. Defaults to 0.70.
 	TargetUtil float64
 	// Partition tunes the multilevel partitioner; the zero value uses
-	// partition.DefaultOptions.
+	// partition.DefaultOptions. Partitioning dominates the epoch's
+	// placement latency, so Partition.Parallelism (default GOMAXPROCS)
+	// bounds the worker pool the recursive bisection fans out on; results
+	// are identical at every parallelism level for a fixed Seed.
 	Partition partition.Options
 	// FaultDomain is the topology level replicas must not share (§IV-C:
 	// "different fault domains" — a ToR or power-supply failure takes

@@ -2,6 +2,8 @@ package topology
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"goldilocks/internal/graph"
 	"goldilocks/internal/partition"
@@ -43,6 +45,11 @@ func (t *Topology) CapacityGraph() (*graph.Graph, error) {
 // internally uniform. It returns the server groups in left-most order.
 // This is the §III-B automatic substructure discovery; it should recover
 // the racks/pods the builders created.
+//
+// Sibling subproblems of the recursion run concurrently up to
+// opts.Parallelism workers (≤ 0 means GOMAXPROCS); the group list is
+// assembled left-child-first, so the output order and contents match the
+// serial run exactly.
 func DiscoverSubstructures(g *graph.Graph, targetSize int, opts partition.Options) [][]int {
 	if targetSize < 1 {
 		targetSize = 1
@@ -51,16 +58,20 @@ func DiscoverSubstructures(g *graph.Graph, targetSize int, opts partition.Option
 	for i := range all {
 		all[i] = i
 	}
-	var out [][]int
-	discover(g, all, targetSize, opts, &out)
-	return out
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	var slots chan struct{}
+	if par > 1 {
+		slots = make(chan struct{}, par-1)
+	}
+	return discover(g, all, targetSize, opts, slots)
 }
 
-func discover(g *graph.Graph, vertices []int, targetSize int, opts partition.Options, out *[][]int) {
+func discover(g *graph.Graph, vertices []int, targetSize int, opts partition.Options, slots chan struct{}) [][]int {
 	if len(vertices) <= targetSize || uniformDistances(g, vertices) {
-		group := append([]int(nil), vertices...)
-		*out = append(*out, group)
-		return
+		return [][]int{append([]int(nil), vertices...)}
 	}
 	sub, toOrig := g.Subgraph(vertices)
 	// Max-cut = min-cut on the negated graph; the multilevel partitioner
@@ -85,12 +96,32 @@ func discover(g *graph.Graph, vertices []int, targetSize int, opts partition.Opt
 		}
 	}
 	if len(left) == 0 || len(right) == 0 {
-		group := append([]int(nil), vertices...)
-		*out = append(*out, group)
-		return
+		return [][]int{append([]int(nil), vertices...)}
 	}
-	discover(g, left, targetSize, opts, out)
-	discover(g, right, targetSize, opts, out)
+	var leftOut, rightOut [][]int
+	spawned := false
+	if slots != nil {
+		select {
+		case slots <- struct{}{}:
+			spawned = true
+		default:
+		}
+	}
+	if spawned {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-slots }()
+			rightOut = discover(g, right, targetSize, opts, slots)
+		}()
+		leftOut = discover(g, left, targetSize, opts, slots)
+		wg.Wait()
+	} else {
+		leftOut = discover(g, left, targetSize, opts, slots)
+		rightOut = discover(g, right, targetSize, opts, slots)
+	}
+	return append(leftOut, rightOut...)
 }
 
 // uniformDistances reports whether all pairwise distances inside the

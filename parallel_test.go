@@ -1,0 +1,69 @@
+// Determinism of the parallel partitioner through the public facade: the
+// experiment drivers reproduce the paper's figures on arbitrary hosts, so
+// PartitionToFit must yield the same tree whatever Parallelism is in
+// effect. The partition-internal tests cover synthetic shapes; this one
+// runs the real Mixture workload graph end-to-end.
+package goldilocks
+
+import (
+	"testing"
+
+	"goldilocks/internal/workload"
+)
+
+// serverCapacityFor sizes a synthetic server so the graph splits into
+// roughly the requested number of leaf groups, with a floor of twice the
+// largest single demand so no vertex is unplaceable.
+func serverCapacityFor(g *Graph, groups int) Vector {
+	total := g.TotalVertexWeight()
+	var maxV Vector
+	for v := 0; v < g.NumVertices(); v++ {
+		w := g.VertexWeight(v)
+		for d := range w {
+			if w[d] > maxV[d] {
+				maxV[d] = w[d]
+			}
+		}
+	}
+	cap := total.Scale(1 / float64(groups))
+	for d := range cap {
+		if cap[d] < 2*maxV[d] {
+			cap[d] = 2 * maxV[d]
+		}
+	}
+	return cap
+}
+
+func TestPartitionToFitMixtureParallelismInvariant(t *testing.T) {
+	spec := workload.MixtureWorkload(1200, 3)
+	g := spec.Graph()
+	cap := serverCapacityFor(g, 24)
+
+	opts := DefaultPartitionOptions()
+	opts.Seed = 42
+
+	opts.Parallelism = 1
+	serial, err := PartitionToFit(g, cap, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallelism = 8
+	parallel, err := PartitionToFit(g, cap, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if serial.Cut != parallel.Cut {
+		t.Fatalf("cut %v (serial) vs %v (parallel)", serial.Cut, parallel.Cut)
+	}
+	if len(serial.Leaves) != len(parallel.Leaves) {
+		t.Fatalf("leaf count %d (serial) vs %d (parallel)", len(serial.Leaves), len(parallel.Leaves))
+	}
+	sa := serial.Assignment(g.NumVertices())
+	pa := parallel.Assignment(g.NumVertices())
+	for v := range sa {
+		if sa[v] != pa[v] {
+			t.Fatalf("container %d in group %d (serial) vs %d (parallel)", v, sa[v], pa[v])
+		}
+	}
+}
