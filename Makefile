@@ -9,7 +9,11 @@ GO ?= go
 BENCH_PATTERN ?= Partition|Schedule|Place
 BENCH_COUNT   ?= 5
 
-.PHONY: all build test race bench fmt fmt-check vet ci
+# Per-target budget for the fuzz smoke run (each PartitionToFit invariant
+# target gets this much generated-input time on top of the seed corpus).
+FUZZTIME ?= 10s
+
+.PHONY: all build test race bench fmt fmt-check vet lint fuzz-smoke ci
 
 all: build test
 
@@ -37,4 +41,17 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build fmt-check vet race
+# goldilocks-lint: the determinism & invariant analyzers (maporder,
+# nondeterm, boundedgo) over the whole module. Violations fail the build;
+# see DESIGN.md §5.1.2 for the contract and the //lint:ignore waiver form.
+lint:
+	$(GO) run ./cmd/goldilocks-lint ./...
+
+# Short fuzzing budget for the PartitionToFit invariant targets — enough to
+# shake out regressions in CI without burning minutes. Seed corpora under
+# internal/partition/testdata/fuzz also run as plain test cases in `test`.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzPartitionToFit -fuzztime $(FUZZTIME) ./internal/partition
+	$(GO) test -run '^$$' -fuzz FuzzPartitionAntiAffinity -fuzztime $(FUZZTIME) ./internal/partition
+
+ci: build fmt-check vet lint race

@@ -1,0 +1,63 @@
+// goldilocks-lint runs the determinism and invariant analyzers of
+// internal/lint over the given package patterns (default ./...), in the
+// style of a golang.org/x/tools multichecker driver:
+//
+//	goldilocks-lint [flags] [packages]
+//
+// Diagnostics print as file:line:col: message (analyzer) and a non-empty
+// report exits 1, so `make lint` and the CI lint job fail the build on any
+// unwaived violation. Exit code 2 means the driver itself failed (bad
+// pattern, package does not type-check).
+//
+// Suppress a finding in place with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on (or directly above) the offending line; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"goldilocks/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	dir := flag.String("C", ".", "directory of the module to analyze")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: goldilocks-lint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	pkgs, err := lint.Load(*dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "goldilocks-lint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

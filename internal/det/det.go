@@ -1,0 +1,23 @@
+// Package det provides deterministic iteration helpers for the packages
+// bound by the scheduling-determinism contract (see internal/lint). Go
+// randomizes map iteration order per run; ranging over SortedKeys instead
+// makes the visit order a pure function of the map's contents, which is
+// what the maporder analyzer demands of every order-sensitive loop.
+package det
+
+import (
+	"cmp"
+	"sort"
+)
+
+// SortedKeys returns the keys of m in ascending order. The copy is
+// deliberate: callers range over the returned slice, so the loop order is
+// reproducible across runs, processes, and Go versions.
+func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -1,0 +1,30 @@
+package det
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeysInts(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b", -7: "z"}
+	if got, want := SortedKeys(m), []int{-7, 1, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedKeys = %v, want %v", got, want)
+	}
+}
+
+func TestSortedKeysStrings(t *testing.T) {
+	m := map[string]int{"queue": 1, "cache": 2, "db": 3}
+	if got, want := SortedKeys(m), []string{"cache", "db", "queue"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedKeys = %v, want %v", got, want)
+	}
+}
+
+func TestSortedKeysEmptyAndNil(t *testing.T) {
+	if got := SortedKeys(map[int]int{}); len(got) != 0 {
+		t.Fatalf("SortedKeys(empty) = %v", got)
+	}
+	var nilMap map[string]bool
+	if got := SortedKeys(nilMap); len(got) != 0 {
+		t.Fatalf("SortedKeys(nil) = %v", got)
+	}
+}

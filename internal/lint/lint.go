@@ -1,0 +1,119 @@
+// Package lint implements goldilocks-lint: a suite of static analyzers
+// that turn the scheduling-determinism contract of the deterministic
+// packages (see DeterministicPackages) into a machine-checked property.
+//
+// The paper's epoch loop re-places the whole cluster every epoch and
+// compares the new placement against the previous one to compute migration
+// cost; that comparison — and every figure reproduced from the paper — is
+// meaningful only if placement is a pure function of (workload, topology,
+// Options.Seed). Three analyzers guard the ways Go code silently breaks
+// that purity:
+//
+//   - maporder:  `for ... range` over a map in a deterministic package,
+//     unless the loop body is provably order-insensitive.
+//   - nondeterm: wall-clock reads (time.Now) and global-RNG use
+//     (math/rand top-level functions, rand.New over a shared Source).
+//   - boundedgo: `go` statements that bypass the bounded worker pool
+//     (partition.Limiter), which both caps goroutine fan-out and keeps
+//     randomness private to each subproblem.
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer/Pass/Diagnostic) so the suite can be rehosted on the upstream
+// multichecker verbatim once the dependency is available; the toolchain
+// here is stdlib-only (go/ast, go/types, and `go list -export` for
+// dependency export data) so the linter builds in a hermetic environment.
+//
+// False positives are waived in place with
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// on (or immediately above) the offending line. The reason is mandatory:
+// a waiver without one does not suppress anything.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DeterministicPackages lists the import-path suffixes of the packages
+// bound by the determinism contract. A package is covered when its import
+// path contains one of these entries as a whole path-segment sequence, so
+// the list matches both the real module ("goldilocks/internal/partition")
+// and test fixtures ("fixture/internal/partition/maporder").
+var DeterministicPackages = []string{
+	"internal/partition",
+	"internal/scheduler",
+	"internal/topology",
+	"internal/graph",
+	"internal/vc",
+	"internal/migrate",
+}
+
+// IsDeterministicPackage reports whether the import path is bound by the
+// determinism contract.
+func IsDeterministicPackage(path string) bool {
+	padded := "/" + path + "/"
+	for _, seg := range DeterministicPackages {
+		if strings.Contains(padded, "/"+seg+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// An Analyzer describes one static check. The shape matches
+// golang.org/x/tools/go/analysis.Analyzer so the checks can later be
+// rehosted on the upstream driver without modification.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore waivers. It must be a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph help text shown by the driver.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings via
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer with the parsed, type-checked view of a
+// single package and a sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form
+// consumed by editors and CI annotations.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Analyzers returns the full goldilocks-lint suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MapOrderAnalyzer, NonDetermAnalyzer, BoundedGoAnalyzer}
+}

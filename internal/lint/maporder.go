@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrderAnalyzer flags `for ... range` over map values inside the
+// deterministic packages. Go randomizes map iteration order per run, so any
+// such loop whose effect depends on visit order makes placement differ
+// between two runs with identical inputs — exactly the bug class the
+// epoch-over-epoch migration accounting cannot tolerate.
+//
+// A loop escapes the check when its body is provably order-insensitive:
+// every statement either writes through an index expression whose index is
+// the range key itself (distinct iterations touch distinct elements) or
+// into a map (building a map/set commutes), accumulates with a commutative
+// operator (+=, *=, |=, &=, ^=, ++, --), deletes from a map, or is control
+// flow (if/block/continue) recursively composed of the same. Anything
+// else — appending to a slice, min/max selection with tie-breaks, early
+// returns, arbitrary calls — is assumed order-sensitive and must either
+// range over det.SortedKeys(m) or carry a //lint:ignore maporder waiver.
+var MapOrderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc: "flags range-over-map in deterministic packages unless the loop body " +
+		"is provably order-insensitive (map/set writes, commutative accumulation)",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !IsDeterministicPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitiveBlock(pass, rng.Body, rangeKeyObj(pass, rng)) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"range over map %s has an order-sensitive body; range over det.SortedKeys(%s) or waive with //lint:ignore maporder <reason>",
+				types.ExprString(rng.X), types.ExprString(rng.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// rangeKeyObj resolves the object of the loop's key variable, or nil when
+// the key is blank, absent, or not a plain identifier.
+func rangeKeyObj(pass *Pass, rng *ast.RangeStmt) types.Object {
+	id, ok := rng.Key.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj, ok := pass.TypesInfo.Defs[id]; ok && obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// orderInsensitiveBlock reports whether executing the statements once per
+// map entry yields the same final state for every visit order. key is the
+// loop's key variable (nil if unnamed): map keys are distinct, so writes
+// indexed by the key land on distinct elements.
+func orderInsensitiveBlock(pass *Pass, b *ast.BlockStmt, key types.Object) bool {
+	for _, s := range b.List {
+		if !orderInsensitiveStmt(pass, s, key) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(pass *Pass, s ast.Stmt, key types.Object) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.DEFINE:
+			return true // loop-local variable, dies with the iteration
+		case token.ASSIGN:
+			// Plain assignment commutes only when each target is private
+			// to this iteration: an element indexed by the (distinct)
+			// range key, or a map entry in the set-building idiom.
+			for _, lhs := range s.Lhs {
+				if !isKeyIndexed(pass, lhs, key) && !isMapIndex(pass, lhs) {
+					return false
+				}
+			}
+			return true
+		case token.ADD_ASSIGN, token.MUL_ASSIGN, token.OR_ASSIGN,
+			token.AND_ASSIGN, token.XOR_ASSIGN:
+			// Commutative, associative reductions: the float caveat
+			// (a+b)+c ≠ a+(b+c) is accepted — the partitioner's own
+			// reductions tolerate it and the alternative flags every sum.
+			return true
+		default:
+			return false
+		}
+	case *ast.IncDecStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+			if obj, ok := pass.TypesInfo.Uses[id]; ok {
+				if b, ok := obj.(*types.Builtin); ok && b.Name() == "delete" {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		// The condition may read anything; only the branch effects matter.
+		// An if whose init statement has effects is out of scope.
+		if s.Init != nil {
+			return false
+		}
+		if !orderInsensitiveBlock(pass, s.Body, key) {
+			return false
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			return orderInsensitiveBlock(pass, e, key)
+		case *ast.IfStmt:
+			return orderInsensitiveStmt(pass, e, key)
+		default:
+			return false
+		}
+	case *ast.BlockStmt:
+		return orderInsensitiveBlock(pass, s, key)
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE && s.Label == nil
+	default:
+		return false
+	}
+}
+
+// isKeyIndexed reports whether e is an index expression whose index is
+// exactly the range key variable (x[k]); map keys are distinct, so each
+// iteration writes a distinct element whatever the container type.
+func isKeyIndexed(pass *Pass, e ast.Expr, key types.Object) bool {
+	if key == nil {
+		return false
+	}
+	idx, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(idx.Index).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return pass.TypesInfo.Uses[id] == key || pass.TypesInfo.Defs[id] == key
+}
+
+// isMapIndex reports whether e is an index expression into a map.
+func isMapIndex(pass *Pass, e ast.Expr) bool {
+	idx, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[idx.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}

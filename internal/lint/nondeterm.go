@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NonDetermAnalyzer bans ambient entropy sources in the deterministic
+// packages:
+//
+//   - time.Now — placement must not depend on the wall clock; epochs get
+//     their timestamps from the simulation/monitor layer, never from the
+//     placement core.
+//   - math/rand (and math/rand/v2) top-level functions — they draw from the
+//     process-global generator, which is shared across goroutines and
+//     seeded per-process, so two runs (or two parallelism levels) diverge.
+//   - rand.New over anything but an inline rand.NewSource(...) — a shared
+//     *rand.Source threaded through calls reintroduces draw-order
+//     coupling between subproblems.
+//
+// The sanctioned pattern is PR 1's seed threading: derive a private seed
+// with partition.deriveSeed (splitmix64 over Options.Seed and the
+// subproblem's structural coordinates) and build a local generator with
+// rand.New(rand.NewSource(seed)).
+var NonDetermAnalyzer = &Analyzer{
+	Name: "nondeterm",
+	Doc: "bans time.Now, math/rand global functions, and rand.New over shared " +
+		"sources in deterministic packages; thread seeds via splitmix64 instead",
+	Run: runNonDeterm,
+}
+
+// randConstructors are the math/rand entry points that do not touch the
+// global generator; everything else at package level does.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runNonDeterm(pass *Pass) error {
+	if !IsDeterministicPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" {
+					pass.Reportf(call.Pos(),
+						"time.Now in a deterministic package: placement must be a pure function of (workload, topology, seed)")
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"%s.%s draws from the process-global RNG; derive a private generator from Options.Seed via splitmix64 seed threading",
+						fn.Pkg().Name(), fn.Name())
+				} else if fn.Name() == "New" && !isInlineSource(pass, call) {
+					pass.Reportf(call.Pos(),
+						"rand.New over a shared Source couples random draws across subproblems; seed inline with rand.NewSource(derivedSeed)")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves the called package-level function, or nil.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// isInlineSource reports whether every argument of rand.New is itself a
+// direct rand.NewSource/NewPCG/NewChaCha8 call, i.e. the generator owns a
+// private source that cannot be shared with another goroutine.
+func isInlineSource(pass *Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn := calleeFunc(pass, inner)
+		if fn == nil || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() {
+		case "math/rand", "math/rand/v2":
+			if !randConstructors[fn.Name()] || fn.Name() == "New" {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return len(call.Args) > 0
+}

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// waiverRe matches staticcheck-style suppression comments:
+//
+//	//lint:ignore maporder iteration feeds a commutative reduction
+//	//lint:ignore maporder,boundedgo shared justification
+//
+// The reason after the analyzer list is mandatory.
+var waiverRe = regexp.MustCompile(`^//\s*lint:ignore\s+([A-Za-z0-9_,]+)\s+(\S.*)$`)
+
+// waiverKey identifies one (file, line, analyzer) suppression.
+type waiverKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectWaivers scans a package's comments for //lint:ignore directives. A
+// directive waives its own source line and the line below it, so both
+// trailing comments and own-line comments above the offending statement
+// work.
+func collectWaivers(pkg *Package, into map[waiverKey]bool) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := waiverRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					into[waiverKey{pos.Filename, pos.Line, name}] = true
+					into[waiverKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position. Diagnostics on lines carrying a matching
+// //lint:ignore waiver are dropped. Analyzer Run errors abort the whole
+// run: a broken analyzer must fail loudly, not pass silently.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	waivers := make(map[waiverKey]bool)
+	for _, pkg := range pkgs {
+		collectWaivers(pkg, waivers)
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+				report: func(d Diagnostic) {
+					if waivers[waiverKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+						return
+					}
+					diags = append(diags, d)
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,18 @@
+// Package uncovered sits outside the deterministic-package set, so none of
+// the goldilocks-lint analyzers may fire here — experiment drivers and
+// reporting code are free to use wall clocks, global RNG, and map ranges.
+package uncovered
+
+import (
+	"math/rand"
+	"time"
+)
+
+func allAllowedHere(m map[string]int, work func()) ([]int, time.Time, int) {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	go work()
+	return out, time.Now(), rand.Intn(10)
+}

@@ -1,0 +1,60 @@
+// Package boundedgofix is a goldilocks-lint fixture for the boundedgo
+// analyzer: goroutines in deterministic packages must hold a bounded
+// worker-pool slot (acquired without blocking, released by the goroutine).
+package boundedgofix
+
+import "sync"
+
+// pool mirrors partition.Limiter's slot discipline.
+type pool chan struct{}
+
+func (p pool) TryAcquire() bool {
+	select {
+	case p <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p pool) Release() { <-p }
+
+// Flagged: an unbounded launch outside any pool.
+func unbounded(work func()) {
+	go work() // want `goroutine launched outside the bounded worker pool`
+}
+
+// Flagged: a literal that never returns a slot is still unbounded.
+func unboundedLiteral(items []int, f func(int)) {
+	for _, it := range items {
+		it := it
+		go func() { // want `goroutine launched outside the bounded worker pool`
+			f(it)
+		}()
+	}
+}
+
+// Not flagged (false positive guard): the sanctioned pattern — slot
+// acquired without blocking, released by the spawned goroutine.
+func pooled(p pool, left, right func()) {
+	if p.TryAcquire() {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer p.Release()
+			right()
+		}()
+		left()
+		wg.Wait()
+		return
+	}
+	left()
+	right()
+}
+
+// Not flagged: waived with a reason (lifecycle goroutine, not a worker).
+func waived(loop func()) {
+	//lint:ignore boundedgo fixture: singleton background loop, not partition fan-out
+	go loop()
+}

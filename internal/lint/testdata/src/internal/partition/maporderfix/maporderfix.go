@@ -1,0 +1,106 @@
+// Package maporderfix is a goldilocks-lint fixture: its import path places
+// it inside the deterministic-package set, and every `// want` comment
+// declares a diagnostic the maporder analyzer must produce on that line.
+package maporderfix
+
+import "sort"
+
+// Flagged: appending map values to a slice bakes the random visit order
+// into the result.
+func collectValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `range over map m has an order-sensitive body`
+		out = append(out, v)
+	}
+	return out
+}
+
+// Flagged: min/max selection with a tie on value resolves by visit order.
+func pickAny(m map[string]int) string {
+	best := ""
+	bestV := -1
+	for k, v := range m { // want `range over map m has an order-sensitive body`
+		if v > bestV {
+			best, bestV = k, v
+		}
+	}
+	return best
+}
+
+// Flagged: early return leaks the first-visited entry.
+func firstKey(m map[int]bool) int {
+	for k := range m { // want `range over map m has an order-sensitive body`
+		return k
+	}
+	return -1
+}
+
+// Not flagged (false positive guard): a commutative reduction is the same
+// in every visit order.
+func sumValues(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Not flagged (false positive guard): building a map/set writes a distinct
+// key per iteration.
+func invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// Not flagged (false positive guard): writes indexed by the range key land
+// on distinct slice elements; counting and deleting commute too.
+func mixedInsensitive(m map[int]int, out []int, drop map[int]bool) int {
+	n := 0
+	for k, v := range m {
+		if drop[k] {
+			delete(drop, k)
+			continue
+		}
+		out[k] = v
+		n++
+	}
+	return n
+}
+
+// Not flagged: the sanctioned fix — range over the sorted key slice.
+func sortedWalk(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	//lint:ignore maporder key collection feeds sort.Strings on the next line
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Not flagged: waived with a reason on the preceding line.
+func waived(m map[string][]int) [][]int {
+	var groups [][]int
+	//lint:ignore maporder fixture: downstream consumer sorts the groups
+	for _, g := range m {
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// Still flagged: a waiver without a reason does not suppress.
+func waivedWithoutReason(m map[string]int) []int {
+	var out []int
+	//lint:ignore maporder
+	for _, v := range m { // want `range over map m has an order-sensitive body`
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+// Package nondetermfix is a goldilocks-lint fixture for the nondeterm
+// analyzer: ambient entropy (wall clock, process-global RNG, shared
+// sources) inside a deterministic package.
+package nondetermfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Flagged: the wall clock is not part of (workload, topology, seed).
+func epochStamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in a deterministic package`
+}
+
+// Flagged: top-level math/rand functions draw from the process-global RNG.
+func globalDraws(n int) (int, float64) {
+	i := rand.Intn(n)   // want `rand.Intn draws from the process-global RNG`
+	f := rand.Float64() // want `rand.Float64 draws from the process-global RNG`
+	return i, f
+}
+
+// Flagged: a generator over a shared Source couples draw order across
+// callers.
+func fromShared(src rand.Source) *rand.Rand {
+	return rand.New(src) // want `rand.New over a shared Source`
+}
+
+// Not flagged (false positive guard): the sanctioned seed-threaded
+// pattern — a private generator over an inline source, consumed through
+// methods.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(100)
+}
+
+// Not flagged: waived with a reason (diagnostics-only path, never placement).
+func debugStamp() time.Time {
+	//lint:ignore nondeterm fixture: log timestamp never feeds a placement decision
+	return time.Now()
+}

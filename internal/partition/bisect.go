@@ -32,13 +32,13 @@ func Bisect(g *graph.Graph, opts Options) Bisection {
 // ~1/k of the weight (Eq. 3).
 func BisectFraction(g *graph.Graph, opts Options, frac float64) Bisection {
 	opts = opts.withDefaults()
-	return bisectFraction(g, opts, frac, newLimiter(opts.Parallelism))
+	return bisectFraction(g, opts, frac, NewLimiter(opts.Parallelism))
 }
 
 // bisectFraction is BisectFraction with opts already defaulted and an
 // explicit worker-slot limiter, so the recursive driver can share one
 // run-wide parallelism budget across every nested bisection.
-func bisectFraction(g *graph.Graph, opts Options, frac float64, lim limiter) Bisection {
+func bisectFraction(g *graph.Graph, opts Options, frac float64, lim Limiter) Bisection {
 	if frac <= 0 || frac >= 1 {
 		frac = 0.5
 	}
@@ -77,7 +77,7 @@ func bisectFraction(g *graph.Graph, opts Options, frac float64, lim limiter) Bis
 // ties), so the result does not depend on completion order. Falls back to
 // a weight-balanced split when growing cannot balance (e.g. all edges
 // negative).
-func initialBisection(g *graph.Graph, opts Options, frac float64, lim limiter) []int {
+func initialBisection(g *graph.Graph, opts Options, frac float64, lim Limiter) []int {
 	n := g.NumVertices()
 	total := g.TotalVertexWeight()
 	target := total.Scale(frac)
@@ -105,11 +105,11 @@ func initialBisection(g *graph.Graph, opts Options, frac float64, lim limiter) [
 	var wg sync.WaitGroup
 	for try := 0; try < opts.InitialTries; try++ {
 		// The last try runs inline: the caller would otherwise idle.
-		if try < opts.InitialTries-1 && lim.tryAcquire() {
+		if try < opts.InitialTries-1 && lim.TryAcquire() {
 			wg.Add(1)
 			go func(t int) {
 				defer wg.Done()
-				defer lim.release()
+				defer lim.Release()
 				runTry(t)
 			}(try)
 		} else {

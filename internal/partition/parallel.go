@@ -44,25 +44,32 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// limiter bounds the number of *extra* goroutines one partitioning run may
+// Limiter bounds the number of *extra* goroutines one partitioning run may
 // have in flight: a run with Options.Parallelism = P holds P−1 slots, so at
 // most P workers (the calling goroutine plus the spawned ones) execute
-// concurrently. The nil limiter (Parallelism ≤ 1) grants no slots and the
+// concurrently. The nil Limiter (Parallelism ≤ 1) grants no slots and the
 // run is strictly serial. Acquisition never blocks — when no slot is free
 // the caller simply does the work itself — so recursive fan-out cannot
 // deadlock however deep it nests.
-type limiter chan struct{}
+//
+// Limiter is the only sanctioned way to launch goroutines in the
+// deterministic packages: the boundedgo analyzer (internal/lint) flags any
+// `go` statement whose goroutine does not release a Limiter slot, so every
+// concurrent region stays within the Options.Parallelism budget.
+type Limiter chan struct{}
 
-func newLimiter(parallelism int) limiter {
+// NewLimiter sizes a pool for the given parallelism level; levels ≤ 1
+// return the nil (strictly serial) Limiter.
+func NewLimiter(parallelism int) Limiter {
 	if parallelism <= 1 {
 		return nil
 	}
-	return make(limiter, parallelism-1)
+	return make(Limiter, parallelism-1)
 }
 
-// tryAcquire reserves a worker slot without blocking; the caller must
-// release it when the spawned work finishes.
-func (l limiter) tryAcquire() bool {
+// TryAcquire reserves a worker slot without blocking; the caller must
+// Release it when the spawned work finishes.
+func (l Limiter) TryAcquire() bool {
 	if l == nil {
 		return false
 	}
@@ -74,4 +81,5 @@ func (l limiter) tryAcquire() bool {
 	}
 }
 
-func (l limiter) release() { <-l }
+// Release returns a slot taken by TryAcquire to the pool.
+func (l Limiter) Release() { <-l }

@@ -85,7 +85,7 @@ func PartitionToFit(g *graph.Graph, capacity resources.Vector, targetUtil float6
 		}
 	}
 
-	root, err := splitToFit(g, all, demand, usable, 0, opts, newLimiter(opts.Parallelism))
+	root, err := splitToFit(g, all, demand, usable, 0, opts, NewLimiter(opts.Parallelism))
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +99,7 @@ func PartitionToFit(g *graph.Graph, capacity resources.Vector, targetUtil float6
 // means the bisection failed to make progress.
 const maxDepth = 64
 
-func splitToFit(g *graph.Graph, vertices []int, demand, usable resources.Vector, depth int, opts Options, lim limiter) (*Group, error) {
+func splitToFit(g *graph.Graph, vertices []int, demand, usable resources.Vector, depth int, opts Options, lim Limiter) (*Group, error) {
 	grp := &Group{Vertices: vertices, Demand: demand, Depth: depth}
 	if demand.Fits(usable) {
 		return grp, nil
@@ -191,7 +191,7 @@ func splitToFit(g *graph.Graph, vertices []int, demand, usable resources.Vector,
 	// worker slot when one is free. Child seeds depend only on structure,
 	// so the tree is identical however the recursion is scheduled.
 	var err error
-	if lim.tryAcquire() {
+	if lim.TryAcquire() {
 		var (
 			rightGrp *Group
 			rightErr error
@@ -200,7 +200,7 @@ func splitToFit(g *graph.Graph, vertices []int, demand, usable resources.Vector,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer lim.release()
+			defer lim.Release()
 			rightGrp, rightErr = splitToFit(g, rightV, rightD, usable, depth+1, opts, lim)
 		}()
 		grp.Left, err = splitToFit(g, leftV, leftD, usable, depth+1, opts, lim)

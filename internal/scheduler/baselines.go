@@ -123,6 +123,19 @@ func newPacker(load *serverLoad, capacities []resources.Vector) *packer {
 		}
 		p.emptyQueue[c] = append(p.emptyQueue[c], s)
 	}
+	// Canonical class order (ascending lexicographic), not first-seen
+	// order: candidate iteration — and therefore every tie-break among
+	// equally-scored empty servers — must depend on the capacity classes
+	// present, never on how the topology happened to order its servers.
+	sort.Slice(p.classes, func(i, j int) bool {
+		a, b := p.classes[i], p.classes[j]
+		for d := range a {
+			if a[d] != b[d] {
+				return a[d] < b[d]
+			}
+		}
+		return false
+	})
 	return p
 }
 

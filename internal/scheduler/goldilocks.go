@@ -3,6 +3,7 @@ package scheduler
 import (
 	"fmt"
 
+	"goldilocks/internal/det"
 	"goldilocks/internal/graph"
 	"goldilocks/internal/partition"
 	"goldilocks/internal/resources"
@@ -156,7 +157,11 @@ func repairAntiAffinityAt(req Request, placement []int, target float64, domain t
 		numDomains = len(subtrees)
 	}
 
-	for _, members := range byGroup {
+	// Repairs mutate `loads`, so which server wins a relocation depends on
+	// the groups already repaired: iterate groups in sorted-name order to
+	// keep the outcome reproducible (maporder contract).
+	for _, name := range det.SortedKeys(byGroup) {
+		members := byGroup[name]
 		// Degrade to server granularity when domains are scarcer than
 		// replicas: distinct servers is the strongest satisfiable goal.
 		dOf, nD := domainOf, numDomains

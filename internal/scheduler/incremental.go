@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"goldilocks/internal/det"
 	"goldilocks/internal/graph"
 	"goldilocks/internal/resources"
 )
@@ -222,8 +223,12 @@ func (p *IncrementalGoldilocks) consolidate(req Request, g *graph.Graph, placeme
 		for _, s := range placement {
 			count[s]++
 		}
+		// Sorted server order makes the lightest-server tie-break (equal
+		// count, equal utilization) reproducible: the lowest server id
+		// wins instead of whichever key the map yields first.
 		victim, victimCount := -1, 0
-		for s, c := range count {
+		for _, s := range det.SortedKeys(count) {
+			c := count[s]
 			if victim < 0 || c < victimCount ||
 				(c == victimCount && loads[s].MaxUtilization(req.Topo.Capacity[s]) < loads[victim].MaxUtilization(req.Topo.Capacity[victim])) {
 				victim, victimCount = s, c

@@ -62,14 +62,10 @@ func DiscoverSubstructures(g *graph.Graph, targetSize int, opts partition.Option
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	var slots chan struct{}
-	if par > 1 {
-		slots = make(chan struct{}, par-1)
-	}
-	return discover(g, all, targetSize, opts, slots)
+	return discover(g, all, targetSize, opts, partition.NewLimiter(par))
 }
 
-func discover(g *graph.Graph, vertices []int, targetSize int, opts partition.Options, slots chan struct{}) [][]int {
+func discover(g *graph.Graph, vertices []int, targetSize int, opts partition.Options, lim partition.Limiter) [][]int {
 	if len(vertices) <= targetSize || uniformDistances(g, vertices) {
 		return [][]int{append([]int(nil), vertices...)}
 	}
@@ -99,27 +95,19 @@ func discover(g *graph.Graph, vertices []int, targetSize int, opts partition.Opt
 		return [][]int{append([]int(nil), vertices...)}
 	}
 	var leftOut, rightOut [][]int
-	spawned := false
-	if slots != nil {
-		select {
-		case slots <- struct{}{}:
-			spawned = true
-		default:
-		}
-	}
-	if spawned {
+	if lim.TryAcquire() {
 		var wg sync.WaitGroup
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer func() { <-slots }()
-			rightOut = discover(g, right, targetSize, opts, slots)
+			defer lim.Release()
+			rightOut = discover(g, right, targetSize, opts, lim)
 		}()
-		leftOut = discover(g, left, targetSize, opts, slots)
+		leftOut = discover(g, left, targetSize, opts, lim)
 		wg.Wait()
 	} else {
-		leftOut = discover(g, left, targetSize, opts, slots)
-		rightOut = discover(g, right, targetSize, opts, slots)
+		leftOut = discover(g, left, targetSize, opts, lim)
+		rightOut = discover(g, right, targetSize, opts, lim)
 	}
 	return append(leftOut, rightOut...)
 }

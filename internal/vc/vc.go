@@ -68,6 +68,8 @@ type Placement struct {
 
 // Release returns all committed reservations to the topology.
 func (p *Placement) Release() {
+	// Each link's release only adds back to that link's own residual.
+	//lint:ignore maporder per-link releases are independent; any order restores the same residuals
 	for l, mbps := range p.Reserved {
 		l.Release(mbps)
 	}
@@ -148,8 +150,11 @@ func tryPlaceGroup(topo *topology.Topology, sub *topology.Node, g Group, targetU
 	})
 
 	ceil := resources.UtilizationCaps(targetUtil)
-	assignment := make(map[int]int, len(g.Containers)) // member idx → server
-	tentative := make(map[int]resources.Vector)        // server → extra load
+	// Member→server assignment is dense (every member gets a server or the
+	// whole attempt fails), so a slice keeps later commit loops ordered by
+	// member index instead of map order.
+	assignment := make([]int, len(g.Containers))
+	tentative := make(map[int]resources.Vector) // server → extra load
 	for _, m := range order {
 		placedOn := -1
 		for _, s := range sub.ServerIDs {
@@ -181,6 +186,10 @@ func tryPlaceGroup(topo *topology.Topology, sub *topology.Node, g Group, targetU
 	for m, s := range assignment {
 		pl.ServerOf[g.Containers[m]] = s
 	}
+	// Each link appears once in `reservations`, and Reserve only
+	// subtracts from that link's own residual, so the commit is
+	// order-insensitive.
+	//lint:ignore maporder per-link commits are independent; no order can change the final residuals
 	for l, r := range reservations {
 		if !l.Reserve(r) {
 			// computeReservations already checked residuals; a failed
@@ -197,7 +206,7 @@ func tryPlaceGroup(topo *topology.Topology, sub *topology.Node, g Group, targetU
 // covers the uplink of sub itself and of every descendant subtree that
 // holds a strict subset of the group (rack boundaries when the group spans
 // racks inside a pod, and the server NIC links).
-func computeReservations(topo *topology.Topology, sub *topology.Node, g Group, assignment map[int]int) (map[*topology.Link]float64, bool) {
+func computeReservations(topo *topology.Topology, sub *topology.Node, g Group, assignment []int) (map[*topology.Link]float64, bool) {
 	totalB := g.totalBandwidth()
 	interB := g.interBandwidth()
 
@@ -216,6 +225,10 @@ func computeReservations(topo *topology.Topology, sub *topology.Node, g Group, a
 	}
 
 	res := make(map[*topology.Link]float64, len(insideB))
+	// Every node writes to its own uplink's entry and an over-residual
+	// boundary returns the same (nil, false) whichever member finds it
+	// first, so visit order cannot change the result.
+	//lint:ignore maporder distinct uplink per node and order-independent failure result
 	for n, inB := range insideB {
 		if n.Uplink == nil {
 			continue // root: no outbound boundary
