@@ -47,11 +47,13 @@ vet:
 lint:
 	$(GO) run ./cmd/goldilocks-lint ./...
 
-# Short fuzzing budget for the PartitionToFit invariant targets — enough to
-# shake out regressions in CI without burning minutes. Seed corpora under
-# internal/partition/testdata/fuzz also run as plain test cases in `test`.
+# Short fuzzing budget for the invariant targets — enough to shake out
+# regressions in CI without burning minutes. Seed corpora under
+# internal/{partition,vc}/testdata/fuzz also run as plain test cases in
+# `test`.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzPartitionToFit -fuzztime $(FUZZTIME) ./internal/partition
 	$(GO) test -run '^$$' -fuzz FuzzPartitionAntiAffinity -fuzztime $(FUZZTIME) ./internal/partition
+	$(GO) test -run '^$$' -fuzz FuzzVCPlaceAsymmetric -fuzztime $(FUZZTIME) ./internal/vc
 
 ci: build fmt-check vet lint race

@@ -7,19 +7,49 @@
 //	goldilocks-sim -experiment fig13 -arity 28     # paper-scale Fig. 13
 //
 // Experiments: fig1a fig1b fig2 fig3 table2 fig5 fig7 fig9 fig10 fig11
-// fig12 fig13 all. Output is the text table corresponding to the figure's
-// series; see EXPERIMENTS.md for the paper-vs-measured comparison.
+// fig12 fig13 ext-incremental chaos all. Output is the text table
+// corresponding to the figure's series; see EXPERIMENTS.md for the
+// paper-vs-measured comparison. The chaos experiment sweeps seeded fault
+// injection (-mttf, -mttr, -burst) over all policies plus the incremental
+// variant, under one identical fault schedule per cell.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"goldilocks/internal/experiments"
 	"goldilocks/internal/trace"
 )
+
+// parseFloats parses a comma-separated list like "6,3".
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseInts parses a comma-separated list like "1,3".
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
 
 func main() {
 	var (
@@ -28,13 +58,16 @@ func main() {
 		epochs = flag.Int("epochs", 0, "override epoch count for fig9/fig10/fig13 (0 = paper default)")
 		arity  = flag.Int("arity", 12, "fat-tree arity for fig13 (28 = paper scale: 5488 servers)")
 		flows  = flag.Int("netsim-flows", 2000, "flow-level sample size for fig13 (0 disables)")
-		csvOut = flag.Bool("csv", false, "emit CSV instead of text tables (fig9, fig10, fig13)")
+		csvOut = flag.Bool("csv", false, "emit CSV instead of text tables (fig9, fig10, fig13, chaos)")
+		mttf   = flag.String("mttf", "", "chaos: comma-separated per-server MTTF sweep, in epochs (default 6,3)")
+		mttr   = flag.Float64("mttr", 0, "chaos: mean outage duration in epochs (default 1.5)")
+		burst  = flag.String("burst", "", "chaos: comma-separated crash burst-size sweep (default 1,3)")
 	)
 	flag.Parse()
 
 	ids := strings.Split(strings.ToLower(*exp), ",")
 	if *exp == "all" {
-		ids = []string{"fig1a", "fig1b", "fig2", "fig3", "table2", "fig5", "fig7", "fig12", "fig9", "fig10", "fig11", "fig13", "ext-incremental"}
+		ids = []string{"fig1a", "fig1b", "fig2", "fig3", "table2", "fig5", "fig7", "fig12", "fig9", "fig10", "fig11", "fig13", "ext-incremental", "chaos"}
 	}
 
 	// fig11 needs fig9+fig10 results; cache them across ids.
@@ -133,6 +166,35 @@ func main() {
 				} else {
 					fmt.Printf("servers=%d containers=%d\n", r.NumServers, r.Containers)
 					r.Print(os.Stdout)
+				}
+			}
+		case "chaos":
+			opts := experiments.DefaultChaos()
+			opts.Seed = *seed
+			if *epochs > 0 {
+				opts.Epochs = *epochs
+			}
+			if *mttr > 0 {
+				opts.MTTREpochs = *mttr
+			}
+			if *mttf != "" {
+				if opts.MTTFEpochs, err = parseFloats(*mttf); err != nil {
+					err = fmt.Errorf("bad -mttf: %w", err)
+				}
+			}
+			if err == nil && *burst != "" {
+				if opts.BurstSizes, err = parseInts(*burst); err != nil {
+					err = fmt.Errorf("bad -burst: %w", err)
+				}
+			}
+			if err == nil {
+				var r *experiments.ChaosResult
+				if r, err = experiments.Chaos(opts); err == nil {
+					if *csvOut {
+						err = r.WriteCSV(os.Stdout)
+					} else {
+						r.Print(os.Stdout)
+					}
 				}
 			}
 		case "ext-incremental":

@@ -40,6 +40,7 @@ package goldilocks
 import (
 	"io"
 
+	"goldilocks/internal/chaos"
 	"goldilocks/internal/cluster"
 	"goldilocks/internal/experiments"
 	"goldilocks/internal/graph"
@@ -50,6 +51,7 @@ import (
 	"goldilocks/internal/power"
 	"goldilocks/internal/resources"
 	"goldilocks/internal/scheduler"
+	"goldilocks/internal/sim"
 	"goldilocks/internal/topology"
 	"goldilocks/internal/trace"
 	"goldilocks/internal/vc"
@@ -290,6 +292,81 @@ func SimulateMigrations(topo *Topology, plan *MigrationPlan, opts MigrationOptio
 // DefaultMigrationOptions models CRIU checkpoints to local SSD moved with
 // rsync.
 func DefaultMigrationOptions() MigrationOptions { return migrate.DefaultOptions() }
+
+// Fault injection and failure recovery (the chaos subsystem): seeded
+// fault schedules replayed deterministically onto a topology between
+// epochs; the cluster runner detects the damage, fails replicas over,
+// re-places displaced containers and degrades gracefully (spill above the
+// PEE knee, then admission control) — all visible in EpochReport's
+// failure axes (FailedServers, Availability, RecoveryTimeS, SpillTarget,
+// AdmissionRejected, …).
+type (
+	// Fault is one injected failure event: a server crash, link cut or
+	// degrade, switch failure, straggler, or correlated rack-wide fault.
+	Fault = chaos.Fault
+	// FaultKind enumerates the fault classes.
+	FaultKind = chaos.Kind
+	// FaultSchedule is a time-ordered, validated fault list.
+	FaultSchedule = chaos.Schedule
+	// FaultGenConfig parameterizes seeded fault-schedule generation
+	// (MTTF, MTTR, burst size, fault mix).
+	FaultGenConfig = chaos.GenConfig
+	// ChaosInjector replays a fault schedule onto a live topology through
+	// the discrete-event engine.
+	ChaosInjector = chaos.Injector
+	// ChaosRecord is one applied or reverted fault in the injector's log.
+	ChaosRecord = chaos.Record
+	// SimEngine is the single-threaded discrete-event engine that drives
+	// the injector; its zero value is ready at time zero.
+	SimEngine = sim.Engine
+	// ChaosExperimentOptions parameterizes the MTTF/MTTR/burst sweep.
+	ChaosExperimentOptions = experiments.ChaosOptions
+	// ChaosExperimentResult is the sweep outcome, one row per
+	// (MTTF, burst, policy) cell.
+	ChaosExperimentResult = experiments.ChaosResult
+)
+
+// Fault kinds, re-exported for schedule construction.
+const (
+	FaultServerCrash = chaos.KindServerCrash
+	FaultLinkCut     = chaos.KindLinkCut
+	FaultLinkDegrade = chaos.KindLinkDegrade
+	FaultSwitchFail  = chaos.KindSwitchFail
+	FaultStraggler   = chaos.KindStraggler
+	FaultRackFault   = chaos.KindRackFault
+)
+
+// GenerateFaults draws a seeded fault schedule against the topology:
+// exponential inter-arrivals at aggregate rate servers/MTTF, exponential
+// outage durations around MTTR.
+func GenerateFaults(topo *Topology, cfg FaultGenConfig) (FaultSchedule, error) {
+	return chaos.Generate(topo, cfg)
+}
+
+// NewChaosInjector validates the schedule and arms every fault (and its
+// recovery) on the engine. Call AdvanceTo(t) before each epoch to apply
+// everything due by t.
+func NewChaosInjector(eng *SimEngine, topo *Topology, s FaultSchedule) (*ChaosInjector, error) {
+	return chaos.NewInjector(eng, topo, s)
+}
+
+// ChaosExperiment sweeps MTTF and burst size over every policy under one
+// identical fault schedule per cell, reporting availability, TCT,
+// migration traffic and power under failure.
+var ChaosExperiment = experiments.Chaos
+
+// DefaultChaosExperimentOptions mirrors the testbed scale with 10-minute
+// epochs.
+func DefaultChaosExperimentOptions() ChaosExperimentOptions { return experiments.DefaultChaos() }
+
+// ReplanMigrations rebuilds the stuck moves of a migration plan after
+// mid-transfer failures: each stuck move is retargeted at the container's
+// entry in newPlace, restarted cold when its source (and checkpoint image)
+// died, or returned in dropped when newPlace rejects it — never silently
+// discarded.
+func ReplanMigrations(topo *Topology, plan *MigrationPlan, stuckMoves []int, newPlace []int) (*MigrationPlan, []MigrationMove, []int, error) {
+	return migrate.Replan(topo, plan, stuckMoves, newPlace)
+}
 
 // Experiment drivers — one per table and figure of the evaluation. Each
 // returns typed rows and can Print itself; see EXPERIMENTS.md for measured

@@ -1,0 +1,313 @@
+// Package chaos is the deterministic fault-injection subsystem: it turns a
+// seed and a handful of reliability parameters (MTTF, MTTR, burst size,
+// fault-domain mix) into a reproducible Schedule of faults — server
+// crashes, link cuts and degradations, switch failures, stragglers, and
+// correlated rack-wide outages — and replays that schedule against a live
+// topology through the internal/sim event engine.
+//
+// The package exists because the paper's asymmetric-topology extension
+// (§IV) and replica anti-affinity only earn their keep under *dynamic*
+// failure: servers must die mid-run, displaced containers must be
+// re-placed on the surviving fabric, and replicated services must ride out
+// a rack loss on their remaining members. Everything here is
+// deterministic by construction — same seed, same topology shape, same
+// config ⇒ bit-identical schedule and bit-identical topology mutations —
+// so the cluster simulator's EpochReport stream stays reproducible across
+// parallelism levels (see DESIGN.md §5.1.2 for the contract this package
+// is held to by goldilocks-lint).
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"goldilocks/internal/topology"
+)
+
+// Kind enumerates the fault classes the injector can apply.
+type Kind int
+
+// Fault kinds. Each maps onto one or more topology mutations; Recover
+// events invert them exactly (satellite: RecoverUplink/RecoverServer are
+// true inverses of the failure setters).
+const (
+	// KindServerCrash takes one server down: zero capacity, NIC cut.
+	KindServerCrash Kind = iota
+	// KindLinkCut severs a subtree uplink entirely (cable pull, optics
+	// death). Target is a node ID.
+	KindLinkCut
+	// KindLinkDegrade removes Fraction of a subtree uplink's capacity
+	// (flapping optics, partial LAG failure). Target is a node ID.
+	KindLinkDegrade
+	// KindSwitchFail models losing the switching layer at a node: the
+	// subtree keeps its servers but loses its uplink, isolating it from
+	// the rest of the fabric. Operationally identical to a cut of the
+	// aggregate link, but generated against rack/pod nodes specifically.
+	KindSwitchFail
+	// KindStraggler throttles a server to Fraction of its healthy
+	// capacity without killing it — the gray-failure case that pure
+	// up/down models miss.
+	KindStraggler
+	// KindRackFault is the correlated fault domain: every server in the
+	// rack crashes and the ToR uplink is cut, all as one event. This is
+	// the failure anti-affinity (§ failure resilience) defends against.
+	KindRackFault
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindServerCrash:
+		return "server-crash"
+	case KindLinkCut:
+		return "link-cut"
+	case KindLinkDegrade:
+		return "link-degrade"
+	case KindSwitchFail:
+		return "switch-fail"
+	case KindStraggler:
+		return "straggler"
+	case KindRackFault:
+		return "rack-fault"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled failure. At is absolute simulated time; Duration
+// is the outage length (0 means permanent — the fault never recovers).
+type Fault struct {
+	Kind     Kind
+	At       time.Duration
+	Duration time.Duration
+	// Server is the target server id for server-scoped kinds
+	// (KindServerCrash, KindStraggler); -1 otherwise.
+	Server int
+	// Node is the target node ID for link/switch/rack kinds; -1 otherwise.
+	Node int
+	// Fraction is kind-specific: for KindLinkDegrade the share of
+	// capacity *lost* (0,1]; for KindStraggler the share of capacity the
+	// server *retains* (0,1).
+	Fraction float64
+}
+
+// end returns when the fault recovers; ok=false for permanent faults.
+func (f Fault) end() (time.Duration, bool) {
+	if f.Duration <= 0 {
+		return 0, false
+	}
+	return f.At + f.Duration, true
+}
+
+// Schedule is an ordered fault sequence. Order is (At, insertion) — the
+// sim engine's FIFO tie-break preserves insertion order for simultaneous
+// faults, so a Schedule fully determines the mutation sequence.
+type Schedule struct {
+	Faults []Fault
+}
+
+// Sort orders faults by start time, keeping insertion order for ties.
+func (s *Schedule) Sort() {
+	sort.SliceStable(s.Faults, func(i, j int) bool {
+		return s.Faults[i].At < s.Faults[j].At
+	})
+}
+
+// Validate checks every fault against a topology before replay: targets in
+// range, fractions in their legal intervals, non-negative times.
+func (s *Schedule) Validate(tp *topology.Topology) error {
+	for i, f := range s.Faults {
+		if f.At < 0 {
+			return fmt.Errorf("chaos: fault %d starts at negative time %v", i, f.At)
+		}
+		if f.Duration < 0 {
+			return fmt.Errorf("chaos: fault %d has negative duration %v", i, f.Duration)
+		}
+		switch f.Kind {
+		case KindServerCrash:
+			if f.Server < 0 || f.Server >= tp.NumServers() {
+				return fmt.Errorf("chaos: fault %d targets server %d outside [0, %d)", i, f.Server, tp.NumServers())
+			}
+		case KindStraggler:
+			if f.Server < 0 || f.Server >= tp.NumServers() {
+				return fmt.Errorf("chaos: fault %d targets server %d outside [0, %d)", i, f.Server, tp.NumServers())
+			}
+			if f.Fraction <= 0 || f.Fraction >= 1 {
+				return fmt.Errorf("chaos: fault %d straggler fraction %v outside (0, 1)", i, f.Fraction)
+			}
+		case KindLinkCut, KindSwitchFail:
+			n := tp.NodeByID(f.Node)
+			if n == nil {
+				return fmt.Errorf("chaos: fault %d targets unknown node %d", i, f.Node)
+			}
+			if n.Uplink == nil {
+				return fmt.Errorf("chaos: fault %d targets node %d, which has no uplink", i, f.Node)
+			}
+		case KindLinkDegrade:
+			n := tp.NodeByID(f.Node)
+			if n == nil {
+				return fmt.Errorf("chaos: fault %d targets unknown node %d", i, f.Node)
+			}
+			if n.Uplink == nil {
+				return fmt.Errorf("chaos: fault %d targets node %d, which has no uplink", i, f.Node)
+			}
+			if f.Fraction <= 0 || f.Fraction > 1 {
+				return fmt.Errorf("chaos: fault %d degrade fraction %v outside (0, 1]", i, f.Fraction)
+			}
+		case KindRackFault:
+			n := tp.NodeByID(f.Node)
+			if n == nil {
+				return fmt.Errorf("chaos: fault %d targets unknown node %d", i, f.Node)
+			}
+			if n.Level != topology.LevelRack {
+				return fmt.Errorf("chaos: fault %d targets node %d at level %v, want rack", i, f.Node, n.Level)
+			}
+		default:
+			return fmt.Errorf("chaos: fault %d has unknown kind %d", i, int(f.Kind))
+		}
+	}
+	return nil
+}
+
+// GenConfig parameterizes the schedule generator. All rates are
+// per-component exponentials, the standard reliability model: a cluster of
+// N servers with per-server MTTF m sees failures at aggregate rate N/m.
+type GenConfig struct {
+	// Seed drives every random draw. Same seed ⇒ same schedule.
+	Seed int64
+	// Horizon bounds fault *start* times; recoveries may land past it.
+	Horizon time.Duration
+	// MTTF is the per-server mean time to failure.
+	MTTF time.Duration
+	// MTTR is the mean outage duration (exponential).
+	MTTR time.Duration
+	// BurstSize is how many distinct servers an uncorrelated crash event
+	// takes down simultaneously (≥1). Bursts model cascading or
+	// maintenance-window failures that are simultaneous but *not* aligned
+	// to a fault domain.
+	BurstSize int
+	// RackFaultFraction is the probability a failure event is a
+	// correlated rack-wide outage instead of independent crashes.
+	RackFaultFraction float64
+	// StragglerFraction is the probability a failure event is a gray
+	// failure (server throttled, not killed).
+	StragglerFraction float64
+	// LinkFaultFraction is the probability a failure event hits the
+	// fabric (uplink cut or degrade) rather than a server.
+	LinkFaultFraction float64
+}
+
+// Validate rejects configs the generator cannot honor.
+func (c GenConfig) Validate() error {
+	if c.Horizon <= 0 {
+		return fmt.Errorf("chaos: non-positive horizon %v", c.Horizon)
+	}
+	if c.MTTF <= 0 {
+		return fmt.Errorf("chaos: non-positive MTTF %v", c.MTTF)
+	}
+	if c.MTTR <= 0 {
+		return fmt.Errorf("chaos: non-positive MTTR %v", c.MTTR)
+	}
+	if c.BurstSize < 1 {
+		return fmt.Errorf("chaos: burst size %d < 1", c.BurstSize)
+	}
+	if c.RackFaultFraction < 0 || c.StragglerFraction < 0 || c.LinkFaultFraction < 0 {
+		return fmt.Errorf("chaos: negative fault-mix fraction")
+	}
+	if s := c.RackFaultFraction + c.StragglerFraction + c.LinkFaultFraction; s > 1 {
+		return fmt.Errorf("chaos: fault-mix fractions sum to %v > 1", s)
+	}
+	return nil
+}
+
+// Generate draws a fault schedule for the topology from the config's seeded
+// distributions. The result is fully determined by (cfg, topology shape):
+// draws happen in a fixed order from one local generator, and targets are
+// indexed by stable ids, so identical inputs yield identical schedules.
+func Generate(tp *topology.Topology, cfg GenConfig) (Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	racks := tp.SubtreesAtLevel(topology.LevelRack)
+	// Fabric targets: every non-server, non-root node (racks, pods).
+	var fabric []*topology.Node
+	for _, n := range tp.Nodes() {
+		if n.Uplink != nil && !n.IsServer() {
+			fabric = append(fabric, n)
+		}
+	}
+	sort.Slice(fabric, func(i, j int) bool { return fabric[i].ID < fabric[j].ID })
+
+	interMean := float64(cfg.MTTF) / float64(tp.NumServers())
+	var s Schedule
+	t := time.Duration(rng.ExpFloat64() * interMean)
+	for t < cfg.Horizon {
+		dur := time.Duration(rng.ExpFloat64() * float64(cfg.MTTR))
+		if dur < time.Second {
+			dur = time.Second // sub-second repairs are below epoch resolution
+		}
+		u := rng.Float64()
+		switch {
+		case u < cfg.RackFaultFraction && len(racks) > 0:
+			s.Faults = append(s.Faults, Fault{
+				Kind: KindRackFault, At: t, Duration: dur,
+				Server: -1, Node: racks[rng.Intn(len(racks))].ID,
+			})
+		case u < cfg.RackFaultFraction+cfg.StragglerFraction:
+			s.Faults = append(s.Faults, Fault{
+				Kind: KindStraggler, At: t, Duration: dur,
+				Server: rng.Intn(tp.NumServers()), Node: -1,
+				Fraction: 0.25 + 0.5*rng.Float64(), // retain 25–75%
+			})
+		case u < cfg.RackFaultFraction+cfg.StragglerFraction+cfg.LinkFaultFraction && len(fabric) > 0:
+			n := fabric[rng.Intn(len(fabric))]
+			if rng.Float64() < 0.5 {
+				s.Faults = append(s.Faults, Fault{
+					Kind: KindSwitchFail, At: t, Duration: dur,
+					Server: -1, Node: n.ID,
+				})
+			} else {
+				s.Faults = append(s.Faults, Fault{
+					Kind: KindLinkDegrade, At: t, Duration: dur,
+					Server: -1, Node: n.ID,
+					Fraction: 0.25 + 0.5*rng.Float64(), // lose 25–75%
+				})
+			}
+		default:
+			// Independent crash burst: BurstSize distinct servers, all at
+			// once, sharing one repair clock (a maintenance batch).
+			burst := cfg.BurstSize
+			if burst > tp.NumServers() {
+				burst = tp.NumServers()
+			}
+			for _, id := range sampleDistinct(rng, tp.NumServers(), burst) {
+				s.Faults = append(s.Faults, Fault{
+					Kind: KindServerCrash, At: t, Duration: dur,
+					Server: id, Node: -1,
+				})
+			}
+		}
+		t += time.Duration(rng.ExpFloat64() * interMean)
+	}
+	s.Sort()
+	return s, nil
+}
+
+// sampleDistinct draws k distinct ints from [0, n) in ascending order via a
+// partial Fisher–Yates over an index slice; draw order is deterministic.
+func sampleDistinct(rng *rand.Rand, n, k int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	out := idx[:k]
+	sort.Ints(out)
+	return out
+}

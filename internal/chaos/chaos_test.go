@@ -1,0 +1,357 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"goldilocks/internal/sim"
+	"goldilocks/internal/topology"
+)
+
+func testTopology(t *testing.T) *topology.Topology {
+	t.Helper()
+	return topology.NewTestbed()
+}
+
+func genConfig(seed int64) GenConfig {
+	return GenConfig{
+		Seed:              seed,
+		Horizon:           24 * time.Hour,
+		MTTF:              8 * time.Hour,
+		MTTR:              30 * time.Minute,
+		BurstSize:         2,
+		RackFaultFraction: 0.15,
+		StragglerFraction: 0.15,
+		LinkFaultFraction: 0.15,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	tp := testTopology(t)
+	a, err := Generate(tp, genConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(tp, genConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must generate identical schedules")
+	}
+	c, err := Generate(tp, genConfig(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should generate different schedules")
+	}
+	if len(a.Faults) == 0 {
+		t.Fatal("24h at MTTF 8h over 16 servers must produce faults")
+	}
+	if err := a.Validate(tp); err != nil {
+		t.Fatalf("generated schedule fails validation: %v", err)
+	}
+	for i := 1; i < len(a.Faults); i++ {
+		if a.Faults[i].At < a.Faults[i-1].At {
+			t.Fatal("schedule not sorted by start time")
+		}
+	}
+}
+
+func TestGenerateCoversAllKinds(t *testing.T) {
+	tp := testTopology(t)
+	cfg := genConfig(7)
+	cfg.Horizon = 30 * 24 * time.Hour
+	s, err := Generate(tp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[Kind]bool)
+	for _, f := range s.Faults {
+		seen[f.Kind] = true
+	}
+	for _, k := range []Kind{KindServerCrash, KindStraggler, KindRackFault} {
+		if !seen[k] {
+			t.Errorf("30-day schedule never generated %v", k)
+		}
+	}
+	if !seen[KindSwitchFail] && !seen[KindLinkDegrade] {
+		t.Error("30-day schedule never generated a fabric fault")
+	}
+}
+
+func TestGenConfigValidate(t *testing.T) {
+	tp := testTopology(t)
+	bad := []func(*GenConfig){
+		func(c *GenConfig) { c.Horizon = 0 },
+		func(c *GenConfig) { c.MTTF = 0 },
+		func(c *GenConfig) { c.MTTR = -time.Second },
+		func(c *GenConfig) { c.BurstSize = 0 },
+		func(c *GenConfig) { c.RackFaultFraction = -0.1 },
+		func(c *GenConfig) { c.RackFaultFraction, c.StragglerFraction = 0.7, 0.7 },
+	}
+	for i, mutate := range bad {
+		cfg := genConfig(1)
+		mutate(&cfg)
+		if _, err := Generate(tp, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	tp := testTopology(t)
+	rack := tp.SubtreesAtLevel(topology.LevelRack)[0]
+	bad := []Fault{
+		{Kind: KindServerCrash, At: -time.Second, Server: 0, Node: -1},
+		{Kind: KindServerCrash, At: 0, Duration: -time.Second, Server: 0, Node: -1},
+		{Kind: KindServerCrash, At: 0, Server: 99, Node: -1},
+		{Kind: KindStraggler, At: 0, Server: 0, Node: -1, Fraction: 0},
+		{Kind: KindStraggler, At: 0, Server: 0, Node: -1, Fraction: 1},
+		{Kind: KindLinkCut, At: 0, Server: -1, Node: -99},
+		{Kind: KindLinkCut, At: 0, Server: -1, Node: tp.Root.ID},
+		{Kind: KindLinkDegrade, At: 0, Server: -1, Node: rack.ID, Fraction: 1.5},
+		{Kind: KindRackFault, At: 0, Server: -1, Node: tp.ServerNode[0].ID},
+		{Kind: Kind(99), At: 0, Server: -1, Node: -1},
+	}
+	for i, f := range bad {
+		s := Schedule{Faults: []Fault{f}}
+		if err := s.Validate(tp); err == nil {
+			t.Errorf("bad fault %d accepted: %+v", i, f)
+		}
+	}
+}
+
+// driveTo builds an engine+injector for the schedule and returns both.
+func driveTo(t *testing.T, tp *topology.Topology, s Schedule) *Injector {
+	t.Helper()
+	eng := &sim.Engine{}
+	inj, err := NewInjector(eng, tp, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj
+}
+
+func sameCapacities(t *testing.T, got, want *topology.Topology) {
+	t.Helper()
+	for id := range got.Capacity {
+		if got.Capacity[id] != want.Capacity[id] {
+			t.Fatalf("server %d capacity = %v, want %v", id, got.Capacity[id], want.Capacity[id])
+		}
+	}
+	wantNodes := want.Nodes()
+	for i, n := range got.Nodes() {
+		w := wantNodes[i]
+		if (n.Uplink == nil) != (w.Uplink == nil) {
+			t.Fatalf("node %d uplink presence differs", n.ID)
+		}
+		if n.Uplink != nil && n.Uplink.CapacityMbps != w.Uplink.CapacityMbps {
+			t.Fatalf("node %d uplink = %v, want %v", n.ID, n.Uplink.CapacityMbps, w.Uplink.CapacityMbps)
+		}
+	}
+}
+
+func TestInjectorCrashAndRecover(t *testing.T) {
+	tp := testTopology(t)
+	pristine := tp.Clone()
+	s := Schedule{Faults: []Fault{
+		{Kind: KindServerCrash, At: 10 * time.Minute, Duration: 20 * time.Minute, Server: 3, Node: -1},
+	}}
+	inj := driveTo(t, tp, s)
+
+	inj.AdvanceTo(5 * time.Minute)
+	if tp.ServerFailed(3) {
+		t.Fatal("fault fired early")
+	}
+	inj.AdvanceTo(15 * time.Minute)
+	if !tp.ServerFailed(3) {
+		t.Fatal("fault did not fire")
+	}
+	inj.AdvanceTo(time.Hour)
+	if tp.ServerFailed(3) {
+		t.Fatal("fault did not recover")
+	}
+	sameCapacities(t, tp, pristine)
+	if got := len(inj.Log()); got != 2 {
+		t.Fatalf("log records = %d, want 2", got)
+	}
+	if inj.Log()[0].Recovered || !inj.Log()[1].Recovered {
+		t.Fatal("log order wrong")
+	}
+}
+
+func TestInjectorPermanentFault(t *testing.T) {
+	tp := testTopology(t)
+	s := Schedule{Faults: []Fault{
+		{Kind: KindServerCrash, At: time.Minute, Duration: 0, Server: 0, Node: -1},
+	}}
+	inj := driveTo(t, tp, s)
+	inj.AdvanceTo(100 * time.Hour)
+	if !tp.ServerFailed(0) {
+		t.Fatal("permanent fault must never recover")
+	}
+	if inj.Pending() != 0 {
+		t.Fatal("no recovery event should be queued")
+	}
+}
+
+func TestInjectorRackFaultIsOneDomain(t *testing.T) {
+	tp := testTopology(t)
+	pristine := tp.Clone()
+	rack := tp.SubtreesAtLevel(topology.LevelRack)[1]
+	s := Schedule{Faults: []Fault{
+		{Kind: KindRackFault, At: time.Minute, Duration: 10 * time.Minute, Server: -1, Node: rack.ID},
+	}}
+	inj := driveTo(t, tp, s)
+	inj.AdvanceTo(2 * time.Minute)
+	for _, id := range rack.ServerIDs {
+		if !tp.ServerFailed(id) {
+			t.Fatalf("rack fault missed server %d", id)
+		}
+	}
+	if rack.Uplink.CapacityMbps != 0 {
+		t.Fatal("rack fault must cut the ToR uplink")
+	}
+	if tp.NumFailedServers() != len(rack.ServerIDs) {
+		t.Fatal("rack fault leaked outside the domain")
+	}
+	inj.AdvanceTo(time.Hour)
+	sameCapacities(t, tp, pristine)
+}
+
+func TestInjectorOverlappingRackAndServerFault(t *testing.T) {
+	tp := testTopology(t)
+	rack := tp.SubtreesAtLevel(topology.LevelRack)[0]
+	victim := rack.ServerIDs[0]
+	// The server's own outage outlives the rack outage: rack recovery must
+	// not resurrect it early.
+	s := Schedule{Faults: []Fault{
+		{Kind: KindServerCrash, At: time.Minute, Duration: 30 * time.Minute, Server: victim, Node: -1},
+		{Kind: KindRackFault, At: 2 * time.Minute, Duration: 5 * time.Minute, Server: -1, Node: rack.ID},
+	}}
+	inj := driveTo(t, tp, s)
+	inj.AdvanceTo(10 * time.Minute) // rack recovered, server outage live
+	for _, id := range rack.ServerIDs[1:] {
+		if tp.ServerFailed(id) {
+			t.Fatalf("server %d should have recovered with the rack", id)
+		}
+	}
+	if !tp.ServerFailed(victim) {
+		t.Fatal("rack recovery resurrected the independently crashed server")
+	}
+	inj.AdvanceTo(time.Hour)
+	if tp.ServerFailed(victim) {
+		t.Fatal("server outage never ended")
+	}
+}
+
+func TestInjectorStragglerUnderCrash(t *testing.T) {
+	tp := testTopology(t)
+	pristine := tp.Clone()
+	s := Schedule{Faults: []Fault{
+		{Kind: KindStraggler, At: time.Minute, Duration: time.Hour, Server: 2, Node: -1, Fraction: 0.5},
+		{Kind: KindServerCrash, At: 2 * time.Minute, Duration: 5 * time.Minute, Server: 2, Node: -1},
+	}}
+	inj := driveTo(t, tp, s)
+	inj.AdvanceTo(90 * time.Second)
+	if want := pristine.Capacity[2].Scale(0.5); tp.Capacity[2] != want {
+		t.Fatalf("throttled capacity = %v, want %v", tp.Capacity[2], want)
+	}
+	inj.AdvanceTo(3 * time.Minute) // crash overrides throttle
+	if !tp.ServerFailed(2) {
+		t.Fatal("crash must override throttle")
+	}
+	inj.AdvanceTo(10 * time.Minute) // crash over, throttle still active
+	if tp.ServerFailed(2) {
+		t.Fatal("crash did not recover")
+	}
+	if want := pristine.Capacity[2].Scale(0.5); tp.Capacity[2] != want {
+		t.Fatalf("throttle must re-assert after crash recovery: %v, want %v", tp.Capacity[2], want)
+	}
+	inj.AdvanceTo(2 * time.Hour)
+	sameCapacities(t, tp, pristine)
+}
+
+func TestInjectorOverlappingLinkDegrades(t *testing.T) {
+	tp := testTopology(t)
+	rack := tp.SubtreesAtLevel(topology.LevelRack)[0]
+	nominal := rack.Uplink.CapacityMbps
+	s := Schedule{Faults: []Fault{
+		{Kind: KindLinkDegrade, At: time.Minute, Duration: time.Hour, Server: -1, Node: rack.ID, Fraction: 0.5},
+		{Kind: KindLinkDegrade, At: 2 * time.Minute, Duration: 10 * time.Minute, Server: -1, Node: rack.ID, Fraction: 0.4},
+		{Kind: KindSwitchFail, At: 3 * time.Minute, Duration: 2 * time.Minute, Server: -1, Node: rack.ID},
+	}}
+	inj := driveTo(t, tp, s)
+	inj.AdvanceTo(150 * time.Second)
+	if want := nominal * 0.5 * 0.6; tp.SubtreesAtLevel(topology.LevelRack)[0].Uplink.CapacityMbps != want {
+		t.Fatalf("stacked degrade = %v, want %v", rack.Uplink.CapacityMbps, want)
+	}
+	inj.AdvanceTo(4 * time.Minute) // cut dominates
+	if rack.Uplink.CapacityMbps != 0 {
+		t.Fatal("switch failure must cut the link")
+	}
+	inj.AdvanceTo(6 * time.Minute) // cut recovered, both degrades live
+	if want := nominal * 0.5 * 0.6; rack.Uplink.CapacityMbps != want {
+		t.Fatalf("after cut recovery = %v, want %v", rack.Uplink.CapacityMbps, want)
+	}
+	inj.AdvanceTo(20 * time.Minute) // second degrade gone, first remains
+	if want := nominal * 0.5; rack.Uplink.CapacityMbps != want {
+		t.Fatalf("after partial recovery = %v, want %v", rack.Uplink.CapacityMbps, want)
+	}
+	inj.AdvanceTo(2 * time.Hour)
+	if rack.Uplink.CapacityMbps != nominal {
+		t.Fatalf("final capacity = %v, want %v", rack.Uplink.CapacityMbps, nominal)
+	}
+}
+
+func TestInjectorReplayDeterministic(t *testing.T) {
+	run := func() []Record {
+		tp := topology.NewTestbed()
+		s, err := Generate(tp, genConfig(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := &sim.Engine{}
+		inj, err := NewInjector(eng, tp, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj.AdvanceTo(48 * time.Hour)
+		return inj.Log()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("replaying the same schedule must produce an identical log")
+	}
+	if len(a) == 0 {
+		t.Fatal("expected a non-empty fault log")
+	}
+}
+
+func TestInjectorRejectsPastFaults(t *testing.T) {
+	tp := testTopology(t)
+	eng := &sim.Engine{}
+	eng.RunUntil(time.Hour)
+	s := Schedule{Faults: []Fault{{Kind: KindServerCrash, At: time.Minute, Server: 0, Node: -1}}}
+	if _, err := NewInjector(eng, tp, s); err == nil {
+		t.Fatal("fault before engine time must be rejected")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindServerCrash, KindLinkCut, KindLinkDegrade, KindSwitchFail, KindStraggler, KindRackFault}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has empty or duplicate name %q", int(k), s)
+		}
+		seen[s] = true
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}

@@ -1,0 +1,259 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"goldilocks/internal/sim"
+	"goldilocks/internal/topology"
+)
+
+// Record is one applied or reverted fault, in the order the engine fired
+// it. The log is the injector's deterministic audit trail: experiments
+// report it, and the determinism regression diffs it across runs.
+type Record struct {
+	At        time.Duration
+	Fault     Fault
+	Recovered bool // false = fault applied, true = fault reverted
+}
+
+// String renders the record for logs.
+func (r Record) String() string {
+	verb := "fail"
+	if r.Recovered {
+		verb = "recover"
+	}
+	target := ""
+	switch {
+	case r.Fault.Server >= 0:
+		target = fmt.Sprintf("server %d", r.Fault.Server)
+	case r.Fault.Node >= 0:
+		target = fmt.Sprintf("node %d", r.Fault.Node)
+	}
+	return fmt.Sprintf("%v %s %s %s", r.At, verb, r.Fault.Kind, target)
+}
+
+// serverState tracks overlapping server-scoped faults so recovery of one
+// fault never prematurely undoes another: a server inside a failed rack
+// that also crashed independently stays down until *both* outages end, and
+// a straggler throttle re-asserts itself when a concurrent crash recovers.
+type serverState struct {
+	crashes   int       // active crash-scoped faults (crash or rack)
+	throttles []float64 // active straggler retain-fractions
+}
+
+// linkState does the same for uplinks: cuts and degradations stack, and
+// reverting one re-derives the capacity from nominal plus the survivors.
+type linkState struct {
+	cuts     int
+	degrades []float64 // active lost-fractions, application order
+}
+
+// Injector replays a Schedule against a topology on a sim.Engine. It is
+// single-threaded like the engine; the cluster loop calls AdvanceTo at
+// each epoch boundary and then reads the topology's failure state.
+type Injector struct {
+	eng  *sim.Engine
+	topo *topology.Topology
+
+	servers map[int]*serverState // keyed by server id; never iterated
+	links   map[int]*linkState   // keyed by node ID; never iterated
+
+	log []Record
+}
+
+// NewInjector validates the schedule and arms every fault (and its
+// recovery, for non-permanent faults) on the engine. Faults earlier than
+// the engine's current time are rejected — the engine cannot rewind.
+func NewInjector(eng *sim.Engine, tp *topology.Topology, s Schedule) (*Injector, error) {
+	if err := s.Validate(tp); err != nil {
+		return nil, err
+	}
+	for _, f := range s.Faults {
+		if f.At < eng.Now() {
+			return nil, fmt.Errorf("chaos: fault at %v precedes engine time %v", f.At, eng.Now())
+		}
+	}
+	inj := &Injector{
+		eng:     eng,
+		topo:    tp,
+		servers: make(map[int]*serverState),
+		links:   make(map[int]*linkState),
+	}
+	for _, f := range s.Faults {
+		f := f
+		eng.At(f.At, func() { inj.apply(f) })
+		if end, ok := f.end(); ok {
+			eng.At(end, func() { inj.revert(f) })
+		}
+	}
+	return inj, nil
+}
+
+// AdvanceTo runs the engine (and thus the fault schedule) up to absolute
+// simulated time t.
+func (inj *Injector) AdvanceTo(t time.Duration) {
+	inj.eng.RunUntil(t)
+}
+
+// Log returns the applied/reverted records so far, in firing order. The
+// slice is owned by the injector.
+func (inj *Injector) Log() []Record { return inj.log }
+
+// Pending reports how many schedule events have not fired yet.
+func (inj *Injector) Pending() int { return inj.eng.Pending() }
+
+func (inj *Injector) server(id int) *serverState {
+	st := inj.servers[id]
+	if st == nil {
+		st = &serverState{}
+		inj.servers[id] = st
+	}
+	return st
+}
+
+func (inj *Injector) link(nodeID int) *linkState {
+	st := inj.links[nodeID]
+	if st == nil {
+		st = &linkState{}
+		inj.links[nodeID] = st
+	}
+	return st
+}
+
+func (inj *Injector) apply(f Fault) {
+	switch f.Kind {
+	case KindServerCrash:
+		inj.crashServer(f.Server)
+	case KindStraggler:
+		st := inj.server(f.Server)
+		st.throttles = append(st.throttles, f.Fraction)
+		inj.reapplyServer(f.Server)
+	case KindLinkCut, KindSwitchFail:
+		st := inj.link(f.Node)
+		st.cuts++
+		inj.reapplyLink(f.Node)
+	case KindLinkDegrade:
+		st := inj.link(f.Node)
+		st.degrades = append(st.degrades, f.Fraction)
+		inj.reapplyLink(f.Node)
+	case KindRackFault:
+		// One fault domain: the ToR uplink and every server go together.
+		st := inj.link(f.Node)
+		st.cuts++
+		inj.reapplyLink(f.Node)
+		for _, id := range inj.topo.NodeByID(f.Node).ServerIDs {
+			inj.crashServer(id)
+		}
+	}
+	inj.log = append(inj.log, Record{At: inj.eng.Now(), Fault: f})
+}
+
+func (inj *Injector) revert(f Fault) {
+	switch f.Kind {
+	case KindServerCrash:
+		inj.uncrashServer(f.Server)
+	case KindStraggler:
+		removeFirst(&inj.server(f.Server).throttles, f.Fraction)
+		inj.reapplyServer(f.Server)
+	case KindLinkCut, KindSwitchFail:
+		st := inj.link(f.Node)
+		if st.cuts > 0 {
+			st.cuts--
+		}
+		inj.reapplyLink(f.Node)
+	case KindLinkDegrade:
+		removeFirst(&inj.link(f.Node).degrades, f.Fraction)
+		inj.reapplyLink(f.Node)
+	case KindRackFault:
+		st := inj.link(f.Node)
+		if st.cuts > 0 {
+			st.cuts--
+		}
+		inj.reapplyLink(f.Node)
+		for _, id := range inj.topo.NodeByID(f.Node).ServerIDs {
+			inj.uncrashServer(id)
+		}
+	}
+	inj.log = append(inj.log, Record{At: inj.eng.Now(), Fault: f, Recovered: true})
+}
+
+func (inj *Injector) crashServer(id int) {
+	st := inj.server(id)
+	st.crashes++
+	if st.crashes == 1 {
+		// Ignore the error: ids were validated against this topology.
+		_ = inj.topo.FailServer(id)
+	}
+}
+
+func (inj *Injector) uncrashServer(id int) {
+	st := inj.server(id)
+	if st.crashes > 0 {
+		st.crashes--
+	}
+	inj.reapplyServer(id)
+}
+
+// reapplyServer re-derives a server's state from its active fault set:
+// crashed if any crash-scoped fault is live, else throttled to the
+// tightest active straggler, else fully recovered. Server NIC link faults
+// (if any were scheduled against the leaf node) are re-asserted afterward,
+// since RecoverServer also restores the NIC.
+func (inj *Injector) reapplyServer(id int) {
+	st := inj.server(id)
+	if st.crashes > 0 {
+		_ = inj.topo.FailServer(id)
+		return
+	}
+	_ = inj.topo.RecoverServer(id)
+	if f := minFraction(st.throttles); f < 1 {
+		_ = inj.topo.ThrottleServer(id, f)
+	}
+	nodeID := inj.topo.ServerNode[id].ID
+	if _, ok := inj.links[nodeID]; ok {
+		inj.reapplyLink(nodeID)
+	}
+}
+
+// reapplyLink re-derives an uplink's capacity from nominal and the active
+// cut/degrade set. A crashed server's NIC stays cut regardless of link
+// faults: the server outage owns it.
+func (inj *Injector) reapplyLink(nodeID int) {
+	n := inj.topo.NodeByID(nodeID)
+	if n.IsServer() {
+		if st := inj.servers[n.ServerID]; st != nil && st.crashes > 0 {
+			return
+		}
+	}
+	_ = inj.topo.RecoverUplink(n)
+	st := inj.link(nodeID)
+	if st.cuts > 0 {
+		_ = inj.topo.FailUplink(n)
+		return
+	}
+	for _, f := range st.degrades {
+		_ = inj.topo.FailUplinkFraction(n, f)
+	}
+}
+
+// removeFirst deletes the first element equal to v, preserving order.
+func removeFirst(s *[]float64, v float64) {
+	for i, x := range *s {
+		if x == v {
+			*s = append((*s)[:i], (*s)[i+1:]...)
+			return
+		}
+	}
+}
+
+// minFraction returns the smallest retained fraction, or 1 if none active.
+func minFraction(s []float64) float64 {
+	m := 1.0
+	for _, x := range s {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

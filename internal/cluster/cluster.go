@@ -103,6 +103,44 @@ type EpochReport struct {
 	// SLAViolations is the share of request weight whose latency
 	// exceeded Options.SLATargetMS (0 when no target is set).
 	SLAViolations float64
+
+	// Failure-and-recovery axes (meaningful when the topology carries
+	// chaos-injected faults; see recovery.go).
+
+	// FailedServers is the number of servers down at placement time.
+	FailedServers int
+	// DisplacedContainers counts carried containers whose previous-epoch
+	// server is now failed — the workload the recovery loop must re-place.
+	DisplacedContainers int
+	// DisplacedDemand aggregates the displaced containers' demand.
+	DisplacedDemand resources.Vector
+	// GroupsDown counts service units (replica groups, or single
+	// non-replicated containers) that entered the epoch with zero carried
+	// members on surviving servers. With rack-level anti-affinity a
+	// rack fault should leave this at the non-replicated casualties only.
+	GroupsDown int
+	// RecoveryMigrations counts displaced containers successfully
+	// re-placed this epoch (a subset of Migrations).
+	RecoveryMigrations int
+	// RecoveryTimeS estimates how long restoring the displaced containers
+	// took: per-destination serialized image pulls over the surviving
+	// NICs, destinations in parallel.
+	RecoveryTimeS float64
+	// Availability is the service-unit-weighted available fraction of the
+	// epoch: units with a surviving replica ride through at 1.0 (failover),
+	// recovered units lose RecoveryTimeS, dead or rejected units lose the
+	// whole epoch. 1.0 when nothing was down.
+	Availability float64
+	// AdmissionRejected counts containers shed by last-resort admission
+	// control because even the relaxed spill ceiling could not fit the
+	// workload on the surviving capacity.
+	AdmissionRejected int
+	// RejectedDemand aggregates the shed containers' demand.
+	RejectedDemand resources.Vector
+	// SpillTarget is the utilization ceiling the policy packed against
+	// (Result.TargetUtil): 0.70 at the PEE knee; above it the degradation
+	// ladder spilled and the cubic DVFS penalty applies.
+	SpillTarget float64
 }
 
 // Runner drives one policy across epochs on one topology.
@@ -139,13 +177,20 @@ func NewRunner(topo *topology.Topology, policy scheduler.Policy, opts Options) *
 	}
 }
 
-// RunEpoch schedules the epoch's workload and returns its report.
+// RunEpoch schedules the epoch's workload and returns its report. When the
+// topology carries failures (chaos injection between epochs), the epoch is
+// also a recovery round: displaced containers are detected against the
+// previous placement, the policy re-places on the surviving capacity
+// (degrading through its spill ladder), admission control sheds load as a
+// last resort, and the report carries the failure axes (recovery.go).
 func (r *Runner) RunEpoch(in EpochInput) (EpochReport, error) {
-	res, err := r.policy.Place(scheduler.Request{Spec: in.Spec, Topo: r.topo})
+	snap := r.snapshotFailures(in.Spec)
+	res, rejected, err := r.placeWithAdmissionControl(in.Spec)
 	if err != nil {
 		return EpochReport{}, fmt.Errorf("cluster: epoch %d: %w", r.epoch, err)
 	}
 	rep := r.account(in, res)
+	r.accountRecovery(&rep, in.Spec, res, snap, rejected)
 	r.epoch++
 	return rep, nil
 }
@@ -182,12 +227,22 @@ func (r *Runner) account(in EpochInput, res scheduler.Result) EpochReport {
 	numServers := r.topo.NumServers()
 	loads := make([]resources.Vector, numServers)
 	for i, s := range res.Placement {
+		if s < 0 {
+			continue // shed by admission control: runs nowhere
+		}
 		actual := in.Spec.Containers[i].Demand
 		actual[resources.CPU] *= burst
 		actual[resources.Network] *= burst
 		loads[s] = loads[s].Add(actual)
 	}
 	active := res.ActiveServers(numServers)
+	// Failed servers draw no power, even under all-servers-on policies:
+	// a dead machine is off, not idle.
+	for s := 0; s < numServers; s++ {
+		if r.topo.ServerFailed(s) {
+			active[s] = false
+		}
+	}
 
 	// Server power: the load-proportional axis is CPU.
 	serverW := 0.0
@@ -364,6 +419,9 @@ func (r *Runner) linkLoads(spec *workload.Spec, placement []int, burst float64) 
 	load := make(map[*topology.Link]float64)
 	for _, f := range spec.Flows {
 		sa, sb := placement[f.A], placement[f.B]
+		if sa < 0 || sb < 0 {
+			continue // a shed endpoint generates no traffic
+		}
 		if sa == sb {
 			continue // intra-server traffic never touches the fabric
 		}
@@ -395,6 +453,9 @@ func (r *Runner) taskCompletionTimes(spec *workload.Spec, placement []int, cpuUt
 			continue
 		}
 		sa, sb := placement[a], placement[b]
+		if sa < 0 || sb < 0 {
+			continue // a shed endpoint serves no requests
+		}
 		// Queueing at the responder's server: M/M/c with c = cores.
 		rho := math.Min(cpuUtil[sb], r.opts.MaxQueueUtil)
 		service := cb.App.ServiceTimeMS
@@ -437,6 +498,9 @@ func (r *Runner) migrationDiff(spec *workload.Spec, placement []int) (int, float
 	migMB := 0.0
 	next := make(map[int]int, len(placement))
 	for i, s := range placement {
+		if s < 0 {
+			continue // shed: if re-admitted later it restarts, not migrates
+		}
 		id := spec.Containers[i].ID
 		next[id] = s
 		if prev, ok := r.prevPlace[id]; ok && prev != s {

@@ -143,18 +143,37 @@ func TestRunSeries(t *testing.T) {
 	}
 }
 
-func TestRunSeriesStopsOnFailure(t *testing.T) {
+func TestRunSeriesShedsOnOverload(t *testing.T) {
+	// An infeasible epoch no longer aborts the series: the degradation
+	// ladder bottoms out in admission control, which sheds just enough
+	// load deterministically and reports the rejection.
 	r := NewRunner(topology.NewTestbed(), scheduler.Goldilocks{}, DefaultOptions())
 	inputs := []EpochInput{
 		{Spec: workload.TwitterWorkload(60, 1), RPS: 1000},
 		{Spec: workload.TwitterWorkload(5000, 1), RPS: 1000}, // infeasible
 	}
 	reps, err := r.RunSeries(inputs)
-	if err == nil {
-		t.Fatal("expected failure on the infeasible epoch")
+	if err != nil {
+		t.Fatalf("admission control should absorb the overload: %v", err)
 	}
-	if len(reps) != 1 {
-		t.Fatalf("reports before failure = %d, want 1", len(reps))
+	if len(reps) != 2 {
+		t.Fatalf("reports = %d, want 2", len(reps))
+	}
+	if reps[0].AdmissionRejected != 0 {
+		t.Fatalf("feasible epoch rejected %d containers", reps[0].AdmissionRejected)
+	}
+	over := reps[1]
+	if over.AdmissionRejected == 0 {
+		t.Fatal("infeasible epoch must shed containers")
+	}
+	if over.AdmissionRejected >= 5000 {
+		t.Fatal("shedding must keep part of the workload running")
+	}
+	if over.RejectedDemand.IsZero() {
+		t.Fatal("rejected demand must be accounted")
+	}
+	if over.Availability >= 1 {
+		t.Fatal("rejections must show up as lost availability")
 	}
 }
 

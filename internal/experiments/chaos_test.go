@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// smallChaos keeps the sweep to one cell so tests stay fast.
+func smallChaos() ChaosOptions {
+	opts := DefaultChaos()
+	opts.Epochs = 6
+	opts.MTTFEpochs = []float64{3}
+	opts.BurstSizes = []int{2}
+	return opts
+}
+
+func TestChaosSweepShape(t *testing.T) {
+	opts := DefaultChaos()
+	opts.Epochs = 4
+	res, err := Chaos(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(opts.MTTFEpochs) * len(opts.BurstSizes) * len(chaosPolicies())
+	if len(res.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), wantRows)
+	}
+	for _, row := range res.Rows {
+		if row.MeanAvailability < 0 || row.MeanAvailability > 1 {
+			t.Fatalf("%s availability %v outside [0,1]", row.Scheduler, row.MeanAvailability)
+		}
+		if row.MinAvailability > row.MeanAvailability {
+			t.Fatalf("%s worst epoch %v above the mean %v", row.Scheduler, row.MinAvailability, row.MeanAvailability)
+		}
+		if row.MeanPowerW <= 0 {
+			t.Fatalf("%s reports no power", row.Scheduler)
+		}
+	}
+}
+
+func TestChaosPolicyContrasts(t *testing.T) {
+	res, err := Chaos(smallChaos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]ChaosRow)
+	for _, row := range res.Rows {
+		byName[row.Scheduler] = row
+	}
+	gold, epvm := byName["Goldilocks"], byName["E-PVM"]
+	// The consolidation-under-failure trade-off: Goldilocks keeps the PEE
+	// packing (much lower power) while the recovery loop holds
+	// availability within a few points of the spread-everything baseline.
+	if gold.MeanPowerW >= 0.75*epvm.MeanPowerW {
+		t.Fatalf("Goldilocks %v W should undercut E-PVM %v W by ≥25%%", gold.MeanPowerW, epvm.MeanPowerW)
+	}
+	if gold.MeanAvailability < epvm.MeanAvailability-0.15 {
+		t.Fatalf("Goldilocks availability %v collapsed against E-PVM %v", gold.MeanAvailability, epvm.MeanAvailability)
+	}
+	if gold.MeanSpillTarget < 0.70-1e-9 {
+		t.Fatalf("Goldilocks spill target %v below the PEE knee", gold.MeanSpillTarget)
+	}
+	// Faults displace containers, so recovery traffic must be visible.
+	if gold.RecoveryMoves == 0 {
+		t.Fatal("a 3-epoch MTTF over 6 epochs must displace something")
+	}
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	a, err := Chaos(smallChaos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Chaos(smallChaos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Fatal("identical options must reproduce the sweep bit-identically")
+	}
+}
+
+func TestChaosCSV(t *testing.T) {
+	opts := smallChaos()
+	opts.Epochs = 2
+	opts.EpochLength = 5 * time.Minute
+	res, err := Chaos(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.Count(buf.Bytes(), []byte("\n")); got != 1+len(chaosPolicies()) {
+		t.Fatalf("chaos csv lines = %d, want %d", got, 1+len(chaosPolicies()))
+	}
+}

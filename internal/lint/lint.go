@@ -51,6 +51,7 @@ var DeterministicPackages = []string{
 	"internal/graph",
 	"internal/vc",
 	"internal/migrate",
+	"internal/chaos",
 }
 
 // IsDeterministicPackage reports whether the import path is bound by the

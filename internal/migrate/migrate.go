@@ -44,6 +44,12 @@ type Options struct {
 	DiskMBps float64
 	// NetSim configures the transfer simulation.
 	NetSim netsim.Options
+	// TolerateStuck reports transfers that cannot complete (a failed
+	// server or dead link on the path) in Report.StuckMoves instead of
+	// failing the whole simulation. The caller is expected to Replan the
+	// stuck moves against the surviving topology — they must never be
+	// silently dropped.
+	TolerateStuck bool
 }
 
 // DefaultOptions models the testbed: CRIU single-pass checkpoints to a
@@ -74,6 +80,11 @@ type Report struct {
 	MeanFreeze time.Duration
 	MaxFreeze  time.Duration
 	Waves      int
+	// Stuck counts transfers that could not complete; StuckMoves holds
+	// their indices into Plan.Moves, ascending. Only populated under
+	// Options.TolerateStuck — otherwise a stuck transfer is an error.
+	Stuck      int
+	StuckMoves []int
 }
 
 // PlanMoves diffs two placements over the same spec and returns the moves.
@@ -159,7 +170,12 @@ func Simulate(topo *topology.Topology, plan *Plan, opts Options) (Report, error)
 		}
 		done, stuck := sim.Run()
 		if len(stuck) > 0 {
-			return rep, fmt.Errorf("migrate: %d transfers cannot complete (dead links)", len(stuck))
+			if !opts.TolerateStuck {
+				return rep, fmt.Errorf("migrate: %d transfers cannot complete (dead links)", len(stuck))
+			}
+			for _, id := range stuck {
+				rep.StuckMoves = append(rep.StuckMoves, ids[id])
+			}
 		}
 		waveEnd := time.Duration(0)
 		for _, c := range done {
@@ -181,10 +197,58 @@ func Simulate(topo *topology.Topology, plan *Plan, opts Options) (Report, error)
 		clock += waveEnd
 	}
 	rep.Duration = clock
+	sort.Ints(rep.StuckMoves)
+	rep.Stuck = len(rep.StuckMoves)
 	if rep.NumMoves > 0 {
 		rep.MeanFreeze = totalFreeze / time.Duration(rep.NumMoves)
 	}
 	return rep, nil
+}
+
+// Replan rebuilds the stuck moves of a plan after mid-transfer failures.
+// stuckMoves indexes plan.Moves (Report.StuckMoves from a tolerant
+// Simulate); newPlace is the fresh placement the policy produced on the
+// surviving topology, indexed by container. Each stuck move lands in
+// exactly one of the three outcomes — nothing is silently dropped:
+//
+//   - replanned: source alive, new destination alive and different — the
+//     checkpoint image transfers again, now to newPlace[container].
+//   - restarts: the source failed (the checkpoint image died with it) or
+//     the container is re-placed back onto its surviving source; either
+//     way the container restarts in place at its new server with no
+//     network transfer. The restart cost is the cluster recovery loop's
+//     to account, not a migration.
+//   - dropped: newPlace rejects the container (-1, admission control) —
+//     returned explicitly so the caller can account the rejection.
+//
+// A stuck move whose new destination is itself a failed server is a
+// contract violation by the caller's policy and returns an error.
+func Replan(topo *topology.Topology, plan *Plan, stuckMoves []int, newPlace []int) (replanned *Plan, restarts []Move, dropped []int, err error) {
+	var moves []Move
+	for _, mi := range stuckMoves {
+		if mi < 0 || mi >= len(plan.Moves) {
+			return nil, nil, nil, fmt.Errorf("migrate: stuck move index %d out of range [0,%d)", mi, len(plan.Moves))
+		}
+		m := plan.Moves[mi]
+		if m.Container < 0 || m.Container >= len(newPlace) {
+			return nil, nil, nil, fmt.Errorf("migrate: container %d not covered by the new placement", m.Container)
+		}
+		dst := newPlace[m.Container]
+		if dst < 0 {
+			dropped = append(dropped, m.Container)
+			continue
+		}
+		if topo.ServerFailed(dst) {
+			return nil, nil, nil, fmt.Errorf("migrate: replanned destination %d for container %d is a failed server", dst, m.Container)
+		}
+		if topo.ServerFailed(m.From) || dst == m.From {
+			restarts = append(restarts, Move{Container: m.Container, From: m.From, To: dst, ImageMB: m.ImageMB})
+			continue
+		}
+		moves = append(moves, Move{Container: m.Container, From: m.From, To: dst, ImageMB: m.ImageMB})
+	}
+	sort.Ints(dropped)
+	return Schedule(moves), restarts, dropped, nil
 }
 
 // PlanAndSimulate is the convenience path: diff, schedule, simulate.

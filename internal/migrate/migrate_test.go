@@ -146,6 +146,166 @@ func TestSimulateDeadLink(t *testing.T) {
 	}
 }
 
+func TestSimulateTolerateStuckIsolatesFailedTransfers(t *testing.T) {
+	// Two moves off server 0 force two waves; the second wave's destination
+	// fails before its transfer starts. The tolerant simulation must finish
+	// the healthy move and report exactly the stuck one.
+	topo := topology.NewTestbed()
+	moves := []Move{
+		{Container: 0, From: 0, To: 1, ImageMB: 1250},
+		{Container: 1, From: 0, To: 2, ImageMB: 500},
+	}
+	plan := Schedule(moves)
+	if len(plan.Waves) != 2 {
+		t.Fatalf("waves = %d, want 2 (shared source)", len(plan.Waves))
+	}
+	if err := topo.FailServer(2); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.TolerateStuck = true
+	rep, err := Simulate(topo, plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stuck != 1 || len(rep.StuckMoves) != 1 {
+		t.Fatalf("Stuck = %d, StuckMoves = %v, want exactly one", rep.Stuck, rep.StuckMoves)
+	}
+	if m := plan.Moves[rep.StuckMoves[0]]; m.Container != 1 {
+		t.Fatalf("stuck move = %+v, want container 1", m)
+	}
+	if rep.Duration < 9*time.Second {
+		t.Fatalf("healthy move must still complete, duration = %v", rep.Duration)
+	}
+
+	// Without tolerance the same plan is a hard error.
+	if _, err := Simulate(topo, Schedule(moves), DefaultOptions()); err == nil {
+		t.Fatal("stuck transfer must error when not tolerated")
+	}
+}
+
+func TestReplanDestinationFailureRetargets(t *testing.T) {
+	topo := topology.NewTestbed()
+	moves := []Move{{Container: 0, From: 0, To: 2, ImageMB: 512}}
+	plan := Schedule(moves)
+	if err := topo.FailServer(2); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.TolerateStuck = true
+	rep, err := Simulate(topo, plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stuck != 1 {
+		t.Fatalf("Stuck = %d, want 1", rep.Stuck)
+	}
+	// The policy re-placed container 0 on surviving server 3.
+	replanned, restarts, dropped, err := Replan(topo, plan, rep.StuckMoves, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restarts) != 0 || len(dropped) != 0 {
+		t.Fatalf("restarts = %v, dropped = %v, want a pure retarget", restarts, dropped)
+	}
+	if len(replanned.Moves) != 1 || replanned.Moves[0].To != 3 || replanned.Moves[0].From != 0 {
+		t.Fatalf("replanned = %+v, want 0→3", replanned.Moves)
+	}
+	// The replanned transfer completes on the surviving topology.
+	rep2, err := Simulate(topo, replanned, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.NumMoves != 1 || rep2.Duration <= 0 {
+		t.Fatalf("replanned simulation = %+v", rep2)
+	}
+}
+
+func TestReplanSourceFailureRestartsCold(t *testing.T) {
+	// The source dies mid-transfer: the checkpoint image dies with it, so
+	// the container restarts at its new server instead of migrating.
+	topo := topology.NewTestbed()
+	moves := []Move{{Container: 0, From: 2, To: 4, ImageMB: 512}}
+	plan := Schedule(moves)
+	if err := topo.FailServer(2); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.TolerateStuck = true
+	rep, err := Simulate(topo, plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stuck != 1 {
+		t.Fatalf("Stuck = %d, want 1", rep.Stuck)
+	}
+	replanned, restarts, dropped, err := Replan(topo, plan, rep.StuckMoves, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replanned.Moves) != 0 || len(dropped) != 0 {
+		t.Fatalf("moves = %v, dropped = %v, want a restart only", replanned.Moves, dropped)
+	}
+	if len(restarts) != 1 || restarts[0].Container != 0 || restarts[0].To != 4 {
+		t.Fatalf("restarts = %+v, want container 0 restarting at 4", restarts)
+	}
+}
+
+func TestReplanAccountsEveryStuckMove(t *testing.T) {
+	// Mixed outcome: one retarget, one cold restart, one admission drop.
+	// Every stuck move must land in exactly one bucket — never vanish.
+	topo := topology.NewTestbed()
+	moves := []Move{
+		{Container: 0, From: 0, To: 2, ImageMB: 512}, // dest fails → retarget
+		{Container: 1, From: 3, To: 4, ImageMB: 512}, // source fails → restart
+		{Container: 2, From: 1, To: 2, ImageMB: 512}, // dest fails, rejected → drop
+	}
+	plan := Schedule(moves)
+	for _, s := range []int{2, 3} {
+		if err := topo.FailServer(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := DefaultOptions()
+	opts.TolerateStuck = true
+	rep, err := Simulate(topo, plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stuck != 3 {
+		t.Fatalf("Stuck = %d, want all 3", rep.Stuck)
+	}
+	newPlace := []int{5, 6, -1}
+	replanned, restarts, dropped, err := Replan(topo, plan, rep.StuckMoves, newPlace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accounted := len(replanned.Moves) + len(restarts) + len(dropped)
+	if accounted != rep.Stuck {
+		t.Fatalf("accounted for %d of %d stuck moves", accounted, rep.Stuck)
+	}
+	if len(replanned.Moves) != 1 || replanned.Moves[0].Container != 0 || replanned.Moves[0].To != 5 {
+		t.Fatalf("replanned = %+v", replanned.Moves)
+	}
+	if len(restarts) != 1 || restarts[0].Container != 1 {
+		t.Fatalf("restarts = %+v", restarts)
+	}
+	if len(dropped) != 1 || dropped[0] != 2 {
+		t.Fatalf("dropped = %v, want explicit rejection of container 2", dropped)
+	}
+}
+
+func TestReplanRejectsFailedDestination(t *testing.T) {
+	topo := topology.NewTestbed()
+	plan := Schedule([]Move{{Container: 0, From: 0, To: 2, ImageMB: 512}})
+	if err := topo.FailServer(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Replan(topo, plan, []int{0}, []int{2}); err == nil {
+		t.Fatal("re-placing onto a failed server must be rejected")
+	}
+}
+
 func TestPlanAndSimulateEndToEnd(t *testing.T) {
 	topo := topology.NewTestbed()
 	s := &workload.Spec{}

@@ -125,7 +125,11 @@ func (s *Simulator) Run() (done []Completed, stuck []FlowID) {
 	s.ran = true
 	sort.SliceStable(s.arrivals, func(i, j int) bool { return s.arrivals[i].at < s.arrivals[j].at })
 
-	active := make(map[FlowID]*flow)
+	// Active flows live in an arrival-ordered slice, not a map: progressive
+	// filling subtracts fair shares from link residuals flow by flow, and
+	// floating-point subtraction order must not depend on map iteration —
+	// identical runs must produce bit-identical rates and completion times.
+	var active []*flow
 	now := 0.0
 	nextArr := 0
 
@@ -135,8 +139,7 @@ func (s *Simulator) Run() (done []Completed, stuck []FlowID) {
 			now = math.Max(now, s.arrivals[nextArr].at)
 		}
 		for nextArr < len(s.arrivals) && s.arrivals[nextArr].at <= now+1e-15 {
-			f := s.arrivals[nextArr].flow
-			active[f.id] = f
+			active = append(active, s.arrivals[nextArr].flow)
 			nextArr++
 		}
 		s.computeRates(active)
@@ -171,8 +174,8 @@ func (s *Simulator) Run() (done []Completed, stuck []FlowID) {
 
 		if math.IsInf(tc, 1) && math.IsInf(ta, 1) {
 			// No progress possible: every remaining flow is stuck.
-			for id := range active {
-				stuck = append(stuck, id)
+			for _, f := range active {
+				stuck = append(stuck, f.id)
 			}
 			break
 		}
@@ -191,20 +194,31 @@ func (s *Simulator) Run() (done []Completed, stuck []FlowID) {
 		}
 		now = next
 
-		// Collect completions (tolerance for float drift).
-		for id, f := range active {
+		// Collect completions (tolerance for float drift), compacting the
+		// survivors in place so arrival order is preserved.
+		kept := active[:0]
+		for _, f := range active {
 			if f.remainingBits <= 1e-6 {
-				delete(active, id)
 				finish := now + (time.Duration(f.hops) * s.opts.PropagationDelayPerHop).Seconds()
 				done = append(done, Completed{
 					ID: f.id, Src: f.src, Dst: f.dst, SizeBytes: f.sizeBytes,
 					Arrival: secToDur(f.arrival),
 					Finish:  secToDur(finish),
 				})
+			} else {
+				kept = append(kept, f)
 			}
 		}
+		active = kept
 	}
-	sort.Slice(done, func(i, j int) bool { return done[i].Finish < done[j].Finish })
+	// Flow id breaks finish-time ties so simultaneous completions come back
+	// in one canonical order.
+	sort.Slice(done, func(i, j int) bool {
+		if done[i].Finish != done[j].Finish {
+			return done[i].Finish < done[j].Finish
+		}
+		return done[i].ID < done[j].ID
+	})
 	sort.Slice(stuck, func(i, j int) bool { return stuck[i] < stuck[j] })
 	return done, stuck
 }
@@ -227,13 +241,16 @@ func (s *Simulator) Stats() map[*topology.Link]*LinkStats { return s.stats }
 
 // computeRates assigns max-min fair rates to the active flows via
 // progressive filling: repeatedly saturate the link with the smallest fair
-// share and freeze its flows at that rate.
-func (s *Simulator) computeRates(active map[FlowID]*flow) {
+// share and freeze its flows at that rate. Links are scanned in first-seen
+// order (following the arrival-ordered flow slice) so that equal-share
+// bottleneck ties resolve the same way every run.
+func (s *Simulator) computeRates(active []*flow) {
 	type linkState struct {
 		residual float64
 		unfixed  []*flow
 	}
 	states := make(map[*topology.Link]*linkState)
+	var linkOrder []*topology.Link
 	unfixedCount := 0
 	for _, f := range active {
 		f.rateMbps = 0
@@ -247,6 +264,7 @@ func (s *Simulator) computeRates(active map[FlowID]*flow) {
 			if st == nil {
 				st = &linkState{residual: l.CapacityMbps}
 				states[l] = st
+				linkOrder = append(linkOrder, l)
 			}
 			st.unfixed = append(st.unfixed, f)
 		}
@@ -254,11 +272,12 @@ func (s *Simulator) computeRates(active map[FlowID]*flow) {
 
 	fixed := make(map[FlowID]bool)
 	for unfixedCount > 0 {
-		// Find the bottleneck: the link with the smallest fair share.
+		// Find the bottleneck: the link with the smallest fair share;
+		// strict < keeps the first-seen link on ties.
 		var bottleneck *linkState
-		var bottleneckLink *topology.Link
 		share := math.Inf(1)
-		for l, st := range states {
+		for _, l := range linkOrder {
+			st := states[l]
 			n := 0
 			for _, f := range st.unfixed {
 				if !fixed[f.id] {
@@ -272,7 +291,6 @@ func (s *Simulator) computeRates(active map[FlowID]*flow) {
 			if sh < share {
 				share = sh
 				bottleneck = st
-				bottleneckLink = l
 			}
 		}
 		if bottleneck == nil {
@@ -281,7 +299,6 @@ func (s *Simulator) computeRates(active map[FlowID]*flow) {
 		if share < 0 {
 			share = 0
 		}
-		_ = bottleneckLink
 		// Freeze the bottleneck's flows at the fair share and charge
 		// their rate to every link they cross.
 		for _, f := range bottleneck.unfixed {
@@ -298,7 +315,8 @@ func (s *Simulator) computeRates(active map[FlowID]*flow) {
 	}
 
 	// Record peak utilization.
-	for l, st := range states {
+	for _, l := range linkOrder {
+		st := states[l]
 		if l.CapacityMbps > 0 {
 			u := (l.CapacityMbps - st.residual) / l.CapacityMbps
 			if u > 1 {

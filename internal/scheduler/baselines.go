@@ -99,7 +99,7 @@ func (EPVM) Place(req Request) (Result, error) {
 			stamp:  stamps[best],
 		})
 	}
-	return Result{Placement: placement, AllServersOn: true}, nil
+	return Result{Placement: placement, AllServersOn: true, TargetUtil: 1.0}, nil
 }
 
 // packer tracks which servers a packing policy needs to examine for each
@@ -223,7 +223,7 @@ func (p MPP) Place(req Request) (Result, error) {
 		placement[i] = best
 		pk.place(best, c.Demand)
 	}
-	return Result{Placement: placement}, nil
+	return Result{Placement: placement, TargetUtil: cap}, nil
 }
 
 // Borg implements the task-packing score of Google's Borg [14]: among
@@ -271,7 +271,7 @@ func (p Borg) Place(req Request) (Result, error) {
 		placement[i] = best
 		pk.place(best, c.Demand)
 	}
-	return Result{Placement: placement}, nil
+	return Result{Placement: placement, TargetUtil: cap}, nil
 }
 
 // borgScore is lower for better placements: it penalizes stranded
@@ -355,7 +355,7 @@ func (p RCInformed) Place(req Request) (Result, error) {
 			return Result{}, fmt.Errorf("%w: container %d (reserved %v)", ErrNoCapacity, i, reserved)
 		}
 	}
-	return Result{Placement: placement}, nil
+	return Result{Placement: placement, TargetUtil: over}, nil
 }
 
 // idHash is a small integer mix (splitmix64 finalizer) used to derive the

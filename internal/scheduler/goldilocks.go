@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"errors"
 	"fmt"
 
 	"goldilocks/internal/det"
@@ -59,7 +60,7 @@ func (p Goldilocks) Place(req Request) (Result, error) {
 		p.Partition.BalanceEps = 0.03
 	}
 	if req.Spec.NumContainers() == 0 {
-		return Result{Placement: []int{}}, nil
+		return Result{Placement: []int{}, TargetUtil: target}, nil
 	}
 
 	g := req.Spec.Graph()
@@ -83,6 +84,7 @@ func (p Goldilocks) Place(req Request) (Result, error) {
 		res, err := p.placeAtTarget(req, g, t)
 		if err == nil {
 			repairAntiAffinityAt(req, res.Placement, t, domain)
+			res.TargetUtil = t
 			return res, nil
 		}
 		if firstErr == nil {
@@ -270,6 +272,13 @@ func (p Goldilocks) placeAsymmetric(req Request, g *graph.Graph, tree *partition
 	}
 	pl, err := vc.Place(req.Topo, req.Spec.NumContainers(), groups, target)
 	if err != nil {
+		if errors.Is(err, vc.ErrUnplaceable) {
+			// A group that fits no subtree of the surviving topology is
+			// capacity exhaustion (compute or bandwidth): surface it as
+			// ErrNoCapacity so the runner's admission control can shed
+			// load instead of aborting the epoch.
+			return Result{}, fmt.Errorf("goldilocks: asymmetric placement failed: %w: %w", ErrNoCapacity, err)
+		}
 		return Result{}, fmt.Errorf("goldilocks: asymmetric placement failed: %w", err)
 	}
 	// One-shot placement: reservations only matter while choosing; the

@@ -137,7 +137,7 @@ func (p *IncrementalGoldilocks) Place(req Request) (Result, error) {
 
 	repairAntiAffinity(req, placement, target)
 	p.remember(req, placement)
-	return Result{Placement: placement}, nil
+	return Result{Placement: placement, TargetUtil: target}, nil
 }
 
 // fullFallback reruns the complete partitioning and records it.

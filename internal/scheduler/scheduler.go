@@ -38,6 +38,12 @@ type Result struct {
 	Placement []int
 	// AllServersOn marks policies (E-PVM) that never power servers down.
 	AllServersOn bool
+	// TargetUtil is the CPU utilization ceiling the policy actually packed
+	// against. For Goldilocks this exposes the degradation ladder: 0.70 at
+	// the Peak Energy Efficiency knee, higher when surviving capacity
+	// forced a controlled spill toward 0.95 (the cluster runner reports it
+	// as EpochReport.SpillTarget and the cubic DVFS penalty follows).
+	TargetUtil float64
 }
 
 // ActiveServers returns which servers host at least one container (every

@@ -52,6 +52,21 @@ func (l Level) String() string {
 type Link struct {
 	CapacityMbps float64
 	ReservedMbps float64
+	// nominalMbps snapshots the healthy design capacity the first time a
+	// failure setter degrades the link, so RecoverUplink restores the
+	// exact pre-failure value (repeated fractional failures compound on
+	// CapacityMbps and would otherwise be irreversible). Zero means the
+	// link has never been degraded.
+	nominalMbps float64
+}
+
+// Nominal returns the link's healthy design capacity: the pre-failure
+// capacity when the link has been degraded, CapacityMbps otherwise.
+func (l *Link) Nominal() float64 {
+	if l.nominalMbps > 0 {
+		return l.nominalMbps
+	}
+	return l.CapacityMbps
 }
 
 // Residual returns the unreserved bandwidth.
@@ -122,6 +137,13 @@ type Topology struct {
 	Server []power.ServerModel
 	// nodes lists every node, servers first, then racks, pods, root.
 	nodes []*Node
+	// failedServer flags servers taken down by FailServer; nil until the
+	// first failure touches the topology.
+	failedServer []bool
+	// nominalCapacity snapshots every server's healthy capacity vector the
+	// first time a failure or throttle mutates Capacity, so RecoverServer
+	// restores the exact pre-failure value.
+	nominalCapacity []resources.Vector
 }
 
 // NumServers returns the number of servers.
@@ -233,21 +255,24 @@ func (t *Topology) TotalCapacity() resources.Vector {
 	return resources.Sum(t.Capacity)
 }
 
-// AverageCapacity returns the mean per-server capacity; the asymmetric
-// placement algorithm partitions against this before fitting heterogeneous
-// servers individually (§IV-A).
+// AverageCapacity returns the mean per-server capacity over the surviving
+// servers; the asymmetric placement algorithm partitions against this
+// before fitting heterogeneous servers individually (§IV-A). Failed
+// servers are excluded — averaging in their zeroed capacity would shrink
+// the partition groups far below what the survivors can actually host.
 func (t *Topology) AverageCapacity() resources.Vector {
-	n := t.NumServers()
-	if n == 0 {
+	alive := t.NumServers() - t.NumFailedServers()
+	if alive == 0 {
 		return resources.Vector{}
 	}
-	return t.TotalCapacity().Scale(1 / float64(n))
+	return t.TotalCapacity().Scale(1 / float64(alive))
 }
 
 // FailUplinkFraction degrades the outbound capacity of a node by the given
 // fraction (0 = no failure, 1 = fully cut), making the topology asymmetric.
 // It returns an error for the root (which has no uplink) or an out-of-range
-// fraction.
+// fraction. Repeated failures compound; RecoverUplink undoes them all at
+// once.
 func (t *Topology) FailUplinkFraction(n *Node, fraction float64) error {
 	if n.Uplink == nil {
 		return fmt.Errorf("topology: node %d has no uplink", n.ID)
@@ -255,7 +280,132 @@ func (t *Topology) FailUplinkFraction(n *Node, fraction float64) error {
 	if fraction < 0 || fraction > 1 {
 		return fmt.Errorf("topology: invalid failure fraction %v", fraction)
 	}
+	if n.Uplink.nominalMbps == 0 {
+		n.Uplink.nominalMbps = n.Uplink.CapacityMbps
+	}
 	n.Uplink.CapacityMbps *= 1 - fraction
+	return nil
+}
+
+// FailUplink cuts a node's outbound link entirely — a ToR/aggregation
+// switch loss or a severed cable isolates the subtree from the rest of the
+// fabric.
+func (t *Topology) FailUplink(n *Node) error {
+	return t.FailUplinkFraction(n, 1)
+}
+
+// RecoverUplink restores a previously failed or degraded uplink to its
+// exact pre-failure capacity. Recovering a healthy uplink is a no-op; the
+// root (which has no uplink) is an error, mirroring the failure setters.
+func (t *Topology) RecoverUplink(n *Node) error {
+	if n.Uplink == nil {
+		return fmt.Errorf("topology: node %d has no uplink", n.ID)
+	}
+	if n.Uplink.nominalMbps > 0 {
+		n.Uplink.CapacityMbps = n.Uplink.nominalMbps
+	}
+	return nil
+}
+
+// ensureFaultState lazily allocates the failure bookkeeping so topologies
+// that never see a fault pay nothing.
+func (t *Topology) ensureFaultState() {
+	if t.failedServer == nil {
+		t.failedServer = make([]bool, t.NumServers())
+	}
+	if t.nominalCapacity == nil {
+		t.nominalCapacity = append([]resources.Vector(nil), t.Capacity...)
+	}
+}
+
+// FailServer takes a server down: its capacity drops to zero (no policy
+// can place anything there) and its NIC uplink is cut. Failing an already
+// failed server is a no-op, so correlated fault schedules compose.
+func (t *Topology) FailServer(id int) error {
+	if id < 0 || id >= t.NumServers() {
+		return fmt.Errorf("topology: server %d outside [0, %d)", id, t.NumServers())
+	}
+	t.ensureFaultState()
+	if t.failedServer[id] {
+		return nil
+	}
+	t.failedServer[id] = true
+	t.Capacity[id] = resources.Vector{}
+	return t.FailUplink(t.ServerNode[id])
+}
+
+// RecoverServer brings a server back: capacity and NIC link return to
+// their exact pre-failure values. It also clears any ThrottleServer
+// degradation, and is a no-op on a healthy, unthrottled server.
+func (t *Topology) RecoverServer(id int) error {
+	if id < 0 || id >= t.NumServers() {
+		return fmt.Errorf("topology: server %d outside [0, %d)", id, t.NumServers())
+	}
+	if t.failedServer == nil && t.nominalCapacity == nil {
+		return nil // never failed anything
+	}
+	t.ensureFaultState()
+	t.failedServer[id] = false
+	t.Capacity[id] = t.nominalCapacity[id]
+	return t.RecoverUplink(t.ServerNode[id])
+}
+
+// ThrottleServer models a straggler: the server stays up but delivers only
+// `factor` of its healthy capacity (thermal throttling, a failing disk, a
+// noisy neighbor on shared infrastructure). factor must be in (0, 1];
+// RecoverServer (or ThrottleServer with factor 1) restores full capacity.
+// Throttling a failed server is an error — it has no capacity to scale.
+func (t *Topology) ThrottleServer(id int, factor float64) error {
+	if id < 0 || id >= t.NumServers() {
+		return fmt.Errorf("topology: server %d outside [0, %d)", id, t.NumServers())
+	}
+	if factor <= 0 || factor > 1 {
+		return fmt.Errorf("topology: throttle factor %v outside (0, 1]", factor)
+	}
+	t.ensureFaultState()
+	if t.failedServer[id] {
+		return fmt.Errorf("topology: server %d is failed; recover it before throttling", id)
+	}
+	t.Capacity[id] = t.nominalCapacity[id].Scale(factor)
+	return nil
+}
+
+// ServerFailed reports whether FailServer took the server down.
+func (t *Topology) ServerFailed(id int) bool {
+	return t.failedServer != nil && id >= 0 && id < len(t.failedServer) && t.failedServer[id]
+}
+
+// NumFailedServers counts servers currently down.
+func (t *Topology) NumFailedServers() int {
+	n := 0
+	for _, f := range t.failedServer {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// FailedServers lists the down servers in ascending id order.
+func (t *Topology) FailedServers() []int {
+	var out []int
+	for id, f := range t.failedServer {
+		if f {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// NodeByID returns the node with the given ID, or nil. IDs are assigned by
+// the builders and are stable for a given topology shape, which lets fault
+// schedules name link/rack targets by value.
+func (t *Topology) NodeByID(id int) *Node {
+	for _, n := range t.nodes {
+		if n.ID == id {
+			return n
+		}
+	}
 	return nil
 }
 
@@ -291,6 +441,12 @@ func (t *Topology) Clone() *Topology {
 		Capacity:   append([]resources.Vector(nil), t.Capacity...),
 		Server:     append([]power.ServerModel(nil), t.Server...),
 		ServerNode: make([]*Node, len(t.ServerNode)),
+	}
+	if t.failedServer != nil {
+		c.failedServer = append([]bool(nil), t.failedServer...)
+	}
+	if t.nominalCapacity != nil {
+		c.nominalCapacity = append([]resources.Vector(nil), t.nominalCapacity...)
 	}
 	var cloneNode func(n *Node, parent *Node) *Node
 	cloneNode = func(n *Node, parent *Node) *Node {

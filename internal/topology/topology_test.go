@@ -337,6 +337,258 @@ func TestLevelString(t *testing.T) {
 	}
 }
 
+// capacityGraphEqual compares every link capacity and every server capacity
+// vector between two structurally identical topologies.
+func capacityGraphEqual(t *testing.T, got, want *Topology) {
+	t.Helper()
+	wantByID := make(map[int]*Node)
+	for _, n := range want.Nodes() {
+		wantByID[n.ID] = n
+	}
+	for _, n := range got.Nodes() {
+		w, ok := wantByID[n.ID]
+		if !ok {
+			t.Fatalf("node %d missing from reference", n.ID)
+		}
+		switch {
+		case n.Uplink == nil && w.Uplink == nil:
+		case n.Uplink == nil || w.Uplink == nil:
+			t.Fatalf("node %d uplink presence differs", n.ID)
+		case n.Uplink.CapacityMbps != w.Uplink.CapacityMbps:
+			t.Fatalf("node %d uplink = %v, want %v", n.ID, n.Uplink.CapacityMbps, w.Uplink.CapacityMbps)
+		}
+	}
+	for id := range got.Capacity {
+		if got.Capacity[id] != want.Capacity[id] {
+			t.Fatalf("server %d capacity = %v, want %v", id, got.Capacity[id], want.Capacity[id])
+		}
+	}
+}
+
+func TestFailRecoverUplinkRoundTrip(t *testing.T) {
+	tp, err := NewFatTree(4, power.Wedge, power.Wedge, power.Wedge, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := tp.Clone()
+	rack := tp.SubtreesAtLevel(LevelRack)[2]
+	pod := tp.SubtreesAtLevel(LevelPod)[1]
+	// Compound fractional degradations on one link, a full cut on another.
+	if err := tp.FailUplinkFraction(rack, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.FailUplinkFraction(rack, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if rack.Uplink.CapacityMbps != 500 {
+		t.Fatalf("compounded capacity = %v, want 500", rack.Uplink.CapacityMbps)
+	}
+	if err := tp.FailUplink(pod); err != nil {
+		t.Fatal(err)
+	}
+	if pod.Uplink.CapacityMbps != 0 {
+		t.Fatalf("cut link capacity = %v, want 0", pod.Uplink.CapacityMbps)
+	}
+	if rack.Uplink.Nominal() != 2000 {
+		t.Fatalf("Nominal = %v, want 2000", rack.Uplink.Nominal())
+	}
+	if err := tp.RecoverUplink(rack); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.RecoverUplink(pod); err != nil {
+		t.Fatal(err)
+	}
+	capacityGraphEqual(t, tp, pristine)
+	if !tp.IsSymmetric() {
+		t.Fatal("recovered topology must be symmetric again")
+	}
+	// Recovering a never-failed link is a no-op; the root is an error.
+	other := tp.SubtreesAtLevel(LevelRack)[0]
+	if err := tp.RecoverUplink(other); err != nil {
+		t.Fatal(err)
+	}
+	if other.Uplink.CapacityMbps != 2000 {
+		t.Fatal("no-op recover changed a healthy link")
+	}
+	if err := tp.RecoverUplink(tp.Root); err == nil {
+		t.Fatal("root has no uplink; must error")
+	}
+}
+
+func TestFailRecoverServerRoundTrip(t *testing.T) {
+	tp, err := NewFatTree(4, power.Wedge, power.Wedge, power.Wedge, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make server 3 heterogeneous so restore provably returns its own
+	// vector, not a fleet-wide default.
+	tp.Capacity[3] = tp.Capacity[3].Add(resources.New(800, 0, 0))
+	pristine := tp.Clone()
+
+	if err := tp.FailServer(3); err != nil {
+		t.Fatal(err)
+	}
+	if !tp.ServerFailed(3) || tp.NumFailedServers() != 1 {
+		t.Fatal("failure not recorded")
+	}
+	if tp.Capacity[3] != (resources.Vector{}) {
+		t.Fatalf("failed server capacity = %v, want zero", tp.Capacity[3])
+	}
+	if nic := tp.ServerNode[3].Uplink; nic.CapacityMbps != 0 {
+		t.Fatalf("failed server NIC = %v, want 0", nic.CapacityMbps)
+	}
+	// Idempotent re-failure must not overwrite the nominal snapshot.
+	if err := tp.FailServer(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.RecoverServer(3); err != nil {
+		t.Fatal(err)
+	}
+	if tp.ServerFailed(3) || tp.NumFailedServers() != 0 {
+		t.Fatal("recovery not recorded")
+	}
+	capacityGraphEqual(t, tp, pristine)
+
+	if err := tp.FailServer(-1); err == nil {
+		t.Fatal("negative id must error")
+	}
+	if err := tp.FailServer(99); err == nil {
+		t.Fatal("out-of-range id must error")
+	}
+	if err := tp.RecoverServer(99); err == nil {
+		t.Fatal("out-of-range recover must error")
+	}
+	// Recover on a topology that never failed anything is a no-op.
+	fresh, _ := NewFatTree(4, power.Wedge, power.Wedge, power.Wedge, testConfig())
+	if err := fresh.RecoverServer(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThrottleServer(t *testing.T) {
+	tp := NewTestbed()
+	pristine := tp.Clone()
+	if err := tp.ThrottleServer(5, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	want := pristine.Capacity[5].Scale(0.25)
+	if tp.Capacity[5] != want {
+		t.Fatalf("throttled capacity = %v, want %v", tp.Capacity[5], want)
+	}
+	if tp.ServerFailed(5) {
+		t.Fatal("throttled server must not count as failed")
+	}
+	// Re-throttling scales from nominal, not from the already-throttled
+	// value; factor 1 restores fully.
+	if err := tp.ThrottleServer(5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if tp.Capacity[5] != pristine.Capacity[5].Scale(0.5) {
+		t.Fatalf("re-throttle compounded: %v", tp.Capacity[5])
+	}
+	if err := tp.RecoverServer(5); err != nil {
+		t.Fatal(err)
+	}
+	capacityGraphEqual(t, tp, pristine)
+
+	if err := tp.ThrottleServer(5, 0); err == nil {
+		t.Fatal("factor 0 must error")
+	}
+	if err := tp.ThrottleServer(5, 1.5); err == nil {
+		t.Fatal("factor > 1 must error")
+	}
+	if err := tp.ThrottleServer(99, 0.5); err == nil {
+		t.Fatal("out-of-range id must error")
+	}
+	if err := tp.FailServer(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.ThrottleServer(5, 0.5); err == nil {
+		t.Fatal("throttling a failed server must error")
+	}
+}
+
+func TestFailedServersListing(t *testing.T) {
+	tp := NewTestbed()
+	if tp.FailedServers() != nil || tp.NumFailedServers() != 0 {
+		t.Fatal("fresh topology must report no failures")
+	}
+	for _, id := range []int{7, 2, 11} {
+		if err := tp.FailServer(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := tp.FailedServers()
+	want := []int{2, 7, 11}
+	if len(got) != len(want) {
+		t.Fatalf("FailedServers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FailedServers = %v, want %v (ascending)", got, want)
+		}
+	}
+	if tp.ServerFailed(-1) || tp.ServerFailed(999) {
+		t.Fatal("out-of-range ServerFailed must be false")
+	}
+}
+
+func TestAverageCapacityExcludesFailedServers(t *testing.T) {
+	tp := NewTestbed()
+	healthy := tp.AverageCapacity()
+	for id := 0; id < 4; id++ {
+		if err := tp.FailServer(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 12 of 16 identical servers survive: the per-survivor average is
+	// unchanged, not dragged down by the zeroed casualties.
+	if got := tp.AverageCapacity(); got != healthy {
+		t.Fatalf("alive average = %v, want %v", got, healthy)
+	}
+	for id := 4; id < 16; id++ {
+		if err := tp.FailServer(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tp.AverageCapacity(); got != (resources.Vector{}) {
+		t.Fatalf("all-failed average = %v, want zero", got)
+	}
+}
+
+func TestClonePreservesFailureState(t *testing.T) {
+	tp := NewTestbed()
+	if err := tp.FailServer(1); err != nil {
+		t.Fatal(err)
+	}
+	cl := tp.Clone()
+	if !cl.ServerFailed(1) {
+		t.Fatal("clone lost failure flag")
+	}
+	if err := cl.RecoverServer(1); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Capacity[1] != NewTestbed().Capacity[1] {
+		t.Fatal("clone lost nominal capacity snapshot")
+	}
+	// Clone's recovery must not leak back into the original.
+	if !tp.ServerFailed(1) {
+		t.Fatal("recovering the clone mutated the original")
+	}
+}
+
+func TestNodeByID(t *testing.T) {
+	tp := NewTestbed()
+	for _, n := range tp.Nodes() {
+		if got := tp.NodeByID(n.ID); got != n {
+			t.Fatalf("NodeByID(%d) = %p, want %p", n.ID, got, n)
+		}
+	}
+	if tp.NodeByID(-42) != nil {
+		t.Fatal("unknown id must return nil")
+	}
+}
+
 func BenchmarkHopDistanceFatTree28(b *testing.B) {
 	tp := NewSimulationFatTree()
 	n := tp.NumServers()
