@@ -13,7 +13,7 @@ BENCH_COUNT   ?= 5
 # target gets this much generated-input time on top of the seed corpus).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench fmt fmt-check vet lint fuzz-smoke ci
+.PHONY: all build test race bench bench-json telemetry-overhead fmt fmt-check vet lint fuzz-smoke ci
 
 all: build test
 
@@ -30,6 +30,23 @@ race:
 # raw output and benchstat can diff it against BENCH_BASELINE.txt.
 bench:
 	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -run '^$$' -count=$(BENCH_COUNT) ./... | tee bench.txt
+
+# Machine-readable benchmark summary: collapse bench.txt (rerunning the
+# benchmarks if it is absent) to per-benchmark medians in BENCH_PR4.json.
+# CI uploads the file as an artifact next to the raw bench.txt.
+bench-json:
+	@[ -f bench.txt ] || $(MAKE) bench
+	$(GO) run ./cmd/benchjson -o BENCH_PR4.json bench.txt
+	@echo "wrote BENCH_PR4.json"
+
+# Telemetry-overhead guard: the partition hot path carries nil-receiver
+# telemetry calls, so comparing today's mixture-5k numbers against the
+# pre-telemetry BENCH_BASELINE.txt measures exactly the no-op tracer cost.
+# More than 2% is a regression (CI runs this warn-only).
+telemetry-overhead:
+	@[ -f bench.txt ] || $(MAKE) bench
+	$(GO) run ./cmd/benchjson -guard 'BenchmarkPartitionParallel/mixture-5k' \
+		-max-delta-pct 2 -baseline BENCH_BASELINE.txt -current bench.txt
 
 fmt:
 	gofmt -l -w .

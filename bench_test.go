@@ -208,6 +208,37 @@ func BenchmarkPartitionParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkPartitionTelemetry pins the telemetry cost on the partition hot
+// path. "noop" leaves Options.Trace nil, so every span call takes the
+// nil-receiver fast path — this is the configuration every benchmark and
+// production run uses, and it must track BenchmarkPartitionParallel (the
+// CI overhead guard compares the two against the committed baseline).
+// "traced" attaches a live tracer and pays for real span recording; the
+// gap between the sub-benchmarks is the price of turning tracing on.
+func BenchmarkPartitionTelemetry(b *testing.B) {
+	spec := workload.MixtureWorkload(1000, 7)
+	g := spec.Graph()
+	cap := serverCapacityFor(g, g.NumVertices()/80)
+	opts := DefaultPartitionOptions()
+	opts.Seed = 1
+	run := func(b *testing.B, opts PartitionOptions) {
+		for i := 0; i < b.N; i++ {
+			if _, err := PartitionToFit(g, cap, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("noop", func(b *testing.B) {
+		run(b, opts)
+	})
+	b.Run("traced", func(b *testing.B) {
+		sess := NewTelemetrySession()
+		traced := opts
+		traced.Trace = sess.Tracer.Root("bench", 0)
+		run(b, traced)
+	})
+}
+
 // BenchmarkExtIncremental measures the §IV-C extension comparison: fresh
 // repartitioning vs migration-budgeted incremental scheduling.
 func BenchmarkExtIncremental(b *testing.B) {

@@ -1,0 +1,265 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document (benchmark name → ns/op, B/op, allocs/op medians) and, in guard
+// mode, compares two bench outputs against a regression threshold.
+//
+// JSON mode (the `make bench-json` artifact):
+//
+//	go test -bench . -benchmem ./... | benchjson -o BENCH_PR4.json
+//	benchjson -o BENCH_PR4.json bench.txt
+//
+// Repeated runs of one benchmark (-count=N) collapse to their median, the
+// same robust center benchstat uses, and names are sorted so the file is
+// byte-stable for identical inputs.
+//
+// Guard mode (the CI telemetry-overhead check):
+//
+//	benchjson -guard 'BenchmarkPartitionParallel/mixture-5k' -max-delta-pct 2 \
+//	    -baseline BENCH_BASELINE.txt -current bench.txt
+//
+// compares the median ns/op of every benchmark matching the regex that is
+// present in both files, and exits 1 when any current median exceeds the
+// baseline by more than the threshold. CI runs it with continue-on-error,
+// so a breach warns in the job log without blocking the build.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed benchmark line.
+type sample struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+	hasMem      bool
+}
+
+// benchLine matches `BenchmarkName[-procs]  N  12345 ns/op [67 B/op 8 allocs/op]`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(?:\s+([0-9.e+]+) B/op\s+([0-9.e+]+) allocs/op)?`)
+
+// parse collects samples per benchmark name from bench output.
+func parse(r io.Reader, into map[string][]sample) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		s := sample{}
+		var err error
+		if s.nsPerOp, err = strconv.ParseFloat(m[2], 64); err != nil {
+			continue
+		}
+		if m[3] != "" {
+			s.hasMem = true
+			s.bytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+			s.allocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		into[m[1]] = append(into[m[1]], s)
+	}
+	return sc.Err()
+}
+
+// median returns the median of xs (mean of the middle two for even n).
+func median(xs []float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// medians collapses each benchmark's repeated runs.
+func medians(raw map[string][]sample) map[string]sample {
+	out := make(map[string]sample, len(raw))
+	for name, ss := range raw {
+		var ns, bs, as []float64
+		hasMem := true
+		for _, s := range ss {
+			ns = append(ns, s.nsPerOp)
+			bs = append(bs, s.bytesPerOp)
+			as = append(as, s.allocsPerOp)
+			hasMem = hasMem && s.hasMem
+		}
+		out[name] = sample{
+			nsPerOp:     median(ns),
+			bytesPerOp:  median(bs),
+			allocsPerOp: median(as),
+			hasMem:      hasMem,
+		}
+	}
+	return out
+}
+
+// writeJSON renders the medians sorted by name. The document is assembled
+// by hand so the key order (and therefore the bytes) is deterministic.
+func writeJSON(w io.Writer, med map[string]sample) error {
+	names := make([]string, 0, len(med))
+	for name := range med {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, name := range names {
+		s := med[name]
+		fmt.Fprintf(&b, "  %s: {\"ns_per_op\": %s", strconv.Quote(name),
+			strconv.FormatFloat(s.nsPerOp, 'f', -1, 64))
+		if s.hasMem {
+			fmt.Fprintf(&b, ", \"bytes_per_op\": %s, \"allocs_per_op\": %s",
+				strconv.FormatFloat(s.bytesPerOp, 'f', -1, 64),
+				strconv.FormatFloat(s.allocsPerOp, 'f', -1, 64))
+		}
+		b.WriteString("}")
+		if i < len(names)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func parseFile(path string) (map[string]sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	raw := make(map[string][]sample)
+	if err := parse(f, raw); err != nil {
+		return nil, err
+	}
+	return medians(raw), nil
+}
+
+// guard compares baseline vs current medians for every benchmark matching
+// the pattern that both files carry; it returns the offending lines.
+func guard(pattern string, maxDeltaPct float64, base, cur map[string]sample, w io.Writer) (breaches int, err error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return 0, fmt.Errorf("bad -guard pattern: %w", err)
+	}
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if re.MatchString(name) {
+			if _, ok := base[name]; ok {
+				names = append(names, name)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return 0, fmt.Errorf("no benchmark matches %q in both files", pattern)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, c := base[name], cur[name]
+		delta := 0.0
+		if b.nsPerOp > 0 {
+			delta = (c.nsPerOp - b.nsPerOp) / b.nsPerOp * 100
+		}
+		status := "ok"
+		if delta > maxDeltaPct {
+			status = "REGRESSION"
+			breaches++
+		}
+		fmt.Fprintf(w, "%-55s %14.0f ns/op → %14.0f ns/op  %+6.2f%%  [%s]\n",
+			name, b.nsPerOp, c.nsPerOp, delta, status)
+	}
+	return breaches, nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out      = fs.String("o", "", "output JSON path (default stdout)")
+		guardPat = fs.String("guard", "", "guard mode: regex of benchmarks to compare between -baseline and -current")
+		maxDelta = fs.Float64("max-delta-pct", 2, "guard mode: maximum allowed ns/op increase, in percent")
+		baseline = fs.String("baseline", "", "guard mode: baseline bench output")
+		current  = fs.String("current", "", "guard mode: current bench output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *guardPat != "" {
+		if *baseline == "" || *current == "" {
+			fmt.Fprintln(stderr, "benchjson: -guard needs -baseline and -current")
+			return 2
+		}
+		base, err := parseFile(*baseline)
+		if err == nil {
+			var cur map[string]sample
+			if cur, err = parseFile(*current); err == nil {
+				var breaches int
+				if breaches, err = guard(*guardPat, *maxDelta, base, cur, stdout); err == nil {
+					if breaches > 0 {
+						fmt.Fprintf(stderr, "benchjson: %d benchmark(s) regressed beyond %.1f%%\n", breaches, *maxDelta)
+						return 1
+					}
+					return 0
+				}
+			}
+		}
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+
+	raw := make(map[string][]sample)
+	if fs.NArg() == 0 {
+		if err := parse(stdin, raw); err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+	}
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		err = parse(f, raw)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+	}
+	if len(raw) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines found")
+		return 1
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := writeJSON(w, medians(raw)); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	return 0
+}

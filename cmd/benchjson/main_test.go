@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: goldilocks
+BenchmarkPartitionParallel/mixture-5k/p1         	      26	  44586479 ns/op	 1234567 B/op	    4321 allocs/op
+BenchmarkPartitionParallel/mixture-5k/p1         	      26	  44986479 ns/op	 1234567 B/op	    4321 allocs/op
+BenchmarkPartitionParallel/mixture-5k/p1         	      26	  44786479 ns/op	 1234567 B/op	    4321 allocs/op
+BenchmarkPartitionParallel/mixture-5k/p4-8       	      80	  14586479 ns/op
+BenchmarkFig2UCurve-8                            	     100	  10000000 ns/op
+PASS
+ok  	goldilocks	12.3s
+`
+
+func TestParseAndMedians(t *testing.T) {
+	raw := make(map[string][]sample)
+	if err := parse(strings.NewReader(sampleBench), raw); err != nil {
+		t.Fatal(err)
+	}
+	med := medians(raw)
+	p1, ok := med["BenchmarkPartitionParallel/mixture-5k/p1"]
+	if !ok {
+		t.Fatalf("missing p1 benchmark; parsed %v", med)
+	}
+	if p1.nsPerOp != 44786479 {
+		t.Errorf("median ns/op = %v, want the middle sample 44786479", p1.nsPerOp)
+	}
+	if !p1.hasMem || p1.allocsPerOp != 4321 {
+		t.Errorf("memory stats = %+v, want allocs 4321", p1)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped from names.
+	if _, ok := med["BenchmarkPartitionParallel/mixture-5k/p4"]; !ok {
+		t.Error("GOMAXPROCS suffix was not stripped from p4 name")
+	}
+	if _, ok := med["BenchmarkFig2UCurve"]; !ok {
+		t.Error("GOMAXPROCS suffix was not stripped from Fig2 name")
+	}
+}
+
+func TestJSONModeIsDeterministic(t *testing.T) {
+	var out1, out2, errBuf bytes.Buffer
+	if code := run(nil, strings.NewReader(sampleBench), &out1, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if code := run(nil, strings.NewReader(sampleBench), &out2, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if out1.String() != out2.String() {
+		t.Fatal("same input produced different JSON bytes")
+	}
+	if !strings.Contains(out1.String(), `"ns_per_op": 44786479`) {
+		t.Errorf("JSON lacks the median ns/op:\n%s", out1.String())
+	}
+	if !strings.Contains(out1.String(), `"allocs_per_op": 4321`) {
+		t.Errorf("JSON lacks allocs/op:\n%s", out1.String())
+	}
+}
+
+func TestGuardMode(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.txt")
+	cur := filepath.Join(dir, "cur.txt")
+	write := func(path, content string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(base, "BenchmarkPartitionParallel/mixture-5k/p1 \t 10 \t 100000000 ns/op\n")
+
+	// Within threshold: +1% passes at a 2% ceiling.
+	write(cur, "BenchmarkPartitionParallel/mixture-5k/p1 \t 10 \t 101000000 ns/op\n")
+	var out, errBuf bytes.Buffer
+	args := []string{"-guard", "BenchmarkPartitionParallel/mixture-5k", "-max-delta-pct", "2", "-baseline", base, "-current", cur}
+	if code := run(args, nil, &out, &errBuf); code != 0 {
+		t.Fatalf("+1%% should pass, got exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "[ok]") {
+		t.Errorf("report lacks [ok]:\n%s", out.String())
+	}
+
+	// Beyond threshold: +5% fails.
+	write(cur, "BenchmarkPartitionParallel/mixture-5k/p1 \t 10 \t 105000000 ns/op\n")
+	out.Reset()
+	errBuf.Reset()
+	if code := run(args, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("+5%% should fail, got exit %d", code)
+	}
+	if !strings.Contains(out.String(), "[REGRESSION]") {
+		t.Errorf("report lacks [REGRESSION]:\n%s", out.String())
+	}
+
+	// No match in both files is an error, not a silent pass.
+	out.Reset()
+	errBuf.Reset()
+	noMatch := []string{"-guard", "BenchmarkDoesNotExist", "-baseline", base, "-current", cur}
+	if code := run(noMatch, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("missing benchmark should fail, got exit %d", code)
+	}
+	if !strings.Contains(errBuf.String(), "no benchmark matches") {
+		t.Errorf("stderr lacks the no-match error: %s", errBuf.String())
+	}
+}

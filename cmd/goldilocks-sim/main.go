@@ -12,16 +12,36 @@
 // paper-vs-measured comparison. The chaos experiment sweeps seeded fault
 // injection (-mttf, -mttr, -burst) over all policies plus the incremental
 // variant, under one identical fault schedule per cell.
+//
+// Observability (cluster-loop experiments: fig9 fig10 fig13 chaos
+// ext-incremental):
+//
+//	goldilocks-sim -experiment fig9 -trace-out run.json    # Chrome trace (Perfetto)
+//	goldilocks-sim -experiment fig9 -trace-tree run.txt    # compact text tree
+//	goldilocks-sim -experiment fig9 -metrics-out m.prom    # Prometheus text
+//	goldilocks-sim -experiment fig9 -audit-out audit.txt   # every decision
+//	goldilocks-sim -experiment fig9 -explain 17            # why container 17 landed where it did
+//	goldilocks-sim -experiment fig9 -pprof :6060           # live net/http/pprof
+//	goldilocks-sim -experiment fig9 -runtime-trace rt.out  # go tool trace input
+//
+// Deterministic exports (-trace-out, -trace-tree, -metrics-out, -audit-out,
+// -explain) are byte-identical across same-seed runs; -trace-wall switches
+// the Chrome trace to profiling wall-clock timestamps, which are not.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	rtrace "runtime/trace"
 	"strconv"
 	"strings"
 
 	"goldilocks/internal/experiments"
+	"goldilocks/internal/telemetry"
 	"goldilocks/internal/trace"
 )
 
@@ -52,18 +72,68 @@ func parseInts(s string) ([]int, error) {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process plumbing, so tests can drive the CLI
+// in-process and assert on exit codes and error output.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("goldilocks-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp    = flag.String("experiment", "all", "experiment id (fig1a…fig13, table2, all)")
-		seed   = flag.Int64("seed", 13, "deterministic seed")
-		epochs = flag.Int("epochs", 0, "override epoch count for fig9/fig10/fig13 (0 = paper default)")
-		arity  = flag.Int("arity", 12, "fat-tree arity for fig13 (28 = paper scale: 5488 servers)")
-		flows  = flag.Int("netsim-flows", 2000, "flow-level sample size for fig13 (0 disables)")
-		csvOut = flag.Bool("csv", false, "emit CSV instead of text tables (fig9, fig10, fig13, chaos)")
-		mttf   = flag.String("mttf", "", "chaos: comma-separated per-server MTTF sweep, in epochs (default 6,3)")
-		mttr   = flag.Float64("mttr", 0, "chaos: mean outage duration in epochs (default 1.5)")
-		burst  = flag.String("burst", "", "chaos: comma-separated crash burst-size sweep (default 1,3)")
+		exp    = fs.String("experiment", "all", "experiment id (fig1a…fig13, table2, all)")
+		seed   = fs.Int64("seed", 13, "deterministic seed")
+		epochs = fs.Int("epochs", 0, "override epoch count for fig9/fig10/fig13 (0 = paper default)")
+		arity  = fs.Int("arity", 12, "fat-tree arity for fig13 (28 = paper scale: 5488 servers)")
+		flows  = fs.Int("netsim-flows", 2000, "flow-level sample size for fig13 (0 disables)")
+		csvOut = fs.Bool("csv", false, "emit CSV instead of text tables (fig9, fig10, fig13, chaos)")
+		mttf   = fs.String("mttf", "", "chaos: comma-separated per-server MTTF sweep, in epochs (default 6,3)")
+		mttr   = fs.Float64("mttr", 0, "chaos: mean outage duration in epochs (default 1.5)")
+		burst  = fs.String("burst", "", "chaos: comma-separated crash burst-size sweep (default 1,3)")
+
+		traceOut   = fs.String("trace-out", "", "write a Chrome trace_event JSON (Perfetto-loadable) of the run")
+		traceTree  = fs.String("trace-tree", "", "write the span tree as indented text")
+		traceWall  = fs.Bool("trace-wall", false, "use wall-clock timestamps in -trace-out (non-deterministic)")
+		metricsOut = fs.String("metrics-out", "", "write the final metrics registry in Prometheus text format")
+		auditOut   = fs.String("audit-out", "", "write the full decision audit log")
+		explain    = fs.Int("explain", -1, "print the audit rationale for one container ID and exit")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) for the run's duration")
+		rtraceOut  = fs.String("runtime-trace", "", "write a runtime/trace file (inspect with go tool trace)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// One telemetry session is shared by every experiment the invocation
+	// runs; its deterministic exports are written after the last one.
+	var sess *telemetry.Session
+	if *traceOut != "" || *traceTree != "" || *metricsOut != "" || *auditOut != "" || *explain >= 0 {
+		sess = telemetry.NewSession()
+		if *auditOut == "" && *explain < 0 {
+			sess.Audit = nil // tracing/metrics only: skip decision recording
+		}
+	}
+	if *pprofAddr != "" {
+		srv := &http.Server{Addr: *pprofAddr}
+		go func() { _ = srv.ListenAndServe() }() // DefaultServeMux carries the pprof handlers
+		defer srv.Close()
+		fmt.Fprintf(stderr, "goldilocks-sim: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *rtraceOut != "" {
+		f, err := os.Create(*rtraceOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "goldilocks-sim: -runtime-trace: %v\n", err)
+			return 1
+		}
+		if err := rtrace.Start(f); err != nil {
+			fmt.Fprintf(stderr, "goldilocks-sim: -runtime-trace: %v\n", err)
+			return 1
+		}
+		defer func() {
+			rtrace.Stop()
+			f.Close()
+		}()
+	}
 
 	ids := strings.Split(strings.ToLower(*exp), ",")
 	if *exp == "all" {
@@ -79,6 +149,7 @@ func main() {
 		}
 		opts := experiments.DefaultFig9()
 		opts.Seed = *seed
+		opts.Telemetry = sess
 		if *epochs > 0 {
 			opts.Epochs = *epochs
 		}
@@ -92,6 +163,7 @@ func main() {
 		}
 		opts := experiments.DefaultFig10()
 		opts.Seed = *seed
+		opts.Telemetry = sess
 		if *epochs > 0 {
 			opts.Epochs = *epochs
 		}
@@ -101,44 +173,44 @@ func main() {
 	}
 
 	for _, id := range ids {
-		fmt.Printf("== %s ==\n", id)
+		fmt.Fprintf(stdout, "== %s ==\n", id)
 		var err error
 		switch id {
 		case "fig1a":
-			experiments.Fig1a(20).Print(os.Stdout)
+			experiments.Fig1a(20).Print(stdout)
 		case "fig1b":
-			experiments.Fig1b(419, *seed).Print(os.Stdout)
+			experiments.Fig1b(419, *seed).Print(stdout)
 		case "fig2":
 			r := experiments.Fig2(1000)
-			r.Print(os.Stdout)
-			fmt.Printf("minimum total power at %.0f%% per-server load\n", r.MinPowerLoad*100)
+			r.Print(stdout)
+			fmt.Fprintf(stdout, "minimum total power at %.0f%% per-server load\n", r.MinPowerLoad*100)
 		case "fig3":
 			r := experiments.Fig3(experiments.DefaultFig3())
-			r.Print(os.Stdout)
-			fmt.Printf("average savings: traffic packing %.1f%%, task packing %.1f%%\n",
+			r.Print(stdout)
+			fmt.Fprintf(stdout, "average savings: traffic packing %.1f%%, task packing %.1f%%\n",
 				r.AvgTrafficSaving*100, r.AvgTaskSaving*100)
 		case "table2":
-			experiments.TableII().Print(os.Stdout)
+			experiments.TableII().Print(stdout)
 		case "fig5":
-			experiments.Fig5(trace.DefaultSearchTrace()).Print(os.Stdout)
+			experiments.Fig5(trace.DefaultSearchTrace()).Print(stdout)
 		case "fig7":
-			experiments.Fig7(*seed).Print(os.Stdout)
+			experiments.Fig7(*seed).Print(stdout)
 		case "fig9":
 			var r *experiments.Fig9Result
 			if r, err = runFig9(); err == nil {
 				if *csvOut {
-					err = r.WriteCSV(os.Stdout)
+					err = r.WriteCSV(stdout)
 				} else {
-					r.Print(os.Stdout)
+					r.Print(stdout)
 				}
 			}
 		case "fig10":
 			var r *experiments.Fig10Result
 			if r, err = runFig10(); err == nil {
 				if *csvOut {
-					err = r.WriteCSV(os.Stdout)
+					err = r.WriteCSV(stdout)
 				} else {
-					r.Print(os.Stdout)
+					r.Print(stdout)
 				}
 			}
 		case "fig11":
@@ -146,31 +218,33 @@ func main() {
 			var a *experiments.Fig10Result
 			if w, err = runFig9(); err == nil {
 				if a, err = runFig10(); err == nil {
-					experiments.Fig11(w, a).Print(os.Stdout)
+					experiments.Fig11(w, a).Print(stdout)
 				}
 			}
 		case "fig12":
-			experiments.Fig12(*seed).Print(os.Stdout)
+			experiments.Fig12(*seed).Print(stdout)
 		case "fig13":
 			opts := experiments.DefaultFig13()
 			opts.Seed = *seed
 			opts.Arity = *arity
 			opts.NetsimFlows = *flows
+			opts.Telemetry = sess
 			if *epochs > 0 {
 				opts.Epochs = *epochs
 			}
 			var r *experiments.Fig13Result
 			if r, err = experiments.Fig13(opts); err == nil {
 				if *csvOut {
-					err = r.WriteCSV(os.Stdout)
+					err = r.WriteCSV(stdout)
 				} else {
-					fmt.Printf("servers=%d containers=%d\n", r.NumServers, r.Containers)
-					r.Print(os.Stdout)
+					fmt.Fprintf(stdout, "servers=%d containers=%d\n", r.NumServers, r.Containers)
+					r.Print(stdout)
 				}
 			}
 		case "chaos":
 			opts := experiments.DefaultChaos()
 			opts.Seed = *seed
+			opts.Telemetry = sess
 			if *epochs > 0 {
 				opts.Epochs = *epochs
 			}
@@ -191,29 +265,75 @@ func main() {
 				var r *experiments.ChaosResult
 				if r, err = experiments.Chaos(opts); err == nil {
 					if *csvOut {
-						err = r.WriteCSV(os.Stdout)
+						err = r.WriteCSV(stdout)
 					} else {
-						r.Print(os.Stdout)
+						r.Print(stdout)
 					}
 				}
 			}
 		case "ext-incremental":
 			opts := experiments.DefaultExtIncremental()
 			opts.Seed = *seed
+			opts.Telemetry = sess
 			if *epochs > 0 {
 				opts.Epochs = *epochs
 			}
 			var r *experiments.ExtIncrementalResult
 			if r, err = experiments.ExtIncremental(opts); err == nil {
-				r.Print(os.Stdout)
+				r.Print(stdout)
 			}
 		default:
 			err = fmt.Errorf("unknown experiment %q", id)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "goldilocks-sim: %s: %v\n", id, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "goldilocks-sim: %s: %v\n", id, err)
+			return 1
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+
+	return writeTelemetry(sess, stdout, stderr,
+		*traceOut, *traceTree, *metricsOut, *auditOut, *traceWall, *explain)
+}
+
+// writeTelemetry flushes the session's deterministic exports after the
+// experiments ran. The -explain answer goes to stdout; files get the rest.
+func writeTelemetry(sess *telemetry.Session, stdout, stderr io.Writer, traceOut, traceTree, metricsOut, auditOut string, wall bool, explain int) int {
+	if sess == nil {
+		return 0
+	}
+	toFile := func(path string, write func(w io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	var err error
+	if traceOut != "" {
+		err = toFile(traceOut, func(w io.Writer) error {
+			return sess.Tracer.WriteChromeTrace(w, telemetry.ExportOptions{WallClock: wall})
+		})
+	}
+	if err == nil && traceTree != "" {
+		err = toFile(traceTree, func(w io.Writer) error { return sess.Tracer.WriteTree(w, telemetry.ExportOptions{}) })
+	}
+	if err == nil && metricsOut != "" {
+		err = toFile(metricsOut, func(w io.Writer) error { return sess.Metrics.WritePrometheus(w) })
+	}
+	if err == nil && auditOut != "" {
+		err = toFile(auditOut, func(w io.Writer) error { return sess.Audit.WriteText(w) })
+	}
+	if err == nil && explain >= 0 {
+		err = sess.Audit.Explain(stdout, explain)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "goldilocks-sim: telemetry: %v\n", err)
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestUnknownExperimentFailsWithOneLine(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-experiment", "fig99"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	msg := stderr.String()
+	if !strings.Contains(msg, `unknown experiment "fig99"`) {
+		t.Fatalf("stderr = %q, want an unknown-experiment error", msg)
+	}
+	if n := strings.Count(msg, "\n"); n != 1 {
+		t.Fatalf("stderr has %d lines, want exactly one:\n%s", n, msg)
+	}
+}
+
+func TestUnknownFlagFailsParse(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestTraceOutProducesValidChromeTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-experiment", "fig9", "-epochs", "2", "-trace-out", tracePath}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if name, _ := ev["name"].(string); strings.HasPrefix(name, "epoch ") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("trace has no epoch span")
+	}
+}
+
+func TestExplainPrintsRationale(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-experiment", "fig9", "-epochs", "1", "-explain", "0"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "placed") {
+		t.Fatalf("explain output carries no placement rationale:\n%s", stdout.String())
+	}
+}

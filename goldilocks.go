@@ -52,6 +52,7 @@ import (
 	"goldilocks/internal/resources"
 	"goldilocks/internal/scheduler"
 	"goldilocks/internal/sim"
+	"goldilocks/internal/telemetry"
 	"goldilocks/internal/topology"
 	"goldilocks/internal/trace"
 	"goldilocks/internal/vc"
@@ -409,6 +410,38 @@ type (
 	// Fig13Options parameterizes the large-scale simulation.
 	Fig13Options = experiments.Fig13Options
 )
+
+// Observability (the telemetry subsystem): a deterministic, dependency-free
+// tracing/metrics/audit layer threaded through the scheduler, partitioner,
+// VC placement, cluster runner, migration planner, network simulator and
+// chaos injector. Attach a session via RunnerOptions.Telemetry (or the
+// experiment option structs) and export Chrome trace JSON, Prometheus text
+// and per-container decision rationales after the run. All exports are
+// byte-identical across same-seed runs at any parallelism.
+type (
+	// TelemetrySession bundles a Tracer, a metrics Registry and a decision
+	// Audit log; any field may be nil to disable that sink at zero cost.
+	TelemetrySession = telemetry.Session
+	// TelemetrySpan is one named phase of the epoch pipeline.
+	TelemetrySpan = telemetry.Span
+	// TelemetryTracer records the span forest and exports it.
+	TelemetryTracer = telemetry.Tracer
+	// MetricsRegistry holds named counters, gauges and histograms with
+	// Prometheus-text export and per-epoch snapshot diffing.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is a flattened, name-sorted registry state.
+	MetricsSnapshot = telemetry.Snapshot
+	// DecisionAudit is the queryable placement/rejection/migration log.
+	DecisionAudit = telemetry.Audit
+	// AuditDecision is one structured "why" record.
+	AuditDecision = telemetry.Decision
+	// TraceExportOptions selects sim-time (deterministic) or wall-clock
+	// timestamps for trace export.
+	TraceExportOptions = telemetry.ExportOptions
+)
+
+// NewTelemetrySession returns a session with all three sinks armed.
+func NewTelemetrySession() *TelemetrySession { return telemetry.NewSession() }
 
 // DefaultFig3Options returns the §II baseline parameters.
 func DefaultFig3Options() Fig3Options { return experiments.DefaultFig3() }

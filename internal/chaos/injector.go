@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"goldilocks/internal/sim"
+	"goldilocks/internal/telemetry"
 	"goldilocks/internal/topology"
 )
 
@@ -59,7 +60,40 @@ type Injector struct {
 	servers map[int]*serverState // keyed by server id; never iterated
 	links   map[int]*linkState   // keyed by node ID; never iterated
 
-	log []Record
+	log  []Record
+	sess *telemetry.Session
+}
+
+// AttachTelemetry mirrors every subsequent log record into the session as
+// span events and fault counters. Events fire in engine order — the same
+// order the deterministic log records — so the telemetry output stays a
+// pure function of the schedule.
+func (inj *Injector) AttachTelemetry(sess *telemetry.Session) { inj.sess = sess }
+
+// record appends to the log and mirrors the record into telemetry.
+func (inj *Injector) record(rec Record) {
+	inj.log = append(inj.log, rec)
+	if inj.sess == nil {
+		return
+	}
+	verb := "fault-applied"
+	if rec.Recovered {
+		verb = "fault-reverted"
+		inj.sess.Counter("chaos_faults_reverted_total").Inc()
+	} else {
+		inj.sess.Counter("chaos_faults_applied_total").Inc()
+	}
+	if tr := inj.sess.Tracer; tr != nil {
+		sp := tr.Root(verb, rec.At)
+		sp.SetStr("fault", rec.Fault.Kind.String())
+		if rec.Fault.Server >= 0 {
+			sp.SetInt("server", rec.Fault.Server)
+		}
+		if rec.Fault.Node >= 0 {
+			sp.SetInt("node", rec.Fault.Node)
+		}
+		sp.End()
+	}
 }
 
 // NewInjector validates the schedule and arms every fault (and its
@@ -146,7 +180,7 @@ func (inj *Injector) apply(f Fault) {
 			inj.crashServer(id)
 		}
 	}
-	inj.log = append(inj.log, Record{At: inj.eng.Now(), Fault: f})
+	inj.record(Record{At: inj.eng.Now(), Fault: f})
 }
 
 func (inj *Injector) revert(f Fault) {
@@ -175,7 +209,7 @@ func (inj *Injector) revert(f Fault) {
 			inj.uncrashServer(id)
 		}
 	}
-	inj.log = append(inj.log, Record{At: inj.eng.Now(), Fault: f, Recovered: true})
+	inj.record(Record{At: inj.eng.Now(), Fault: f, Recovered: true})
 }
 
 func (inj *Injector) crashServer(id int) {

@@ -14,13 +14,16 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
+	rtrace "runtime/trace"
 	"time"
 
 	"goldilocks/internal/metrics"
 	"goldilocks/internal/resources"
 	"goldilocks/internal/scheduler"
+	"goldilocks/internal/telemetry"
 	"goldilocks/internal/topology"
 	"goldilocks/internal/workload"
 )
@@ -51,6 +54,12 @@ type Options struct {
 	// "very little headroom for spikes, and the task completion times
 	// are compromised".
 	SLATargetMS float64
+	// Telemetry, when non-nil, records one root span per epoch (with
+	// snapshot/place/account/recovery phase children and runtime/trace
+	// regions aligned to them), per-epoch metrics, and the audit decisions
+	// behind goldilocks-sim -explain. Nil disables observability at zero
+	// cost.
+	Telemetry *telemetry.Session
 }
 
 // DefaultOptions matches the testbed experiments.
@@ -153,6 +162,13 @@ type Runner struct {
 	prevPlace    map[int]int // container ID → server id, for migration diffs
 	totalEnergyJ float64
 	totalReqs    float64
+
+	// lastSnap is the previous epoch's metrics snapshot, diffed against the
+	// current one to emit per-epoch deltas on the epoch span.
+	lastSnap telemetry.Snapshot
+	// hLinkUtil is resolved once so the per-link observation loop never
+	// touches the registry map.
+	hLinkUtil *telemetry.Histogram
 }
 
 // NewRunner builds a runner. The topology is not mutated.
@@ -174,6 +190,8 @@ func NewRunner(topo *topology.Topology, policy scheduler.Policy, opts Options) *
 		policy:    policy,
 		opts:      opts,
 		prevPlace: make(map[int]int),
+		hLinkUtil: opts.Telemetry.Histogram("cluster_link_utilization",
+			0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
 	}
 }
 
@@ -184,15 +202,84 @@ func NewRunner(topo *topology.Topology, policy scheduler.Policy, opts Options) *
 // (degrading through its spill ladder), admission control sheds load as a
 // last resort, and the report carries the failure axes (recovery.go).
 func (r *Runner) RunEpoch(in EpochInput) (EpochReport, error) {
+	sess := r.opts.Telemetry
+	simAt := time.Duration(r.epoch) * r.opts.EpochLength
+	sess.SetEpoch(r.epoch, simAt)
+	var espan *telemetry.Span
+	if sess != nil {
+		espan = sess.Root(fmt.Sprintf("epoch %03d %s", r.epoch, r.policy.Name()), simAt)
+	}
+	region := rtrace.StartRegion(context.Background(), "cluster.epoch")
+
+	fspan := espan.Child("snapshot-failures")
 	snap := r.snapshotFailures(in.Spec)
-	res, rejected, err := r.placeWithAdmissionControl(in.Spec)
+	fspan.SetInt("failed_servers", snap.failedServers)
+	fspan.SetInt("displaced", len(snap.displaced))
+	fspan.End()
+
+	pspan := espan.Child("place")
+	pregion := rtrace.StartRegion(context.Background(), "cluster.place")
+	res, rejected, err := r.placeWithAdmissionControl(in.Spec, pspan)
+	pregion.End()
 	if err != nil {
+		pspan.SetStr("error", err.Error())
+		pspan.End()
+		espan.End()
+		region.End()
 		return EpochReport{}, fmt.Errorf("cluster: epoch %d: %w", r.epoch, err)
 	}
+	pspan.SetFloat("target_util", res.TargetUtil)
+	pspan.SetInt("shed", len(rejected))
+	pspan.End()
+
+	aspan := espan.Child("account")
 	rep := r.account(in, res)
+	aspan.End()
+
+	rspan := espan.Child("recovery")
 	r.accountRecovery(&rep, in.Spec, res, snap, rejected)
+	rspan.SetInt("recovery_migrations", rep.RecoveryMigrations)
+	rspan.End()
+
+	r.recordEpochMetrics(espan, rep)
+	espan.End()
+	region.End()
 	r.epoch++
 	return rep, nil
+}
+
+// recordEpochMetrics publishes the epoch report into the metrics registry
+// and attaches the per-epoch snapshot delta to the epoch span as events, so
+// a trace alone shows what each epoch changed.
+func (r *Runner) recordEpochMetrics(espan *telemetry.Span, rep EpochReport) {
+	sess := r.opts.Telemetry
+	if sess == nil || sess.Metrics == nil {
+		return
+	}
+	m := sess.Metrics
+	m.Counter("cluster_epochs_total").Inc()
+	m.Counter("cluster_migrations_total").Add(int64(rep.Migrations))
+	m.Counter("cluster_recovery_migrations_total").Add(int64(rep.RecoveryMigrations))
+	m.Counter("cluster_shed_containers_total").Add(int64(rep.AdmissionRejected))
+	m.Gauge("cluster_active_servers").Set(float64(rep.ActiveServers))
+	m.Gauge("cluster_mean_server_util").Set(rep.MeanServerUtil)
+	m.Gauge("cluster_total_power_w").Set(rep.TotalPowerW)
+	m.Gauge("cluster_mean_tct_ms").Set(rep.MeanTCTMS)
+	m.Gauge("cluster_spill_target").Set(rep.SpillTarget)
+	m.Gauge("cluster_availability").Set(rep.Availability)
+
+	snap := m.Snapshot()
+	if espan.Enabled() {
+		for _, d := range snap.Sub(r.lastSnap) {
+			if d.Value == 0 {
+				continue
+			}
+			espan.Event("metric-delta",
+				telemetry.Attr{Key: "name", Val: d.Name},
+				telemetry.Attr{Key: "delta", Val: telemetry.FormatFloat(d.Value)})
+		}
+	}
+	r.lastSnap = snap
 }
 
 // RunSeries runs consecutive epochs and returns all reports; it stops at
@@ -270,6 +357,11 @@ func (r *Runner) account(in EpochInput, res scheduler.Result) EpochReport {
 		} else {
 			linkUtil[l] = r.opts.MaxLinkUtil
 		}
+	}
+	// Histogram increments commute, so ranging the map directly is safe:
+	// the resulting buckets are identical under any iteration order.
+	for _, u := range linkUtil {
+		r.hLinkUtil.Observe(u)
 	}
 	tct, weights := r.taskCompletionTimes(in.Spec, res.Placement, cpuUtil, linkUtil)
 	stats := metrics.SummarizeWeightedTCT(tct, weights)

@@ -24,6 +24,7 @@ import (
 	"goldilocks/internal/det"
 	"goldilocks/internal/resources"
 	"goldilocks/internal/scheduler"
+	"goldilocks/internal/telemetry"
 	"goldilocks/internal/workload"
 )
 
@@ -66,6 +67,13 @@ func (r *Runner) snapshotFailures(spec *workload.Spec) failureSnapshot {
 		if r.topo.ServerFailed(prev) {
 			snap.displaced = append(snap.displaced, i)
 			snap.displacedDemand = snap.displacedDemand.Add(c.Demand)
+			if r.opts.Telemetry.Auditing() {
+				r.opts.Telemetry.Decide(telemetry.Decision{
+					Policy: r.policy.Name(), Container: c.ID, Group: -1,
+					Action: telemetry.ActionDisplaced, Server: -1, From: prev,
+					Detail: fmt.Sprintf("server %d failed under the carried placement", prev),
+				})
+			}
 		} else {
 			snap.survivor[key] = true
 		}
@@ -80,8 +88,9 @@ func (r *Runner) snapshotFailures(spec *workload.Spec) failureSnapshot {
 // fits. Shed containers get placement −1. The empty workload always
 // places, so exhaustion of the ladder is impossible; non-capacity errors
 // propagate.
-func (r *Runner) placeWithAdmissionControl(spec *workload.Spec) (scheduler.Result, []int, error) {
-	res, err := r.policy.Place(scheduler.Request{Spec: spec, Topo: r.topo})
+func (r *Runner) placeWithAdmissionControl(spec *workload.Spec, span *telemetry.Span) (scheduler.Result, []int, error) {
+	sess := r.opts.Telemetry
+	res, err := r.policy.Place(scheduler.Request{Spec: spec, Topo: r.topo, Telemetry: sess, Span: span})
 	if err == nil {
 		return res, nil, nil
 	}
@@ -98,18 +107,26 @@ func (r *Runner) placeWithAdmissionControl(spec *workload.Spec) (scheduler.Resul
 		rejected []int
 	}
 	tryShed := func(k int) (attempt, bool, error) {
+		sspan := span.Child("shed-attempt")
+		sspan.SetInt("shed", k)
 		drop := make([]bool, n)
 		for _, i := range order[:k] {
 			drop[i] = true
 		}
 		sub, kept := subSpec(spec, drop)
-		subRes, err := r.policy.Place(scheduler.Request{Spec: sub, Topo: r.topo})
+		subRes, err := r.policy.Place(scheduler.Request{Spec: sub, Topo: r.topo, Telemetry: sess, Span: sspan})
 		if err != nil {
 			if errors.Is(err, scheduler.ErrNoCapacity) {
+				sspan.SetStr("outcome", "no-fit")
+				sspan.End()
 				return attempt{}, false, nil
 			}
+			sspan.SetStr("error", err.Error())
+			sspan.End()
 			return attempt{}, false, err
 		}
+		sspan.SetStr("outcome", "placed")
+		sspan.End()
 		placement := make([]int, n)
 		for i := range placement {
 			placement[i] = -1
@@ -170,6 +187,16 @@ func (r *Runner) placeWithAdmissionControl(spec *workload.Spec) (scheduler.Resul
 			best, hi = att, mid
 		} else {
 			lo = mid
+		}
+	}
+	if sess.Auditing() {
+		for rank, i := range best.rejected {
+			c := spec.Containers[i]
+			sess.Decide(telemetry.Decision{
+				Policy: r.policy.Name(), Container: c.ID, Group: -1,
+				Action: telemetry.ActionShed, Server: -1, From: -1,
+				Detail: fmt.Sprintf("admission control shed %d of %d containers; this one ranked %d in the shed order", len(best.rejected), n, rank),
+			})
 		}
 	}
 	return best.res, best.rejected, nil
@@ -260,6 +287,13 @@ func (r *Runner) accountRecovery(rep *EpochReport, spec *workload.Spec, res sche
 		perDest[s] += spec.Containers[i].Demand[resources.Memory] * 8 / mbps
 		if perDest[s] > maxS {
 			maxS = perDest[s]
+		}
+		if r.opts.Telemetry.Auditing() {
+			r.opts.Telemetry.Decide(telemetry.Decision{
+				Policy: r.policy.Name(), Container: spec.Containers[i].ID, Group: -1,
+				Action: telemetry.ActionRecovered, Server: s, From: -1,
+				Detail: fmt.Sprintf("image pull bounded by destination NIC: %.2f s queued at server %d", perDest[s], s),
+			})
 		}
 	}
 	rep.RecoveryTimeS = maxS

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"goldilocks/internal/chaos"
+	"goldilocks/internal/partition"
+	"goldilocks/internal/scheduler"
+	"goldilocks/internal/sim"
+	"goldilocks/internal/telemetry"
+	"goldilocks/internal/topology"
+	"goldilocks/internal/workload"
+)
+
+// telemetryRun replays one seeded chaos schedule through a fully
+// instrumented runner and returns every deterministic telemetry export as
+// bytes.
+func telemetryRun(t *testing.T, sched chaos.Schedule, parallelism, epochs int) (trace, tree, prom, audit string) {
+	t.Helper()
+	sess := telemetry.NewSession()
+	popts := partition.DefaultOptions()
+	popts.Parallelism = parallelism
+	popts.TraceDetail = true // exercise the coarsen/refine detail spans too
+	tp := topology.NewTestbed()
+	inj, err := chaos.NewInjector(&sim.Engine{}, tp, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.AttachTelemetry(sess)
+	copts := recoveryOptions()
+	copts.Telemetry = sess
+	r := NewRunner(tp, scheduler.Goldilocks{Partition: popts}, copts)
+	spec := workload.MixtureWorkload(48, 7)
+	for e := 0; e < epochs; e++ {
+		inj.AdvanceTo(time.Duration(e) * 10 * time.Minute)
+		if _, err := r.RunEpoch(EpochInput{Spec: spec, RPS: 1000}); err != nil {
+			t.Fatalf("parallelism %d epoch %d: %v", parallelism, e, err)
+		}
+	}
+	var b1, b2, b3, b4 bytes.Buffer
+	if err := sess.Tracer.WriteChromeTrace(&b1, telemetry.ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Tracer.WriteTree(&b2, telemetry.ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Metrics.WritePrometheus(&b3); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Audit.WriteText(&b4); err != nil {
+		t.Fatal(err)
+	}
+	return b1.String(), b2.String(), b3.String(), b4.String()
+}
+
+// TestTelemetryOutputParallelismInvariant extends the PR's determinism
+// contract to the observability layer: under one seeded fault schedule,
+// every deterministic telemetry export — Chrome trace, span tree,
+// Prometheus text and the decision audit log — must be byte-identical at
+// partitioner parallelism 1, 4 and 8.
+func TestTelemetryOutputParallelismInvariant(t *testing.T) {
+	const epochs = 8
+	cfg := chaos.GenConfig{
+		Seed:              77,
+		Horizon:           epochs * 10 * time.Minute,
+		MTTF:              30 * time.Minute,
+		MTTR:              15 * time.Minute,
+		BurstSize:         2,
+		RackFaultFraction: 0.3,
+		StragglerFraction: 0.2,
+		LinkFaultFraction: 0.1,
+	}
+	sched, err := chaos.Generate(topology.NewTestbed(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Faults) == 0 {
+		t.Fatal("fault schedule is empty; the invariant would be vacuous")
+	}
+
+	baseTrace, baseTree, baseProm, baseAudit := telemetryRun(t, sched, 1, epochs)
+	if !strings.Contains(baseTrace, `"epoch 000 Goldilocks"`) {
+		t.Fatal("trace lacks the epoch root span")
+	}
+	if !strings.Contains(baseProm, "cluster_epochs_total") {
+		t.Fatal("metrics lack the epoch counter")
+	}
+	if !strings.Contains(baseAudit, "placed") {
+		t.Fatal("audit log lacks placement decisions")
+	}
+	for _, p := range []int{4, 8} {
+		gotTrace, gotTree, gotProm, gotAudit := telemetryRun(t, sched, p, epochs)
+		if gotTrace != baseTrace {
+			t.Errorf("parallelism %d: Chrome trace diverges from parallelism 1", p)
+		}
+		if gotTree != baseTree {
+			t.Errorf("parallelism %d: span tree diverges from parallelism 1", p)
+		}
+		if gotProm != baseProm {
+			t.Errorf("parallelism %d: metrics diverge from parallelism 1", p)
+		}
+		if gotAudit != baseAudit {
+			t.Errorf("parallelism %d: audit log diverges from parallelism 1", p)
+		}
+	}
+}
+
+// TestTelemetrySameSeedRunsAreByteIdentical is the two-runs form of the
+// same contract: re-running the identical configuration must reproduce
+// every deterministic export byte for byte.
+func TestTelemetrySameSeedRunsAreByteIdentical(t *testing.T) {
+	const epochs = 4
+	cfg := chaos.GenConfig{
+		Seed:      77,
+		Horizon:   epochs * 10 * time.Minute,
+		MTTF:      30 * time.Minute,
+		MTTR:      15 * time.Minute,
+		BurstSize: 2,
+	}
+	sched, err := chaos.Generate(topology.NewTestbed(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aTrace, aTree, aProm, aAudit := telemetryRun(t, sched, 4, epochs)
+	bTrace, bTree, bProm, bAudit := telemetryRun(t, sched, 4, epochs)
+	if aTrace != bTrace || aTree != bTree || aProm != bProm || aAudit != bAudit {
+		t.Fatal("same-seed runs produced different telemetry output")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"goldilocks/internal/cluster"
 	"goldilocks/internal/scheduler"
 	"goldilocks/internal/sim"
+	"goldilocks/internal/telemetry"
 	"goldilocks/internal/topology"
 	"goldilocks/internal/workload"
 )
@@ -34,6 +35,9 @@ type ChaosOptions struct {
 	RackFaultFraction float64
 	StragglerFraction float64
 	LinkFaultFraction float64
+	// Telemetry, when non-nil, threads the observability session through
+	// the cluster runner (spans, metrics, audit decisions).
+	Telemetry *telemetry.Session
 }
 
 // DefaultChaos mirrors the testbed scale: a mixture workload with
@@ -155,8 +159,10 @@ func chaosRun(spec *workload.Spec, sched chaos.Schedule, policy scheduler.Policy
 	if err != nil {
 		return ChaosRow{}, err
 	}
+	inj.AttachTelemetry(opts.Telemetry)
 	copts := cluster.DefaultOptions()
 	copts.EpochLength = opts.EpochLength
+	copts.Telemetry = opts.Telemetry
 	runner := cluster.NewRunner(topo, policy, copts)
 
 	row := ChaosRow{MinAvailability: 1}

@@ -7,6 +7,7 @@ import (
 	"goldilocks/internal/cluster"
 	"goldilocks/internal/migrate"
 	"goldilocks/internal/scheduler"
+	"goldilocks/internal/telemetry"
 	"goldilocks/internal/topology"
 	"goldilocks/internal/workload"
 )
@@ -19,6 +20,9 @@ type ExtIncrementalOptions struct {
 	Epochs          int
 	MigrationBudget float64
 	Seed            int64
+	// Telemetry, when non-nil, threads the observability session through
+	// the cluster runner (spans, metrics, audit decisions).
+	Telemetry *telemetry.Session
 }
 
 // DefaultExtIncremental mirrors the testbed scale.
@@ -63,7 +67,9 @@ func ExtIncremental(opts ExtIncrementalOptions) (*ExtIncrementalResult, error) {
 	}
 	for _, np := range policies {
 		topo := topology.NewTestbed()
-		runner := cluster.NewRunner(topo, np.policy, cluster.DefaultOptions())
+		copts := cluster.DefaultOptions()
+		copts.Telemetry = opts.Telemetry
+		runner := cluster.NewRunner(topo, np.policy, copts)
 		row := ExtIncrementalRow{Scheduler: np.name}
 		var prevPlace []int
 		var prevSpec *workload.Spec

@@ -6,6 +6,7 @@ import (
 
 	"goldilocks/internal/cluster"
 	"goldilocks/internal/resources"
+	"goldilocks/internal/telemetry"
 	"goldilocks/internal/topology"
 	"goldilocks/internal/workload"
 )
@@ -15,6 +16,9 @@ type Fig10Options struct {
 	// Epochs is the number of one-minute epochs (paper: 60).
 	Epochs int
 	Seed   int64
+	// Telemetry, when non-nil, threads the observability session through
+	// the cluster runner (spans, metrics, audit decisions).
+	Telemetry *telemetry.Session
 }
 
 // DefaultFig10 matches the paper: the container population walks between
@@ -82,7 +86,9 @@ func Fig10(opts Fig10Options) (*Fig10Result, error) {
 	}
 
 	for _, policy := range testbedPolicies() {
-		runner := cluster.NewRunner(topology.NewTestbed(), policy, cluster.DefaultOptions())
+		copts := cluster.DefaultOptions()
+		copts.Telemetry = opts.Telemetry
+		runner := cluster.NewRunner(topology.NewTestbed(), policy, copts)
 		reports, err := runner.RunSeries(inputs)
 		if err != nil {
 			return nil, fmt.Errorf("fig10: %s: %w", policy.Name(), err)

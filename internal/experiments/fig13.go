@@ -12,6 +12,7 @@ import (
 	"goldilocks/internal/power"
 	"goldilocks/internal/resources"
 	"goldilocks/internal/scheduler"
+	"goldilocks/internal/telemetry"
 	"goldilocks/internal/topology"
 	"goldilocks/internal/trace"
 	"goldilocks/internal/workload"
@@ -36,6 +37,9 @@ type Fig13Options struct {
 	// epoch and reports mean flow completion times.
 	NetsimFlows int
 	Seed        int64
+	// Telemetry, when non-nil, threads the observability session through
+	// the cluster runner (spans, metrics, audit decisions).
+	Telemetry *telemetry.Session
 }
 
 // DefaultFig13 is the paper-scale configuration. Use a smaller Arity for
@@ -104,6 +108,7 @@ func Fig13(opts Fig13Options) (*Fig13Result, error) {
 	clusterOpts := cluster.DefaultOptions()
 	clusterOpts.EpochLength = 4 * time.Hour
 	clusterOpts.FocusApp = workload.WebSearch.Name
+	clusterOpts.Telemetry = opts.Telemetry
 	clusterOpts.PerHopLatencyMS = 0.2 // 10G fabric: lighter per-hop cost than the 1G testbed
 
 	var peakPlacements = map[string][]int{}

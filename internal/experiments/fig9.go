@@ -8,6 +8,7 @@ import (
 	"goldilocks/internal/metrics"
 	"goldilocks/internal/resources"
 	"goldilocks/internal/scheduler"
+	"goldilocks/internal/telemetry"
 	"goldilocks/internal/topology"
 	"goldilocks/internal/workload"
 )
@@ -66,6 +67,9 @@ type Fig9Options struct {
 	// Epochs is the number of one-minute epochs (paper: 60).
 	Epochs int
 	Seed   int64
+	// Telemetry, when non-nil, threads the observability session through
+	// the cluster runner (spans, metrics, audit decisions).
+	Telemetry *telemetry.Session
 }
 
 // DefaultFig9 matches the paper.
@@ -114,7 +118,9 @@ func Fig9(opts Fig9Options) (*Fig9Result, error) {
 	}
 
 	for _, policy := range testbedPolicies() {
-		runner := cluster.NewRunner(topology.NewTestbed(), policy, cluster.DefaultOptions())
+		copts := cluster.DefaultOptions()
+		copts.Telemetry = opts.Telemetry
+		runner := cluster.NewRunner(topology.NewTestbed(), policy, copts)
 		reports, err := runner.RunSeries(inputs)
 		if err != nil {
 			return nil, fmt.Errorf("fig9: %s: %w", policy.Name(), err)

@@ -52,6 +52,7 @@ var DeterministicPackages = []string{
 	"internal/vc",
 	"internal/migrate",
 	"internal/chaos",
+	"internal/telemetry",
 }
 
 // IsDeterministicPackage reports whether the import path is bound by the

@@ -33,22 +33,32 @@ func (s *Series) Len() int { return len(s.Values) }
 // Mean returns the arithmetic mean of the values, or 0 when empty.
 func (s *Series) Mean() float64 { return Mean(s.Values) }
 
-// Max returns the largest value, or 0 when empty.
+// Max returns the largest value, or 0 when empty. The first sample seeds
+// the running maximum, so all-negative series report their true maximum
+// rather than a spurious 0.
 func (s *Series) Max() float64 {
-	m := 0.0
-	for i, v := range s.Values {
-		if i == 0 || v > m {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	m := s.Values[0]
+	for _, v := range s.Values[1:] {
+		if v > m {
 			m = v
 		}
 	}
 	return m
 }
 
-// Min returns the smallest value, or 0 when empty.
+// Min returns the smallest value, or 0 when empty. The first sample seeds
+// the running minimum, so all-positive series report their true minimum
+// rather than a spurious 0.
 func (s *Series) Min() float64 {
-	m := 0.0
-	for i, v := range s.Values {
-		if i == 0 || v < m {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	m := s.Values[0]
+	for _, v := range s.Values[1:] {
+		if v < m {
 			m = v
 		}
 	}

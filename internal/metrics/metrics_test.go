@@ -237,3 +237,65 @@ func TestSummarizeWeightedTCTMatchesUnweighted(t *testing.T) {
 		t.Fatalf("uniform weights: p50 %v vs %v", a.P50MS, b.P50MS)
 	}
 }
+
+// TestSeriesMaxMinEdgeCases pins the empty, single-sample and all-negative
+// behaviors: an empty series reports 0 by contract, and extrema must come
+// from the data, never from the zero seed.
+func TestSeriesMaxMinEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		values  []float64
+		wantMax float64
+		wantMin float64
+	}{
+		{name: "empty", values: nil, wantMax: 0, wantMin: 0},
+		{name: "single positive", values: []float64{4.5}, wantMax: 4.5, wantMin: 4.5},
+		{name: "single negative", values: []float64{-4.5}, wantMax: -4.5, wantMin: -4.5},
+		{name: "all negative", values: []float64{-3, -1, -7}, wantMax: -1, wantMin: -7},
+		{name: "all positive", values: []float64{3, 1, 7}, wantMax: 7, wantMin: 1},
+		{name: "mixed sign", values: []float64{-2, 0, 5, -9}, wantMax: 5, wantMin: -9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var s Series
+			for i, v := range tc.values {
+				s.Append(time.Duration(i)*time.Second, v)
+			}
+			if got := s.Max(); got != tc.wantMax {
+				t.Errorf("Max() = %v, want %v", got, tc.wantMax)
+			}
+			if got := s.Min(); got != tc.wantMin {
+				t.Errorf("Min() = %v, want %v", got, tc.wantMin)
+			}
+		})
+	}
+}
+
+// TestPercentileEdgeCases pins the empty, single-sample and negative-value
+// behaviors of the interpolating percentile.
+func TestPercentileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{name: "empty", xs: nil, p: 50, want: 0},
+		{name: "single sample p0", xs: []float64{-3}, p: 0, want: -3},
+		{name: "single sample p50", xs: []float64{-3}, p: 50, want: -3},
+		{name: "single sample p100", xs: []float64{-3}, p: 100, want: -3},
+		{name: "all negative p0", xs: []float64{-1, -5, -3}, p: 0, want: -5},
+		{name: "all negative p50", xs: []float64{-1, -5, -3}, p: 50, want: -3},
+		{name: "all negative p100", xs: []float64{-1, -5, -3}, p: 100, want: -1},
+		{name: "all negative interpolated", xs: []float64{-4, -2}, p: 50, want: -3},
+		{name: "below range clamps", xs: []float64{1, 2}, p: -10, want: 1},
+		{name: "above range clamps", xs: []float64{1, 2}, p: 110, want: 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Percentile(tc.xs, tc.p); got != tc.want {
+				t.Errorf("Percentile(%v, %v) = %v, want %v", tc.xs, tc.p, got, tc.want)
+			}
+		})
+	}
+}

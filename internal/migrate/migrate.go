@@ -20,6 +20,7 @@ import (
 
 	"goldilocks/internal/netsim"
 	"goldilocks/internal/resources"
+	"goldilocks/internal/telemetry"
 	"goldilocks/internal/topology"
 	"goldilocks/internal/workload"
 )
@@ -50,6 +51,10 @@ type Options struct {
 	// stuck moves against the surviving topology — they must never be
 	// silently dropped.
 	TolerateStuck bool
+	// Trace, when non-nil, is the parent span Simulate hangs its per-wave
+	// spans under (each wave's netsim run nests beneath it). The pointer
+	// keeps Options comparable; nil costs nothing.
+	Trace *telemetry.Span
 }
 
 // DefaultOptions models the testbed: CRIU single-pass checkpoints to a
@@ -156,11 +161,20 @@ func Simulate(topo *topology.Topology, plan *Plan, opts Options) (Report, error)
 	if opts.DirtyFraction <= 0 || opts.DirtyFraction > 1 {
 		opts.DirtyFraction = DefaultOptions().DirtyFraction
 	}
+	mspan := opts.Trace.Child("migrate")
+	mspan.SetInt("moves", len(plan.Moves))
+	mspan.SetInt("waves", len(plan.Waves))
+	defer mspan.End()
 	rep := Report{NumMoves: len(plan.Moves), Waves: len(plan.Waves)}
 	var totalFreeze time.Duration
 	var clock time.Duration
-	for _, wave := range plan.Waves {
-		sim := netsim.New(topo, opts.NetSim)
+	for wi, wave := range plan.Waves {
+		wspan := mspan.Child("wave")
+		wspan.SetInt("wave", wi)
+		wspan.SetInt("transfers", len(wave))
+		nsOpts := opts.NetSim
+		nsOpts.Trace = wspan
+		sim := netsim.New(topo, nsOpts)
 		ids := make(map[netsim.FlowID]int, len(wave))
 		for _, mi := range wave {
 			m := plan.Moves[mi]
@@ -171,6 +185,8 @@ func Simulate(topo *topology.Topology, plan *Plan, opts Options) (Report, error)
 		done, stuck := sim.Run()
 		if len(stuck) > 0 {
 			if !opts.TolerateStuck {
+				wspan.SetStr("error", "stuck transfers")
+				wspan.End()
 				return rep, fmt.Errorf("migrate: %d transfers cannot complete (dead links)", len(stuck))
 			}
 			for _, id := range stuck {
@@ -195,6 +211,9 @@ func Simulate(topo *topology.Topology, plan *Plan, opts Options) (Report, error)
 			}
 		}
 		clock += waveEnd
+		wspan.SetDuration("wave_duration", waveEnd)
+		wspan.SetInt("stuck", len(stuck))
+		wspan.End()
 	}
 	rep.Duration = clock
 	sort.Ints(rep.StuckMoves)

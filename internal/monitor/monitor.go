@@ -15,6 +15,7 @@ package monitor
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"goldilocks/internal/graph"
 	"goldilocks/internal/resources"
@@ -38,7 +39,11 @@ func DefaultOptions() Options {
 }
 
 // Collector accumulates observations for a fixed container population.
+// It is safe for concurrent use: the real pipeline polls many containers'
+// metric files and veth ports in parallel, so the simulated one accepts
+// concurrent ObserveUtilization/ObserveFlow calls too.
 type Collector struct {
+	mu   sync.Mutex
 	opts Options
 	n    int
 	// demand is the EWMA-smoothed per-container utilization.
@@ -74,6 +79,8 @@ func (c *Collector) ObserveUtilization(container int, sample resources.Vector) e
 	if container < 0 || container >= c.n {
 		return fmt.Errorf("monitor: container %d outside [0, %d)", container, c.n)
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if !c.seeded[container] {
 		c.demand[container] = sample
 		c.seeded[container] = true
@@ -97,12 +104,16 @@ func (c *Collector) ObserveFlow(a, b int) error {
 	if a > b {
 		a, b = b, a
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.flows[[2]int{a, b}]++
 	return nil
 }
 
 // Demand returns the smoothed utilization of one container.
 func (c *Collector) Demand(container int) resources.Vector {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.demand[container]
 }
 
@@ -111,6 +122,8 @@ func (c *Collector) FlowCount(a, b int) float64 {
 	if a > b {
 		a, b = b, a
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.flows[[2]int{a, b}]
 }
 
@@ -118,6 +131,8 @@ func (c *Collector) FlowCount(a, b int) float64 {
 // smoothed demands, edge weights the observed flow counts above the noise
 // threshold. This is exactly the input Goldilocks partitions (§III-A).
 func (c *Collector) Graph() *graph.Graph {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	g := graph.New(c.n)
 	for i, d := range c.demand {
 		g.SetVertexWeight(i, d)
@@ -134,6 +149,8 @@ func (c *Collector) Graph() *graph.Graph {
 // handing straight to a scheduling policy. Roles/profiles are unknown to
 // the measurement plane, so containers carry only ids and demands.
 func (c *Collector) Spec() *workload.Spec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	s := &workload.Spec{}
 	for i, d := range c.demand {
 		s.Containers = append(s.Containers, workload.Container{ID: i, Demand: d, Reserved: d})
@@ -161,6 +178,8 @@ func (c *Collector) Spec() *workload.Spec {
 // smoothed demands (utilization is a continuous signal; flow counts are
 // per-epoch).
 func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.flows = make(map[[2]int]float64)
 }
 

@@ -3,6 +3,7 @@ package monitor
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -221,6 +222,64 @@ func TestMeasuredSpecFeedsScheduler(t *testing.T) {
 	for _, f := range spec.Flows {
 		if f.Count <= 0 {
 			t.Fatal("non-positive measured flow")
+		}
+	}
+}
+
+// TestCollectorParallelWriters hammers one collector from many goroutines —
+// the shape of the real pipeline, where every container's metric poll and
+// veth watch reports concurrently — and checks that no observation is lost.
+// Run with -race, this is also the data-race regression for the Collector's
+// internal locking.
+func TestCollectorParallelWriters(t *testing.T) {
+	const (
+		n       = 32
+		writers = 8
+		rounds  = 200
+	)
+	c := NewCollector(n, Options{Alpha: 1, MinFlowCount: 0})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				container := (w*rounds + r) % n
+				if err := c.ObserveUtilization(container, resources.Vector{10, 20, 30}); err != nil {
+					t.Error(err)
+					return
+				}
+				// Every writer walks the same ring of pairs, so each pair's
+				// final count is exact: writers*rounds spread over n pairs.
+				a := (w + r) % n
+				b := (a + 1) % n
+				if err := c.ObserveFlow(a, b); err != nil {
+					t.Error(err)
+					return
+				}
+				// Concurrent readers must not race the writers either.
+				_ = c.Demand(container)
+				_ = c.FlowCount(a, b)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var total float64
+	for a := 0; a < n; a++ {
+		total += c.FlowCount(a, (a+1)%n)
+	}
+	if want := float64(writers * rounds); total != want {
+		t.Fatalf("flow observations lost under concurrency: total = %v, want %v", total, want)
+	}
+	g := c.Graph()
+	if g.NumVertices() != n {
+		t.Fatalf("graph has %d vertices, want %d", g.NumVertices(), n)
+	}
+	for i := 0; i < n; i++ {
+		if c.Demand(i) == (resources.Vector{}) {
+			t.Fatalf("container %d demand never recorded", i)
 		}
 	}
 }

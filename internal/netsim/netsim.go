@@ -11,6 +11,7 @@ import (
 	"sort"
 	"time"
 
+	"goldilocks/internal/telemetry"
 	"goldilocks/internal/topology"
 )
 
@@ -43,6 +44,12 @@ type Options struct {
 	// PropagationDelayPerHop adds fixed per-link latency to every flow's
 	// completion (switching + propagation).
 	PropagationDelayPerHop time.Duration
+	// Trace, when non-nil, receives one child span per Run with flow and
+	// stuck counts. Metrics, when non-nil, receives flow counters and the
+	// netsim_link_peak_utilization histogram. Both pointers keep Options
+	// comparable and nil costs nothing.
+	Trace   *telemetry.Span
+	Metrics *telemetry.Registry
 }
 
 // DefaultOptions matches a 10G-class data center fabric.
@@ -220,7 +227,33 @@ func (s *Simulator) Run() (done []Completed, stuck []FlowID) {
 		return done[i].ID < done[j].ID
 	})
 	sort.Slice(stuck, func(i, j int) bool { return stuck[i] < stuck[j] })
+	s.observe(done, stuck)
 	return done, stuck
+}
+
+// observe publishes the run's outcome to the optional telemetry sinks.
+func (s *Simulator) observe(done []Completed, stuck []FlowID) {
+	if sp := s.opts.Trace; sp.Enabled() {
+		run := sp.Child("netsim-run")
+		run.SetInt("flows", len(done)+len(stuck))
+		run.SetInt("completed", len(done))
+		run.SetInt("stuck", len(stuck))
+		if n := len(done); n > 0 {
+			run.SetDuration("last_finish", done[n-1].Finish)
+		}
+		run.End()
+	}
+	if m := s.opts.Metrics; m != nil {
+		m.Counter("netsim_flows_completed_total").Add(int64(len(done)))
+		m.Counter("netsim_flows_stuck_total").Add(int64(len(stuck)))
+		h := m.Histogram("netsim_link_peak_utilization",
+			0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+		// Histogram increments commute, so map order cannot leak into the
+		// exported buckets.
+		for _, st := range s.stats {
+			h.Observe(st.PeakUtilization)
+		}
+	}
 }
 
 func secToDur(s float64) time.Duration {

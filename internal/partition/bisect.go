@@ -6,6 +6,7 @@ import (
 
 	"goldilocks/internal/graph"
 	"goldilocks/internal/resources"
+	"goldilocks/internal/telemetry"
 )
 
 // Bisection is the result of a two-way partition.
@@ -47,14 +48,30 @@ func bisectFraction(g *graph.Graph, opts Options, frac float64, lim Limiter) Bis
 		return Bisection{Side: make([]int, n)}
 	}
 
+	// dspan gates per-bisection internals: nil (and therefore free) unless
+	// the caller asked for detail.
+	var dspan *telemetry.Span
+	if opts.TraceDetail {
+		dspan = opts.Trace
+	}
+
+	cspan := dspan.Child("coarsen")
 	levels := coarsen(g, opts)
 	coarsest := g
 	if len(levels) > 0 {
 		coarsest = levels[len(levels)-1].g
 	}
+	cspan.SetInt("levels", len(levels))
+	cspan.SetInt("coarsest_vertices", coarsest.NumVertices())
+	cspan.End()
 
-	side := initialBisection(coarsest, opts, frac, lim)
-	cut := fmRefine(coarsest, side, opts, frac)
+	side := initialBisection(coarsest, dspan, opts, frac, lim)
+	rspan := dspan.Child("refine")
+	rspan.SetInt("level", len(levels))
+	rspan.SetInt("vertices", coarsest.NumVertices())
+	cut := fmRefine(coarsest, side, opts, frac, rspan)
+	rspan.SetFloat("cut", cut)
+	rspan.End()
 
 	for i := len(levels) - 1; i >= 0; i-- {
 		side = projectSide(levels[i], side)
@@ -62,7 +79,12 @@ func bisectFraction(g *graph.Graph, opts Options, frac float64, lim Limiter) Bis
 		if i > 0 {
 			fineGraph = levels[i-1].g
 		}
-		cut = fmRefine(fineGraph, side, opts, frac)
+		lspan := dspan.Child("refine")
+		lspan.SetInt("level", i)
+		lspan.SetInt("vertices", fineGraph.NumVertices())
+		cut = fmRefine(fineGraph, side, opts, frac, lspan)
+		lspan.SetFloat("cut", cut)
+		lspan.End()
 	}
 	return Bisection{Side: side, Cut: cut}
 }
@@ -77,13 +99,25 @@ func bisectFraction(g *graph.Graph, opts Options, frac float64, lim Limiter) Bis
 // ties), so the result does not depend on completion order. Falls back to
 // a weight-balanced split when growing cannot balance (e.g. all edges
 // negative).
-func initialBisection(g *graph.Graph, opts Options, frac float64, lim Limiter) []int {
+func initialBisection(g *graph.Graph, dspan *telemetry.Span, opts Options, frac float64, lim Limiter) []int {
 	n := g.NumVertices()
 	total := g.TotalVertexWeight()
 	target := total.Scale(frac)
 
 	quickOpts := opts
 	quickOpts.FMPasses = 2
+
+	// Try spans are pre-created sequentially (telemetry single-owner
+	// rule); each concurrent try then mutates only its own span.
+	ispan := dspan.Child("initial")
+	var trySpans []*telemetry.Span
+	if ispan.Enabled() {
+		trySpans = make([]*telemetry.Span, opts.InitialTries)
+		for try := range trySpans {
+			trySpans[try] = ispan.Child("try")
+			trySpans[try].SetInt("try", try)
+		}
+	}
 
 	type tryResult struct {
 		side []int
@@ -92,13 +126,20 @@ func initialBisection(g *graph.Graph, opts Options, frac float64, lim Limiter) [
 	}
 	results := make([]tryResult, opts.InitialTries)
 	runTry := func(try int) {
+		var tspan *telemetry.Span
+		if trySpans != nil {
+			tspan = trySpans[try]
+		}
+		defer tspan.End()
 		rng := rand.New(rand.NewSource(deriveSeed(opts.Seed, saltInitial, uint64(try))))
 		side := growFromSeed(g, rng.Intn(n), target)
 		bal := newBalanceState(g, side, opts.BalanceEps, frac)
 		if !bal.isBalanced() {
+			tspan.SetStr("outcome", "unbalanced")
 			return
 		}
-		cut := fmRefine(g, side, quickOpts, frac)
+		cut := fmRefine(g, side, quickOpts, frac, nil)
+		tspan.SetFloat("cut", cut)
 		results[try] = tryResult{side: side, cut: cut, ok: true}
 	}
 
@@ -126,6 +167,8 @@ func initialBisection(g *graph.Graph, opts Options, frac float64, lim Limiter) [
 			bestSide = r.side
 		}
 	}
+	ispan.SetFloat("best_cut", bestCut)
+	ispan.End()
 	return bestSide
 }
 

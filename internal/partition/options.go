@@ -10,7 +10,11 @@
 // different groups and hence different fault domains.
 package partition
 
-import "runtime"
+import (
+	"runtime"
+
+	"goldilocks/internal/telemetry"
+)
 
 // Options tunes the multilevel bisection. The zero value is not usable;
 // start from DefaultOptions.
@@ -38,6 +42,17 @@ type Options struct {
 	// coordinates — see parallel.go). Values ≤ 0 mean
 	// runtime.GOMAXPROCS(0); 1 forces a strictly serial run.
 	Parallelism int
+	// Trace, when non-nil, is the parent span the partitioner hangs its
+	// phase spans under (one "split" span per recursive bisection). Nil
+	// disables tracing at zero cost; the struct stays comparable because
+	// this is a pointer.
+	Trace *telemetry.Span
+	// TraceDetail additionally records per-bisection internals — coarsen
+	// levels, initial-bisection tries, per-level FM refinement with one
+	// event per pass. Off by default: detail multiplies span volume by the
+	// level count and is meant for single-placement inspection, not
+	// whole-experiment traces.
+	TraceDetail bool
 }
 
 // DefaultOptions returns the tuning used by all Goldilocks experiments.

@@ -85,13 +85,24 @@ func PartitionToFit(g *graph.Graph, capacity resources.Vector, targetUtil float6
 		}
 	}
 
+	span := opts.Trace.Child("partition")
+	span.SetInt("vertices", n)
+	// splitToFit's contract: opts.Trace is the span for *this* subproblem,
+	// pre-created by the caller (so forked children never append to a
+	// shared parent concurrently).
+	opts.Trace = span.Child("split")
 	root, err := splitToFit(g, all, demand, usable, 0, opts, NewLimiter(opts.Parallelism))
 	if err != nil {
+		span.SetStr("error", err.Error())
+		span.End()
 		return nil, err
 	}
 	t := &Tree{Root: root}
 	collectLeaves(root, &t.Leaves)
 	t.Cut = g.CutWeightK(t.Assignment(n))
+	span.SetInt("leaves", len(t.Leaves))
+	span.SetFloat("cut", t.Cut)
+	span.End()
 	return t, nil
 }
 
@@ -100,8 +111,15 @@ func PartitionToFit(g *graph.Graph, capacity resources.Vector, targetUtil float6
 const maxDepth = 64
 
 func splitToFit(g *graph.Graph, vertices []int, demand, usable resources.Vector, depth int, opts Options, lim Limiter) (*Group, error) {
+	// opts.Trace is this subproblem's own span, pre-created by the caller
+	// before any fork so sibling order is structural (telemetry contract).
+	span := opts.Trace
+	span.SetInt("depth", depth)
+	span.SetInt("vertices", len(vertices))
+	defer span.End()
 	grp := &Group{Vertices: vertices, Demand: demand, Depth: depth}
 	if demand.Fits(usable) {
+		span.SetInt("leaf", 1)
 		return grp, nil
 	}
 	if depth >= maxDepth || len(vertices) < 2 {
@@ -140,6 +158,10 @@ func splitToFit(g *graph.Graph, vertices []int, demand, usable resources.Vector,
 		subOpts.BalanceEps = epsLadder[try]
 		subOpts.Seed = deriveSeed(opts.Seed, saltSplit,
 			uint64(depth), uint64(vertices[0]), uint64(len(vertices)), uint64(try))
+		trySpan := span.Child("bisect")
+		trySpan.SetInt("try", try)
+		trySpan.SetFloat("eps", subOpts.BalanceEps)
+		subOpts.Trace = trySpan
 		bis := bisectFraction(sub, subOpts, frac, lim)
 		var ld, rd resources.Vector
 		for sv, side := range bis.Side {
@@ -151,6 +173,9 @@ func splitToFit(g *graph.Graph, vertices []int, demand, usable resources.Vector,
 			}
 		}
 		budget := serversNeeded(ld, usable) + serversNeeded(rd, usable)
+		trySpan.SetFloat("cut", bis.Cut)
+		trySpan.SetInt("budget", budget)
+		trySpan.End()
 		if budget < bestBudget || (budget == bestBudget && bis.Cut < bestCut) {
 			bestBudget, bestCut = budget, bis.Cut
 			bestSide = bis.Side
@@ -189,7 +214,12 @@ func splitToFit(g *graph.Graph, vertices []int, demand, usable resources.Vector,
 	// The two child subproblems are fully independent (disjoint vertex
 	// sets, read-only access to g), so the right child runs on a spare
 	// worker slot when one is free. Child seeds depend only on structure,
-	// so the tree is identical however the recursion is scheduled.
+	// so the tree is identical however the recursion is scheduled. Child
+	// spans are created here, sequentially, before any fork: the right
+	// goroutine only ever touches its own span.
+	leftOpts, rightOpts := opts, opts
+	leftOpts.Trace = span.Child("split")
+	rightOpts.Trace = span.Child("split")
 	var err error
 	if lim.TryAcquire() {
 		var (
@@ -201,9 +231,9 @@ func splitToFit(g *graph.Graph, vertices []int, demand, usable resources.Vector,
 		go func() {
 			defer wg.Done()
 			defer lim.Release()
-			rightGrp, rightErr = splitToFit(g, rightV, rightD, usable, depth+1, opts, lim)
+			rightGrp, rightErr = splitToFit(g, rightV, rightD, usable, depth+1, rightOpts, lim)
 		}()
-		grp.Left, err = splitToFit(g, leftV, leftD, usable, depth+1, opts, lim)
+		grp.Left, err = splitToFit(g, leftV, leftD, usable, depth+1, leftOpts, lim)
 		wg.Wait()
 		if err != nil {
 			return nil, err
@@ -214,11 +244,11 @@ func splitToFit(g *graph.Graph, vertices []int, demand, usable resources.Vector,
 		grp.Right = rightGrp
 		return grp, nil
 	}
-	grp.Left, err = splitToFit(g, leftV, leftD, usable, depth+1, opts, lim)
+	grp.Left, err = splitToFit(g, leftV, leftD, usable, depth+1, leftOpts, lim)
 	if err != nil {
 		return nil, err
 	}
-	grp.Right, err = splitToFit(g, rightV, rightD, usable, depth+1, opts, lim)
+	grp.Right, err = splitToFit(g, rightV, rightD, usable, depth+1, rightOpts, lim)
 	if err != nil {
 		return nil, err
 	}

@@ -2,10 +2,12 @@ package partition
 
 import (
 	"container/heap"
+	"strconv"
 	"sync"
 
 	"goldilocks/internal/graph"
 	"goldilocks/internal/resources"
+	"goldilocks/internal/telemetry"
 )
 
 // balanceState tracks the per-side resource totals of a bisection and
@@ -112,8 +114,9 @@ func (s *fmScratch) grow(n int) {
 // 1's target weight share. Each pass tentatively moves vertices in order of
 // decreasing gain (allowing uphill moves), then rolls back to the best
 // prefix. Passes repeat until no pass improves the cut or opts.FMPasses is
-// exhausted.
-func fmRefine(g *graph.Graph, sideOf []int, opts Options, frac float64) float64 {
+// exhausted. span, when non-nil, receives one event per pass with the
+// resulting cut (the "FM refinement rounds" detail of the trace).
+func fmRefine(g *graph.Graph, sideOf []int, opts Options, frac float64, span *telemetry.Span) float64 {
 	n := g.NumVertices()
 	if n == 0 {
 		return 0
@@ -217,6 +220,12 @@ func fmRefine(g *graph.Graph, sideOf []int, opts Options, frac float64) float64 
 		// Hand grown buffers back to the scratch so later passes (and the
 		// next pooled user) reuse their capacity.
 		scr.heap, scr.deferred = h[:0], deferred[:0]
+		if span.Enabled() {
+			span.Event("fm-pass",
+				telemetry.Attr{Key: "pass", Val: strconv.Itoa(pass)},
+				telemetry.Attr{Key: "cut", Val: strconv.FormatFloat(bestCut, 'g', -1, 64)},
+				telemetry.Attr{Key: "moves", Val: strconv.Itoa(bestPrefix)})
+		}
 		if bestCut >= cut-1e-12 {
 			cut = bestCut
 			break // converged: no improvement this pass

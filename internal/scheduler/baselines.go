@@ -56,6 +56,9 @@ func (EPVM) Place(req Request) (Result, error) {
 	if err := validate(req); err != nil {
 		return Result{}, err
 	}
+	span := req.Span.Child("e-pvm")
+	defer span.End()
+	req.Telemetry.Counter("scheduler_place_total").Inc()
 	numServers := req.Topo.NumServers()
 	load := newServerLoad(numServers)
 	usable := usableCapacities(req.Topo.Capacity, 1.0)
@@ -99,6 +102,7 @@ func (EPVM) Place(req Request) (Result, error) {
 			stamp:  stamps[best],
 		})
 	}
+	auditPlaced(req, EPVM{}.Name(), placement, 1.0)
 	return Result{Placement: placement, AllServersOn: true, TargetUtil: 1.0}, nil
 }
 
@@ -182,6 +186,9 @@ func (p MPP) Place(req Request) (Result, error) {
 	if err := validate(req); err != nil {
 		return Result{}, err
 	}
+	span := req.Span.Child("mpp")
+	defer span.End()
+	req.Telemetry.Counter("scheduler_place_total").Inc()
 	cap := p.UtilizationCap
 	if cap <= 0 {
 		cap = 0.95
@@ -223,6 +230,7 @@ func (p MPP) Place(req Request) (Result, error) {
 		placement[i] = best
 		pk.place(best, c.Demand)
 	}
+	auditPlaced(req, p.Name(), placement, cap)
 	return Result{Placement: placement, TargetUtil: cap}, nil
 }
 
@@ -244,6 +252,9 @@ func (p Borg) Place(req Request) (Result, error) {
 	if err := validate(req); err != nil {
 		return Result{}, err
 	}
+	span := req.Span.Child("borg")
+	defer span.End()
+	req.Telemetry.Counter("scheduler_place_total").Inc()
 	cap := p.UtilizationCap
 	if cap <= 0 {
 		cap = 0.95
@@ -271,6 +282,7 @@ func (p Borg) Place(req Request) (Result, error) {
 		placement[i] = best
 		pk.place(best, c.Demand)
 	}
+	auditPlaced(req, p.Name(), placement, cap)
 	return Result{Placement: placement, TargetUtil: cap}, nil
 }
 
@@ -310,6 +322,9 @@ func (p RCInformed) Place(req Request) (Result, error) {
 	if err := validate(req); err != nil {
 		return Result{}, err
 	}
+	span := req.Span.Child("rc-informed")
+	defer span.End()
+	req.Telemetry.Counter("scheduler_place_total").Inc()
 	over := p.Oversubscription
 	if over <= 0 {
 		over = 1.25
@@ -355,6 +370,7 @@ func (p RCInformed) Place(req Request) (Result, error) {
 			return Result{}, fmt.Errorf("%w: container %d (reserved %v)", ErrNoCapacity, i, reserved)
 		}
 	}
+	auditPlaced(req, p.Name(), placement, over)
 	return Result{Placement: placement, TargetUtil: over}, nil
 }
 

@@ -83,7 +83,7 @@ func TestRepairAntiAffinityDeterministic(t *testing.T) {
 	var first []int
 	for run := 0; run < 25; run++ {
 		placement := append([]int(nil), initial...)
-		repairAntiAffinity(req, placement, 0.9)
+		repairAntiAffinity(req, placement, 0.9, "Goldilocks")
 		if first == nil {
 			first = append([]int(nil), placement...)
 			continue

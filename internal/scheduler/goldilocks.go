@@ -8,6 +8,7 @@ import (
 	"goldilocks/internal/graph"
 	"goldilocks/internal/partition"
 	"goldilocks/internal/resources"
+	"goldilocks/internal/telemetry"
 	"goldilocks/internal/topology"
 	"goldilocks/internal/vc"
 )
@@ -79,13 +80,37 @@ func (p Goldilocks) Place(req Request) (Result, error) {
 		domain = topology.LevelRack
 	}
 
+	span := req.Span.Child("goldilocks")
+	defer span.End()
+	req.Telemetry.Counter("scheduler_place_total").Inc()
+
 	var firstErr error
 	for _, t := range targets {
-		res, err := p.placeAtTarget(req, g, t)
+		attempt := span.Child("attempt")
+		attempt.SetFloat("target", t)
+		res, groupOf, err := p.placeAtTarget(req, g, t, attempt)
 		if err == nil {
-			repairAntiAffinityAt(req, res.Placement, t, domain)
+			attempt.SetStr("outcome", "placed")
+			attempt.End()
+			repairAntiAffinityAt(req, res.Placement, t, domain, p.Name())
+			auditPlacedGroups(req, p.Name(), res.Placement, t, groupOf)
+			if t > target {
+				req.Telemetry.Counter("scheduler_spill_total").Inc()
+			}
+			req.Telemetry.Gauge("scheduler_spill_target").Set(t)
 			res.TargetUtil = t
 			return res, nil
+		}
+		attempt.SetStr("outcome", "no-fit")
+		attempt.End()
+		// The spill record explains *why* the run left the Peak Energy
+		// Efficiency knee: which ceiling failed, and with what error.
+		if req.Telemetry.Auditing() {
+			req.Telemetry.Decide(telemetry.Decision{
+				Policy: p.Name(), Container: -1, Group: -1,
+				Action: telemetry.ActionSpill, Server: -1, From: -1,
+				Detail: fmt.Sprintf("attempt at %.0f%% ceiling failed: %v", t*100, err),
+			})
 		}
 		if firstErr == nil {
 			firstErr = err
@@ -95,26 +120,34 @@ func (p Goldilocks) Place(req Request) (Result, error) {
 }
 
 // placeAtTarget runs one partition-and-place attempt at a packing ceiling.
-func (p Goldilocks) placeAtTarget(req Request, g *graph.Graph, target float64) (Result, error) {
+// It also returns the container→group assignment for audit records.
+func (p Goldilocks) placeAtTarget(req Request, g *graph.Graph, target float64, span *telemetry.Span) (Result, []int, error) {
 	// Partition against the average server capacity scaled by the PEE
 	// ceiling (CPU only; memory has no knee). On a homogeneous topology
 	// this is exact; on a heterogeneous one it is the §IV-A starting
 	// point refined by the Virtual Cluster placement.
 	usableAvg := req.Topo.AverageCapacity().PerDimScale(resources.UtilizationCaps(target))
-	tree, err := partition.PartitionToFit(g, usableAvg, 1.0, p.Partition)
+	popts := p.Partition
+	popts.Trace = span
+	tree, err := partition.PartitionToFit(g, usableAvg, 1.0, popts)
 	if err != nil {
-		return Result{}, fmt.Errorf("goldilocks: partitioning failed: %w", err)
+		return Result{}, nil, fmt.Errorf("goldilocks: partitioning failed: %w", err)
 	}
+	req.Telemetry.Gauge("scheduler_partition_cut").Set(tree.Cut)
+	req.Telemetry.Gauge("scheduler_partition_groups").Set(float64(len(tree.Leaves)))
+	groupOf := tree.Assignment(g.NumVertices())
 	if req.Topo.IsSymmetric() {
-		return p.placeSymmetric(req, tree, target)
+		res, err := p.placeSymmetric(req, tree, target, span)
+		return res, groupOf, err
 	}
-	return p.placeAsymmetric(req, g, tree, target)
+	res, err := p.placeAsymmetric(req, g, tree, target, span)
+	return res, groupOf, err
 }
 
 // repairAntiAffinity relocates replicas sharing a server, the legacy
 // server-granularity entry point used by the incremental scheduler.
-func repairAntiAffinity(req Request, placement []int, target float64) {
-	repairAntiAffinityAt(req, placement, target, topology.LevelServer)
+func repairAntiAffinity(req Request, placement []int, target float64, policy string) {
+	repairAntiAffinityAt(req, placement, target, topology.LevelServer, policy)
 }
 
 // repairAntiAffinityAt relocates replicas that ended up sharing a fault
@@ -124,7 +157,7 @@ func repairAntiAffinity(req Request, placement []int, target float64) {
 // group. When there are fewer domains than replicas, it degrades to
 // distinct servers. Best effort — an infeasible relocation leaves the
 // replica in place.
-func repairAntiAffinityAt(req Request, placement []int, target float64, domain topology.Level) {
+func repairAntiAffinityAt(req Request, placement []int, target float64, domain topology.Level, policy string) {
 	byGroup := make(map[string][]int)
 	for i, c := range req.Spec.Containers {
 		if c.ReplicaGroup != "" {
@@ -201,6 +234,13 @@ func repairAntiAffinityAt(req Request, placement []int, target float64, domain t
 			if best < 0 {
 				continue // infeasible: leave in place
 			}
+			if req.Telemetry.Auditing() {
+				req.Telemetry.Decide(telemetry.Decision{
+					Policy: policy, Container: req.Spec.Containers[m].ID, Group: -1,
+					Action: telemetry.ActionRepairMove, Server: best, From: placement[m],
+					Detail: fmt.Sprintf("replica group %q shared a %s fault domain; moved to least-loaded feasible server", name, domain),
+				})
+			}
 			loads[placement[m]] = loads[placement[m]].Sub(demand)
 			loads[best] = loads[best].Add(demand)
 			placement[m] = best
@@ -215,7 +255,10 @@ func repairAntiAffinityAt(req Request, placement []int, target float64, domain t
 // and cousin groups in the same pod — the paper's left-most-subtree
 // locality (§III-B, Fig. 6) — while letting small adjacent groups share a
 // server up to the Peak Energy Efficiency target.
-func (p Goldilocks) placeSymmetric(req Request, tree *partition.Tree, target float64) (Result, error) {
+func (p Goldilocks) placeSymmetric(req Request, tree *partition.Tree, target float64, parent *telemetry.Span) (Result, error) {
+	span := parent.Child("pack-symmetric")
+	span.SetInt("groups", len(tree.Leaves))
+	defer span.End()
 	numServers := req.Topo.NumServers()
 	placement := make([]int, req.Spec.NumContainers())
 	for i := range placement {
@@ -249,6 +292,7 @@ func (p Goldilocks) placeSymmetric(req Request, tree *partition.Tree, target flo
 			placement[v] = server
 		}
 	}
+	span.SetInt("servers_used", server+1)
 	return Result{Placement: placement}, nil
 }
 
@@ -256,7 +300,7 @@ func (p Goldilocks) placeSymmetric(req Request, tree *partition.Tree, target flo
 // container's total bandwidth is its network demand, its inter-group share
 // is derived from the fraction of its (positive) edge weight that crosses
 // group boundaries — and delegates to the §IV placement.
-func (p Goldilocks) placeAsymmetric(req Request, g *graph.Graph, tree *partition.Tree, target float64) (Result, error) {
+func (p Goldilocks) placeAsymmetric(req Request, g *graph.Graph, tree *partition.Tree, target float64, parent *telemetry.Span) (Result, error) {
 	part := tree.Assignment(g.NumVertices())
 	groups := make([]vc.Group, len(tree.Leaves))
 	for li, leaf := range tree.Leaves {
@@ -270,7 +314,7 @@ func (p Goldilocks) placeAsymmetric(req Request, g *graph.Graph, tree *partition
 		}
 		groups[li] = grp
 	}
-	pl, err := vc.Place(req.Topo, req.Spec.NumContainers(), groups, target)
+	pl, err := vc.PlaceT(req.Topo, req.Spec.NumContainers(), groups, target, p.Name(), req.Telemetry, parent)
 	if err != nil {
 		if errors.Is(err, vc.ErrUnplaceable) {
 			// A group that fits no subtree of the surviving topology is

@@ -39,6 +39,8 @@ func (p *IncrementalGoldilocks) Place(req Request) (Result, error) {
 	if err := validate(req); err != nil {
 		return Result{}, err
 	}
+	span := req.Span.Child("goldilocks-incremental")
+	defer span.End()
 	target := p.Inner.TargetUtil
 	if target <= 0 {
 		target = 0.70
@@ -135,7 +137,8 @@ func (p *IncrementalGoldilocks) Place(req Request) (Result, error) {
 		moved += p.improve(req, g, placement, loads, usable, budget-moved)
 	}
 
-	repairAntiAffinity(req, placement, target)
+	repairAntiAffinity(req, placement, target, p.Name())
+	auditPlaced(req, p.Name(), placement, target)
 	p.remember(req, placement)
 	return Result{Placement: placement, TargetUtil: target}, nil
 }

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"goldilocks/internal/resources"
+	"goldilocks/internal/telemetry"
 	"goldilocks/internal/topology"
 	"goldilocks/internal/workload"
 )
@@ -30,6 +31,12 @@ var ErrNoCapacity = errors.New("scheduler: no server can host container")
 type Request struct {
 	Spec *workload.Spec
 	Topo *topology.Topology
+	// Telemetry, when non-nil, receives placement metrics and per-container
+	// audit decisions (the "why" records behind goldilocks-sim -explain).
+	Telemetry *telemetry.Session
+	// Span, when non-nil, is the parent the policy hangs its phase spans
+	// under. Both fields may be nil independently; nil costs nothing.
+	Span *telemetry.Span
 }
 
 // Result is the outcome of one scheduling epoch.
@@ -118,6 +125,47 @@ func validate(req Request) error {
 		return fmt.Errorf("scheduler: %d containers but no servers", req.Spec.NumContainers())
 	}
 	return nil
+}
+
+// auditPlaced records one "placed" audit decision per container, with the
+// PEE headroom left at its server (the CPU ceiling minus the server's
+// final CPU utilization). groupOf maps container → partition group id, or
+// is nil for the group-free baseline policies. No-op without an auditing
+// session.
+func auditPlaced(req Request, policy string, placement []int, target float64) {
+	auditPlacedGroups(req, policy, placement, target, nil)
+}
+
+func auditPlacedGroups(req Request, policy string, placement []int, target float64, groupOf []int) {
+	if !req.Telemetry.Auditing() {
+		return
+	}
+	loads := make([]resources.Vector, req.Topo.NumServers())
+	for i, s := range placement {
+		if s >= 0 {
+			loads[s] = loads[s].Add(req.Spec.Containers[i].Demand)
+		}
+	}
+	for i, s := range placement {
+		if s < 0 {
+			continue
+		}
+		group := -1
+		if groupOf != nil {
+			group = groupOf[i]
+		}
+		cpuUtil := 0.0
+		if cap := req.Topo.Capacity[s][resources.CPU]; cap > 0 {
+			cpuUtil = loads[s][resources.CPU] / cap
+		}
+		req.Telemetry.Decide(telemetry.Decision{
+			Policy: policy, Container: req.Spec.Containers[i].ID, Group: group,
+			Action: telemetry.ActionPlaced, Server: s, From: -1,
+			Headroom: target - cpuUtil,
+			Detail:   fmt.Sprintf("server CPU util %.3f of %.2f ceiling", cpuUtil, target),
+		})
+	}
+	req.Telemetry.Counter("scheduler_containers_placed_total").Add(int64(len(placement)))
 }
 
 // demandOrder returns container indices sorted by descending dominant

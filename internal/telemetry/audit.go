@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Action classifies an audit decision.
+type Action string
+
+const (
+	// ActionPlaced: a container landed on a server.
+	ActionPlaced Action = "placed"
+	// ActionGroupPlaced: a partition group / Virtual Cluster landed on a
+	// topology subtree after the candidate walk.
+	ActionGroupPlaced Action = "group-placed"
+	// ActionGroupRejected: no subtree could host the group.
+	ActionGroupRejected Action = "group-rejected"
+	// ActionSpill: a whole-placement attempt at one PEE ceiling failed and
+	// the scheduler climbed the spill ladder.
+	ActionSpill Action = "spill"
+	// ActionRepairMove: anti-affinity repair relocated a replica.
+	ActionRepairMove Action = "repair-move"
+	// ActionShed: admission control rejected the container this epoch.
+	ActionShed Action = "shed"
+	// ActionDisplaced: a fault removed the container's server.
+	ActionDisplaced Action = "displaced"
+	// ActionRecovered: a displaced container was re-placed.
+	ActionRecovered Action = "recovered"
+)
+
+// Candidate records one alternative weighed while making a decision — for
+// group placement, a topology subtree and why it was rejected (server-fit
+// failure, or an Eq. 4/5 residual-bandwidth check that failed).
+type Candidate struct {
+	Subtree string
+	Outcome string
+}
+
+// Decision is one structured "why" record. Container is the workload
+// spec's container ID, or -1 for group-level records; Group links
+// container- and group-level records of the same placement ((Epoch,
+// Policy, Group) is the join key used by Explain).
+type Decision struct {
+	Epoch      int           // stamped by Session.Decide
+	SimAt      time.Duration // stamped by Session.Decide
+	Policy     string
+	Container  int
+	Group      int // partition leaf / VC group id; -1 when not applicable
+	Action     Action
+	Server     int     // destination server; -1 when not applicable
+	From       int     // previous server for moves; -1 when not applicable
+	Headroom   float64 // CPU fraction left below the PEE ceiling at Server
+	Detail     string
+	Candidates []Candidate
+}
+
+// Audit is an append-only decision log. Records arrive from sequential
+// runner code (the scheduler call tree), but the mutex makes concurrent
+// use safe anyway.
+type Audit struct {
+	mu   sync.Mutex
+	recs []Decision
+}
+
+// NewAudit returns an empty log.
+func NewAudit() *Audit { return &Audit{} }
+
+// Record appends one decision. Nil-safe.
+func (a *Audit) Record(d Decision) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.recs = append(a.recs, d)
+	a.mu.Unlock()
+}
+
+// Len returns the number of recorded decisions.
+func (a *Audit) Len() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.recs)
+}
+
+// Records returns a copy of the log in record order.
+func (a *Audit) Records() []Decision {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Decision(nil), a.recs...)
+}
+
+// WriteText renders the full log, one line per decision (candidates
+// indented beneath), in record order — byte-deterministic for a
+// deterministic run.
+func (a *Audit) WriteText(w io.Writer) error {
+	var buf bytes.Buffer
+	for _, d := range a.Records() {
+		writeDecision(&buf, d)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Explain writes every decision that mentions the container: its own
+// records plus the group-level records of the groups it was placed
+// through, joined on (Epoch, Policy, Group). Returns an error when the
+// container appears nowhere in the log.
+func (a *Audit) Explain(w io.Writer, container int) error {
+	recs := a.Records()
+	type key struct {
+		epoch int
+		pol   string
+		group int
+	}
+	wanted := make(map[key]bool)
+	found := false
+	for _, d := range recs {
+		if d.Container == container {
+			found = true
+			if d.Group >= 0 {
+				wanted[key{d.Epoch, d.Policy, d.Group}] = true
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("telemetry: container %d has no audit records", container)
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "container %d decision history:\n", container)
+	for _, d := range recs {
+		own := d.Container == container
+		grp := d.Container < 0 && d.Group >= 0 && wanted[key{d.Epoch, d.Policy, d.Group}]
+		if own || grp {
+			writeDecision(&buf, d)
+		}
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+func writeDecision(buf *bytes.Buffer, d Decision) {
+	fmt.Fprintf(buf, "epoch %d sim %s [%s] %s", d.Epoch, d.SimAt, d.Policy, d.Action)
+	if d.Container >= 0 {
+		fmt.Fprintf(buf, " container=%d", d.Container)
+	}
+	if d.Group >= 0 {
+		fmt.Fprintf(buf, " group=%d", d.Group)
+	}
+	if d.Server >= 0 {
+		fmt.Fprintf(buf, " server=%d", d.Server)
+	}
+	if d.From >= 0 {
+		fmt.Fprintf(buf, " from=%d", d.From)
+	}
+	if d.Headroom != 0 {
+		fmt.Fprintf(buf, " headroom=%.4f", d.Headroom)
+	}
+	if d.Detail != "" {
+		fmt.Fprintf(buf, ": %s", d.Detail)
+	}
+	buf.WriteByte('\n')
+	for _, c := range d.Candidates {
+		fmt.Fprintf(buf, "    candidate %s: %s\n", c.Subtree, c.Outcome)
+	}
+}

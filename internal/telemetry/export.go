@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// ExportOptions selects which half of the recorded data an exporter uses.
+type ExportOptions struct {
+	// WallClock switches timestamps and durations to the recorded
+	// monotonic wall clock. Wall output is for human profiling and is NOT
+	// deterministic; the default (false) lays spans out on a synthetic
+	// deterministic timeline derived from sim time and tree shape, so two
+	// equal-seed runs export byte-identical traces.
+	WallClock bool
+}
+
+// ticks returns the width of a span on the deterministic timeline: one
+// slot for the span itself plus one per event plus its subtree.
+func ticks(s *Span) int64 {
+	n := int64(1 + len(s.events))
+	for _, c := range s.children {
+		n += ticks(c)
+	}
+	return n
+}
+
+// WriteChromeTrace renders the recorded spans as Chrome trace_event JSON
+// (the "JSON Array Format" inside a traceEvents wrapper), loadable in
+// Perfetto or chrome://tracing. Timestamps are microseconds.
+//
+// In deterministic mode every span occupies ticks(span) µs starting at its
+// root's base timestamp — the root's sim time, bumped past the previous
+// root's end so the timeline never overlaps. Durations are therefore tree
+// widths, not latencies; use WallClock for real latencies.
+func (t *Tracer) WriteChromeTrace(w io.Writer, opts ExportOptions) error {
+	var buf bytes.Buffer
+	buf.WriteString("{\"traceEvents\":[")
+	first := true
+	var cursor int64 // deterministic timeline high-water mark, µs
+	for _, root := range t.Roots() {
+		if opts.WallClock {
+			emitChromeWall(&buf, &first, root, t.wallStart)
+			continue
+		}
+		base := root.simAt.Microseconds()
+		if base < cursor {
+			base = cursor
+		}
+		cursor = base + ticks(root)
+		emitChromeDet(&buf, &first, root, base)
+	}
+	buf.WriteString("],\"displayTimeUnit\":\"ms\"}\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// emitChromeDet writes span (and recursively its events and children) on
+// the deterministic timeline starting at ts, returning the next free tick.
+func emitChromeDet(buf *bytes.Buffer, first *bool, s *Span, ts int64) int64 {
+	writeChromeEvent(buf, first, "X", s.name, ts, ticks(s), s.simAt, s.attrs)
+	cur := ts + 1
+	for i := range s.events {
+		ev := &s.events[i]
+		writeChromeEvent(buf, first, "i", ev.Name, cur, 0, s.simAt, ev.Attrs)
+		cur++
+	}
+	for _, c := range s.children {
+		cur = emitChromeDet(buf, first, c, cur)
+	}
+	return cur
+}
+
+// emitChromeWall writes span on the recorded wall timeline.
+func emitChromeWall(buf *bytes.Buffer, first *bool, s *Span, wallStart time.Time) {
+	ts := s.wallStart.Sub(wallStart).Microseconds()
+	writeChromeEvent(buf, first, "X", s.name, ts, s.wallDur.Microseconds(), s.simAt, s.attrs)
+	for i := range s.events {
+		ev := &s.events[i]
+		writeChromeEvent(buf, first, "i", ev.Name, ev.wallAt.Microseconds(), 0, s.simAt, ev.Attrs)
+	}
+	for _, c := range s.children {
+		emitChromeWall(buf, first, c, wallStart)
+	}
+}
+
+// writeChromeEvent appends one trace_event object. JSON is assembled by
+// hand — field order is fixed, map-free, and therefore byte-stable.
+func writeChromeEvent(buf *bytes.Buffer, first *bool, ph, name string, ts, dur int64, simAt time.Duration, attrs []Attr) {
+	if !*first {
+		buf.WriteByte(',')
+	}
+	*first = false
+	buf.WriteString("\n{\"name\":")
+	buf.WriteString(strconv.Quote(name))
+	buf.WriteString(",\"ph\":\"")
+	buf.WriteString(ph)
+	buf.WriteString("\",\"ts\":")
+	buf.WriteString(strconv.FormatInt(ts, 10))
+	if ph == "X" {
+		buf.WriteString(",\"dur\":")
+		buf.WriteString(strconv.FormatInt(dur, 10))
+	} else if ph == "i" {
+		buf.WriteString(",\"s\":\"t\"")
+	}
+	buf.WriteString(",\"pid\":1,\"tid\":1,\"args\":{\"sim_at\":")
+	buf.WriteString(strconv.Quote(simAt.String()))
+	for _, a := range attrs {
+		buf.WriteByte(',')
+		buf.WriteString(strconv.Quote(a.Key))
+		buf.WriteByte(':')
+		buf.WriteString(strconv.Quote(a.Val))
+	}
+	buf.WriteString("}}")
+}
+
+// WriteTree renders the spans as an indented text tree — the quick-look
+// companion to the Chrome export. Deterministic unless opts.WallClock,
+// which appends wall durations to every line.
+func (t *Tracer) WriteTree(w io.Writer, opts ExportOptions) error {
+	var buf bytes.Buffer
+	for _, root := range t.Roots() {
+		writeTreeSpan(&buf, root, 0, opts)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+func writeTreeSpan(buf *bytes.Buffer, s *Span, depth int, opts ExportOptions) {
+	indent(buf, depth)
+	buf.WriteString(s.name)
+	fmt.Fprintf(buf, " [sim %s]", s.simAt)
+	for _, a := range s.attrs {
+		fmt.Fprintf(buf, " %s=%s", a.Key, a.Val)
+	}
+	if opts.WallClock {
+		fmt.Fprintf(buf, " wall=%s", s.wallDur)
+	}
+	buf.WriteByte('\n')
+	for i := range s.events {
+		ev := &s.events[i]
+		indent(buf, depth+1)
+		buf.WriteString("· ")
+		buf.WriteString(ev.Name)
+		for _, a := range ev.Attrs {
+			fmt.Fprintf(buf, " %s=%s", a.Key, a.Val)
+		}
+		buf.WriteByte('\n')
+	}
+	for _, c := range s.children {
+		writeTreeSpan(buf, c, depth+1, opts)
+	}
+}
+
+func indent(buf *bytes.Buffer, depth int) {
+	for i := 0; i < depth; i++ {
+		buf.WriteString("  ")
+	}
+}

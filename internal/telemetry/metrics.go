@@ -1,0 +1,275 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"goldilocks/internal/det"
+)
+
+// Registry holds named counters, gauges and histograms. Lookup is
+// mutex-guarded; the instruments themselves are lock-free.
+//
+// Determinism under parallelism: counters and histogram buckets are int64
+// and additions commute exactly, so concurrent increments from the
+// partitioner's worker pool yield identical totals at every parallelism
+// level. Histogram sums use fixed-point micro-units for the same reason.
+// Gauges hold floats and must only be Set from sequential code (the epoch
+// runner); that rule keeps the whole registry in the deterministic set.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing int64. Nil-safe, lock-free.
+type Counter struct{ n int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	atomic.AddInt64(&c.n, d)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&c.n)
+}
+
+// Gauge is a float64 that holds the last Set value. Set only from
+// sequential code; see the Registry comment.
+type Gauge struct{ bits uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	atomic.StoreUint64(&g.bits, math.Float64bits(v))
+}
+
+// Value returns the last Set value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(atomic.LoadUint64(&g.bits))
+}
+
+// Histogram counts observations into fixed buckets (upper bounds,
+// cumulative at export like Prometheus). Bucket counts are exact under
+// concurrency; the sum is kept in int64 micro-units so it is too.
+type Histogram struct {
+	bounds    []float64 // sorted ascending; implicit +Inf bucket at the end
+	counts    []int64   // len(bounds)+1
+	sumMicros int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	atomic.AddInt64(&h.counts[i], 1)
+	atomic.AddInt64(&h.sumMicros, int64(math.Round(v*1e6)))
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += atomic.LoadInt64(&h.counts[i])
+	}
+	return n
+}
+
+// Sum returns the sum of observed values (micro-unit precision).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64(atomic.LoadInt64(&h.sumMicros)) / 1e6
+}
+
+// Counter returns (creating if needed) the named counter. Nil-safe.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram. Bounds are
+// sorted; on a name collision the existing instrument wins and the new
+// bounds are ignored. Nil-safe.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// SnapshotEntry is one exported sample: a flattened metric name and value.
+type SnapshotEntry struct {
+	Name  string
+	Value float64
+}
+
+// Snapshot is a point-in-time flattening of the registry, sorted by name.
+// Histograms expand to cumulative <name>_bucket{le="..."} entries plus
+// <name>_sum and <name>_count.
+type Snapshot []SnapshotEntry
+
+// Snapshot captures the registry. Nil-safe (returns nil).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for _, name := range det.SortedKeys(r.counters) {
+		s = append(s, SnapshotEntry{name, float64(r.counters[name].Value())})
+	}
+	for _, name := range det.SortedKeys(r.gauges) {
+		s = append(s, SnapshotEntry{name, r.gauges[name].Value()})
+	}
+	for _, name := range det.SortedKeys(r.histograms) {
+		h := r.histograms[name]
+		var cum int64
+		for i, b := range h.bounds {
+			cum += atomic.LoadInt64(&h.counts[i])
+			s = append(s, SnapshotEntry{name + "_bucket{le=\"" + FormatFloat(b) + "\"}", float64(cum)})
+		}
+		s = append(s, SnapshotEntry{name + "_bucket{le=\"+Inf\"}", float64(h.Count())})
+		s = append(s, SnapshotEntry{name + "_sum", h.Sum()})
+		s = append(s, SnapshotEntry{name + "_count", float64(h.Count())})
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
+	return s
+}
+
+// Sub returns the entry-wise difference s - prev, matching entries by
+// name; entries absent from prev diff against zero. Used for per-epoch
+// deltas of a cumulative registry.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	old := make(map[string]float64, len(prev))
+	for _, e := range prev {
+		old[e.Name] = e.Value
+	}
+	out := make(Snapshot, len(s))
+	for i, e := range s {
+		out[i] = SnapshotEntry{e.Name, e.Value - old[e.Name]}
+	}
+	return out
+}
+
+// WriteText renders the snapshot as "name value" lines.
+func (s Snapshot) WriteText(w io.Writer) error {
+	var buf bytes.Buffer
+	for _, e := range s {
+		buf.WriteString(e.Name)
+		buf.WriteByte(' ')
+		buf.WriteString(FormatFloat(e.Value))
+		buf.WriteByte('\n')
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): TYPE headers plus the same flattened samples as
+// Snapshot, in sorted order so output is byte-deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var buf bytes.Buffer
+	for _, name := range det.SortedKeys(r.counters) {
+		buf.WriteString("# TYPE " + name + " counter\n")
+		buf.WriteString(name + " " + strconv.FormatInt(r.counters[name].Value(), 10) + "\n")
+	}
+	for _, name := range det.SortedKeys(r.gauges) {
+		buf.WriteString("# TYPE " + name + " gauge\n")
+		buf.WriteString(name + " " + FormatFloat(r.gauges[name].Value()) + "\n")
+	}
+	for _, name := range det.SortedKeys(r.histograms) {
+		h := r.histograms[name]
+		buf.WriteString("# TYPE " + name + " histogram\n")
+		var cum int64
+		for i, b := range h.bounds {
+			cum += atomic.LoadInt64(&h.counts[i])
+			buf.WriteString(name + "_bucket{le=\"" + FormatFloat(b) + "\"} " + strconv.FormatInt(cum, 10) + "\n")
+		}
+		buf.WriteString(name + "_bucket{le=\"+Inf\"} " + strconv.FormatInt(h.Count(), 10) + "\n")
+		buf.WriteString(name + "_sum " + FormatFloat(h.Sum()) + "\n")
+		buf.WriteString(name + "_count " + strconv.FormatInt(h.Count(), 10) + "\n")
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// FormatFloat renders a float the way every telemetry exporter does
+// (strconv 'g', shortest round-trip) so instrumentation sites producing
+// attribute values stay byte-compatible with the exporters.
+func FormatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

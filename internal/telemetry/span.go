@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span or event. Values are
+// pre-rendered to strings by the typed setters so export needs no
+// reflection and no type switches.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// Event is a point-in-time marker inside a span (an FM pass completing, a
+// fault firing). wallAt is the offset from the tracer's wall reference and
+// is exported only in wall-clock mode.
+type Event struct {
+	Name   string
+	Attrs  []Attr
+	wallAt time.Duration
+}
+
+// Span is one node of a phase tree. A span is owned by exactly one
+// goroutine at a time: the owner may add attributes, events and children
+// without locking, and code that fans out must create each branch's span
+// before forking (see the package comment). All methods are nil-safe
+// no-ops so uninstrumented runs pay nothing.
+type Span struct {
+	tr        *Tracer
+	name      string
+	simAt     time.Duration // deterministic stamp, inherited from the root
+	attrs     []Attr
+	events    []Event
+	children  []*Span
+	wallStart time.Time
+	wallDur   time.Duration
+	ended     bool
+}
+
+// Tracer collects root spans. The mutex serializes Root only; span bodies
+// follow the single-owner rule instead.
+type Tracer struct {
+	mu        sync.Mutex
+	roots     []*Span
+	wallStart time.Time
+}
+
+// NewTracer returns an empty tracer whose wall reference is "now".
+func NewTracer() *Tracer {
+	return &Tracer{wallStart: wallNow()}
+}
+
+// Root opens a top-level span stamped with the given sim time. Nil-safe.
+func (t *Tracer) Root(name string, simAt time.Duration) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t, name: name, simAt: simAt, wallStart: wallNow()}
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Roots returns the recorded root spans in creation order.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// Child opens a sub-span. Must be called by the span's owning goroutine;
+// the returned span may then be handed to a forked goroutine. Nil-safe.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, simAt: s.simAt, wallStart: wallNow()}
+	s.children = append(s.children, c)
+	return c
+}
+
+// End records the span's wall duration. Safe to call more than once (the
+// first call wins) and on nil.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.wallDur = wallNow().Sub(s.wallStart)
+}
+
+// WallDuration returns the profiling-only wall duration (zero until End).
+func (s *Span) WallDuration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.wallDur
+}
+
+// Name returns the span name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Children returns the child spans in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	return s.children
+}
+
+// SetStr annotates the span with a string attribute.
+func (s *Span) SetStr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{key, val})
+}
+
+// SetInt annotates the span with an integer attribute.
+func (s *Span) SetInt(key string, v int) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{key, strconv.Itoa(v)})
+}
+
+// SetFloat annotates the span with a float attribute, rendered with the
+// shortest round-trip formatting so output is deterministic.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{key, strconv.FormatFloat(v, 'g', -1, 64)})
+}
+
+// SetDuration annotates the span with a sim-time duration attribute.
+func (s *Span) SetDuration(key string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{key, d.String()})
+}
+
+// Event records a point-in-time marker. The variadic attrs allocate even
+// on a nil span, so hot paths should guard with Enabled when passing any.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.events = append(s.events, Event{Name: name, Attrs: attrs, wallAt: wallNow().Sub(s.tr.wallStart)})
+}
+
+// Enabled reports whether the span records anything; use it to skip
+// building attribute values that would allocate.
+func (s *Span) Enabled() bool { return s != nil }

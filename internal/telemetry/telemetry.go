@@ -1,0 +1,131 @@
+// Package telemetry is the deterministic observability layer of the
+// reproduction: phase spans over the epoch pipeline, a metrics registry,
+// and a structured decision-audit log, all zero-dependency and all bound
+// by the scheduling-determinism contract (internal/lint).
+//
+// The design splits every observation into two halves:
+//
+//   - the deterministic half — span structure, names, attributes, sim-time
+//     stamps, metric values, audit records — which is a pure function of
+//     (workload, topology, seed) and therefore byte-identical across runs
+//     and across partitioner parallelism levels;
+//   - the wall-clock half — monotonic start/duration per span — which is
+//     recorded for profiling but kept out of every comparison and out of
+//     the default exports.
+//
+// The nil value of every type is a valid no-op: a nil *Session, *Tracer,
+// *Span, *Counter, *Gauge or *Histogram accepts the full API and does
+// nothing, without allocating. Hot paths (the partitioner's recursive
+// fan-out) are instrumented unconditionally and pay nothing when telemetry
+// is off — a property pinned by TestNoopTelemetryDoesNotAllocate and the
+// telemetry-overhead CI guard.
+//
+// Concurrency and determinism follow the partitioner's rule: a span is
+// owned by one goroutine at a time. Code that fans out creates the child
+// spans for every branch sequentially, before forking, and hands each
+// branch its own span — creation order, and therefore export order, is a
+// pure function of program structure, never of goroutine scheduling.
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// wallNow is the single point where the package reads the wall clock. The
+// value feeds Span.WallDuration only: profiling output, never comparisons,
+// never the deterministic exports.
+func wallNow() time.Time {
+	//lint:ignore nondeterm wall time is profiling-only; deterministic exports never read it
+	return time.Now()
+}
+
+// Session bundles the three telemetry sinks plus the current epoch
+// coordinates, so one value threads through scheduler, partitioner, vc
+// placement and the cluster runner. A nil *Session disables everything.
+type Session struct {
+	Tracer  *Tracer
+	Metrics *Registry
+	Audit   *Audit
+
+	mu    sync.Mutex
+	epoch int
+	simAt time.Duration
+}
+
+// NewSession returns a session with all three sinks enabled.
+func NewSession() *Session {
+	return &Session{Tracer: NewTracer(), Metrics: NewRegistry(), Audit: NewAudit()}
+}
+
+// SetEpoch stamps the session with the epoch the runner is about to
+// execute; Decide copies the stamp onto every audit record.
+func (s *Session) SetEpoch(epoch int, simAt time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.epoch = epoch
+	s.simAt = simAt
+	s.mu.Unlock()
+}
+
+// Epoch returns the current epoch stamp.
+func (s *Session) Epoch() (int, time.Duration) {
+	if s == nil {
+		return 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch, s.simAt
+}
+
+// Root opens a new top-level span (see Tracer.Root). Nil-safe.
+func (s *Session) Root(name string, simAt time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.Tracer.Root(name, simAt)
+}
+
+// Decide records one audit decision, stamping it with the session's
+// current epoch coordinates. Nil-safe.
+func (s *Session) Decide(d Decision) {
+	if s == nil {
+		return
+	}
+	d.Epoch, d.SimAt = s.Epoch()
+	s.Audit.Record(d)
+}
+
+// Auditing reports whether decisions are being collected, so callers can
+// skip building rationale strings when nobody will read them.
+func (s *Session) Auditing() bool {
+	return s != nil && s.Audit != nil
+}
+
+// Counter returns the named counter from the session registry. Nil-safe.
+func (s *Session) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics.Counter(name)
+}
+
+// Gauge returns the named gauge from the session registry. Nil-safe.
+func (s *Session) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics.Gauge(name)
+}
+
+// Histogram returns the named histogram from the session registry.
+// Nil-safe, but note the variadic bounds allocate on every call even when
+// the session is nil — resolve histograms once, outside hot loops.
+func (s *Session) Histogram(name string, bounds ...float64) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics.Histogram(name, bounds...)
+}

@@ -1,0 +1,255 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNoopTelemetryDoesNotAllocate pins the hot-path contract: every
+// operation instrumented code performs unconditionally must be free on the
+// nil (disabled) path.
+func TestNoopTelemetryDoesNotAllocate(t *testing.T) {
+	var (
+		sess *Session
+		tr   *Tracer
+		sp   *Span
+		c    *Counter
+		g    *Gauge
+		h    *Histogram
+	)
+	n := testing.AllocsPerRun(1000, func() {
+		child := sp.Child("split")
+		child.SetInt("vertices", 42)
+		child.SetFloat("cut", 1.5)
+		child.SetStr("phase", "coarsen")
+		child.SetDuration("sim", time.Second)
+		child.Event("pass")
+		child.End()
+		tr.Root("epoch", 0).End()
+		sess.Root("epoch", 0).End()
+		sess.SetEpoch(3, time.Second)
+		sess.Counter("c").Inc()
+		sess.Gauge("g").Set(1)
+		c.Add(2)
+		g.Set(0.5)
+		h.Observe(0.7)
+		if sp.Enabled() || child.Enabled() {
+			t.Fatal("nil span reported enabled")
+		}
+	})
+	if n != 0 {
+		t.Fatalf("no-op telemetry allocated %.1f allocs/op, want 0", n)
+	}
+}
+
+func TestSpanTreeAndChromeExport(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Root("epoch 000", 5*time.Second)
+	a := root.Child("place")
+	a.SetInt("containers", 48)
+	a.Event("spill", Attr{"target", "0.8"})
+	b := root.Child("netsim")
+	b.SetFloat("makespan_s", 1.25)
+	b.End()
+	a.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("Chrome trace is not valid JSON:\n%s", buf.String())
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   int64             `json:"ts"`
+			Dur  int64             `json:"dur"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d trace events, want 4", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Name != "epoch 000" || ev.Ph != "X" || ev.Ts != 5_000_000 || ev.Dur != 4 {
+		t.Fatalf("unexpected root event: %+v", ev)
+	}
+	if doc.TraceEvents[1].Args["containers"] != "48" {
+		t.Fatalf("place span lost its attribute: %+v", doc.TraceEvents[1])
+	}
+	if doc.TraceEvents[2].Ph != "i" || doc.TraceEvents[2].Args["target"] != "0.8" {
+		t.Fatalf("instant event mangled: %+v", doc.TraceEvents[2])
+	}
+
+	// Deterministic export must be byte-stable across repeated calls and
+	// independent of wall time having advanced.
+	var again bytes.Buffer
+	if err := tr.WriteChromeTrace(&again, ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("deterministic Chrome export is not byte-stable")
+	}
+
+	var tree bytes.Buffer
+	if err := tr.WriteTree(&tree, ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	want := "epoch 000 [sim 5s]\n" +
+		"  place [sim 5s] containers=48\n" +
+		"    · spill target=0.8\n" +
+		"  netsim [sim 5s] makespan_s=1.25\n"
+	if tree.String() != want {
+		t.Fatalf("text tree mismatch:\ngot:\n%swant:\n%s", tree.String(), want)
+	}
+}
+
+// TestChromeExportRootsNeverOverlap checks the deterministic timeline bumps
+// a root whose sim time collides with the previous root's span.
+func TestChromeExportRootsNeverOverlap(t *testing.T) {
+	tr := NewTracer()
+	r1 := tr.Root("a", 0)
+	r1.Child("x").End()
+	r1.End()
+	tr.Root("b", 0).End() // same sim time: must start after a's 2 ticks
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ts   int64  `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.TraceEvents[2].Name != "b" || doc.TraceEvents[2].Ts != 2 {
+		t.Fatalf("second root not bumped past the first: %+v", doc.TraceEvents)
+	}
+}
+
+func TestRegistrySnapshotDiffAndPrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("place_total").Add(3)
+	r.Gauge("active_servers").Set(12)
+	h := r.Histogram("link_util", 0.5, 0.25) // unsorted on purpose
+	h.Observe(0.1)
+	h.Observe(0.3)
+	h.Observe(0.9)
+
+	if got := r.Counter("place_total").Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	if h.Count() != 3 || h.Sum() != 1.3 {
+		t.Fatalf("histogram count=%d sum=%v, want 3, 1.3", h.Count(), h.Sum())
+	}
+
+	snap := r.Snapshot()
+	prev := Snapshot{{Name: "place_total", Value: 1}}
+	diff := snap.Sub(prev)
+	byName := make(map[string]float64)
+	for _, e := range diff {
+		byName[e.Name] = e.Value
+	}
+	if byName["place_total"] != 2 {
+		t.Fatalf("diff place_total = %v, want 2", byName["place_total"])
+	}
+	if byName["link_util_bucket{le=\"0.25\"}"] != 1 || byName["link_util_bucket{le=\"0.5\"}"] != 2 {
+		t.Fatalf("cumulative buckets wrong: %v", byName)
+	}
+
+	var prom bytes.Buffer
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	out := prom.String()
+	for _, want := range []string{
+		"# TYPE place_total counter\nplace_total 3\n",
+		"# TYPE active_servers gauge\nactive_servers 12\n",
+		"link_util_bucket{le=\"+Inf\"} 3\n",
+		"link_util_sum 1.3\n",
+		"link_util_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	var prom2 bytes.Buffer
+	if err := r.WritePrometheus(&prom2); err != nil {
+		t.Fatal(err)
+	}
+	if prom.String() != prom2.String() {
+		t.Fatal("Prometheus export is not byte-stable")
+	}
+}
+
+func TestAuditExplainJoinsGroupRecords(t *testing.T) {
+	sess := NewSession()
+	sess.SetEpoch(2, 10*time.Second)
+	sess.Decide(Decision{
+		Policy: "Goldilocks", Container: -1, Group: 1, Action: ActionGroupPlaced,
+		Server: -1, From: -1, Detail: "placed under rack-1",
+		Candidates: []Candidate{{Subtree: "rack-0", Outcome: "uplink residual 80 Mbps < reservation 120 Mbps (Eq. 4/5)"}},
+	})
+	sess.Decide(Decision{Policy: "Goldilocks", Container: 7, Group: 1, Action: ActionPlaced, Server: 4, From: -1, Headroom: 0.12})
+	sess.Decide(Decision{Policy: "Goldilocks", Container: 9, Group: 0, Action: ActionPlaced, Server: 2, From: -1})
+
+	var buf bytes.Buffer
+	if err := sess.Audit.Explain(&buf, 7); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "container=7") || !strings.Contains(out, "group-placed group=1") {
+		t.Fatalf("explain missing joined group record:\n%s", out)
+	}
+	if !strings.Contains(out, "candidate rack-0: uplink residual") {
+		t.Fatalf("explain missing rejected candidate:\n%s", out)
+	}
+	if strings.Contains(out, "container=9") {
+		t.Fatalf("explain leaked another container's records:\n%s", out)
+	}
+	if !strings.Contains(out, "epoch 2 sim 10s") {
+		t.Fatalf("explain missing epoch stamp:\n%s", out)
+	}
+
+	if err := sess.Audit.Explain(&buf, 12345); err == nil {
+		t.Fatal("expected error for unknown container")
+	}
+}
+
+// TestPreForkedChildOrderIsStructural mirrors the partitioner discipline:
+// children created before forking keep creation order no matter which
+// goroutine finishes first.
+func TestPreForkedChildOrderIsStructural(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Root("split", 0)
+	left := root.Child("left")
+	right := root.Child("right")
+	done := make(chan struct{})
+	go func() {
+		right.SetInt("side", 1)
+		right.End()
+		close(done)
+	}()
+	left.SetInt("side", 0)
+	left.End()
+	<-done
+	root.End()
+
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "left" || kids[1].Name() != "right" {
+		t.Fatalf("child order not structural: %v", kids)
+	}
+}

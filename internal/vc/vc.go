@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"goldilocks/internal/resources"
+	"goldilocks/internal/telemetry"
 	"goldilocks/internal/topology"
 )
 
@@ -83,9 +84,22 @@ func (p *Placement) Release() {
 // reservations on every boundary it spans. numContainers sizes the
 // returned ServerOf slice.
 func Place(topo *topology.Topology, numContainers int, groups []Group, targetUtil float64) (*Placement, error) {
+	return PlaceT(topo, numContainers, groups, targetUtil, "", nil, nil)
+}
+
+// PlaceT is Place with telemetry: the VC subtree search hangs a span per
+// group under parent, and every candidate subtree the walk rejects — a
+// member that fits no server, or an Eq. 4/5 boundary whose residual cannot
+// absorb the reservation — lands in the session's audit log under policy,
+// joined to the group's containers by group id. sess and parent may be
+// nil independently.
+func PlaceT(topo *topology.Topology, numContainers int, groups []Group, targetUtil float64, policy string, sess *telemetry.Session, parent *telemetry.Span) (*Placement, error) {
 	if targetUtil <= 0 || targetUtil > 1 {
 		return nil, fmt.Errorf("vc: target utilization %v outside (0, 1]", targetUtil)
 	}
+	span := parent.Child("vc-place")
+	span.SetInt("groups", len(groups))
+	defer span.End()
 	pl := &Placement{
 		ServerOf: make([]int, numContainers),
 		Reserved: make(map[*topology.Link]float64),
@@ -101,24 +115,57 @@ func Place(topo *topology.Topology, numContainers int, groups []Group, targetUti
 	candidates = append(candidates, topo.SubtreesAtLevel(topology.LevelPod)...)
 	candidates = append(candidates, topo.Root)
 
+	explain := sess.Auditing()
 	for _, g := range groups {
 		if err := validateGroup(g, numContainers); err != nil {
 			return nil, err
 		}
+		gspan := span.Child("group")
+		gspan.SetInt("group", g.ID)
+		gspan.SetInt("containers", len(g.Containers))
+		gspan.SetFloat("bandwidth_mbps", g.totalBandwidth())
+		var rejected []telemetry.Candidate
 		placed := false
 		for _, sub := range candidates {
-			if tryPlaceGroup(topo, sub, g, targetUtil, used, pl) {
+			ok, reason := tryPlaceGroup(topo, sub, g, targetUtil, used, pl, explain)
+			if ok {
+				if explain {
+					sess.Decide(telemetry.Decision{
+						Policy: policy, Container: -1, Group: g.ID,
+						Action: telemetry.ActionGroupPlaced, Server: -1, From: -1,
+						Detail:     fmt.Sprintf("placed under %s (%d containers, %.0f Mbps)", nodeName(sub), len(g.Containers), g.totalBandwidth()),
+						Candidates: rejected,
+					})
+				}
+				gspan.SetStr("subtree", nodeName(sub))
 				placed = true
 				break
 			}
+			if explain {
+				rejected = append(rejected, telemetry.Candidate{Subtree: nodeName(sub), Outcome: reason})
+			}
 		}
+		gspan.End()
 		if !placed {
+			if explain {
+				sess.Decide(telemetry.Decision{
+					Policy: policy, Container: -1, Group: g.ID,
+					Action: telemetry.ActionGroupRejected, Server: -1, From: -1,
+					Detail:     "no subtree can host the group",
+					Candidates: rejected,
+				})
+			}
 			pl.Release()
 			return nil, fmt.Errorf("%w: group %d (%d containers, %v Mbps)",
 				ErrUnplaceable, g.ID, len(g.Containers), g.totalBandwidth())
 		}
 	}
 	return pl, nil
+}
+
+// nodeName renders a topology node for audit records, e.g. "rack-3".
+func nodeName(n *topology.Node) string {
+	return fmt.Sprintf("%s-%d", n.Level, n.ID)
 }
 
 func validateGroup(g Group, numContainers int) error {
@@ -136,8 +183,10 @@ func validateGroup(g Group, numContainers int) error {
 
 // tryPlaceGroup attempts to place the whole group under subtree `sub`.
 // On success it commits server loads and bandwidth reservations and
-// returns true; on failure it leaves all state untouched.
-func tryPlaceGroup(topo *topology.Topology, sub *topology.Node, g Group, targetUtil float64, used []resources.Vector, pl *Placement) bool {
+// returns true; on failure it leaves all state untouched. When explain is
+// set, a failure also returns the audit reason (which server fit or
+// Eq. 4/5 residual check failed); otherwise the reason is "".
+func tryPlaceGroup(topo *topology.Topology, sub *topology.Node, g Group, targetUtil float64, used []resources.Vector, pl *Placement, explain bool) (bool, string) {
 	// Phase 1: fit containers onto servers (first-fit decreasing over the
 	// subtree's servers, which are already in left-most order).
 	order := make([]int, len(g.Containers))
@@ -165,7 +214,11 @@ func tryPlaceGroup(topo *topology.Topology, sub *topology.Node, g Group, targetU
 			}
 		}
 		if placedOn < 0 {
-			return false
+			if explain {
+				return false, fmt.Sprintf("member %d (demand %v) fits none of the %d servers at %.0f%% ceiling",
+					g.Containers[m], g.Demands[m], len(sub.ServerIDs), targetUtil*100)
+			}
+			return false, ""
 		}
 		assignment[m] = placedOn
 		tentative[placedOn] = tentative[placedOn].Add(g.Demands[m])
@@ -174,9 +227,13 @@ func tryPlaceGroup(topo *topology.Topology, sub *topology.Node, g Group, targetU
 	// Phase 2: bandwidth reservations on every boundary the group spans.
 	// For each node under (and including) sub whose subtree contains some
 	// group members, reserve Eq. 4/5's R on its uplink.
-	reservations, ok := computeReservations(topo, sub, g, assignment)
-	if !ok {
-		return false
+	reservations, fail := computeReservations(topo, sub, g, assignment)
+	if fail != nil {
+		if explain {
+			return false, fmt.Sprintf("Eq. 4/5 reservation %.0f Mbps exceeds residual %.0f Mbps on uplink of %s",
+				fail.need, fail.residual, nodeName(fail.node))
+		}
+		return false, ""
 	}
 
 	// Commit.
@@ -198,7 +255,15 @@ func tryPlaceGroup(topo *topology.Topology, sub *topology.Node, g Group, targetU
 		}
 		pl.Reserved[l] += r
 	}
-	return true
+	return true, ""
+}
+
+// resFailure identifies the boundary whose residual bandwidth could not
+// absorb the group's Eq. 4/5 reservation.
+type resFailure struct {
+	node     *topology.Node
+	need     float64
+	residual float64
 }
 
 // computeReservations derives the per-uplink reservation for the group
@@ -206,16 +271,23 @@ func tryPlaceGroup(topo *topology.Topology, sub *topology.Node, g Group, targetU
 // covers the uplink of sub itself and of every descendant subtree that
 // holds a strict subset of the group (rack boundaries when the group spans
 // racks inside a pod, and the server NIC links).
-func computeReservations(topo *topology.Topology, sub *topology.Node, g Group, assignment []int) (map[*topology.Link]float64, bool) {
+func computeReservations(topo *topology.Topology, sub *topology.Node, g Group, assignment []int) (map[*topology.Link]float64, *resFailure) {
 	totalB := g.totalBandwidth()
 	interB := g.interBandwidth()
 
 	// Aggregate member bandwidth per node on the path from each member's
-	// server up to (and including) sub.
+	// server up to (and including) sub. `order` records first-seen node
+	// order — a deterministic walk of the deterministic assignment — so the
+	// boundary check below visits nodes reproducibly and the *first*
+	// failing boundary reported to the audit log is always the same one.
 	insideB := make(map[*topology.Node]float64)
+	var order []*topology.Node
 	for m, server := range assignment {
 		n := topo.ServerNode[server]
 		for {
+			if _, seen := insideB[n]; !seen {
+				order = append(order, n)
+			}
 			insideB[n] += g.TotalMbps[m]
 			if n == sub {
 				break
@@ -225,14 +297,11 @@ func computeReservations(topo *topology.Topology, sub *topology.Node, g Group, a
 	}
 
 	res := make(map[*topology.Link]float64, len(insideB))
-	// Every node writes to its own uplink's entry and an over-residual
-	// boundary returns the same (nil, false) whichever member finds it
-	// first, so visit order cannot change the result.
-	//lint:ignore maporder distinct uplink per node and order-independent failure result
-	for n, inB := range insideB {
+	for _, n := range order {
 		if n.Uplink == nil {
 			continue // root: no outbound boundary
 		}
+		inB := insideB[n]
 		// Traffic wanting to cross this boundary: intra-group traffic to
 		// members outside n, plus (conservatively, Eq. 5) the whole
 		// inter-group traffic.
@@ -242,9 +311,9 @@ func computeReservations(topo *topology.Topology, sub *topology.Node, g Group, a
 			continue
 		}
 		if r > n.Uplink.Residual()+1e-9 {
-			return nil, false
+			return nil, &resFailure{node: n, need: r, residual: n.Uplink.Residual()}
 		}
 		res[n.Uplink] = r
 	}
-	return res, true
+	return res, nil
 }
