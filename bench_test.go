@@ -208,6 +208,36 @@ func BenchmarkPartitionParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkPartitionAllocs pins the partitioner's steady-state allocation
+// count. After the first iteration warms the arena pools, every
+// PartitionToFit call should run the multilevel pipeline out of pooled flat
+// buffers; the residual allocs/op are the result tree and the goroutine
+// fan-out, both O(leaves), not O(vertices·levels). CI holds the median
+// against an absolute ceiling (`make allocs-guard`) — allocs/op is
+// hardware-independent, so unlike ns/op this gate can block.
+func BenchmarkPartitionAllocs(b *testing.B) {
+	spec := workload.MixtureWorkload(1000, 7)
+	g := spec.Graph()
+	cap := serverCapacityFor(g, g.NumVertices()/80)
+	for _, p := range []int{1, 8} {
+		opts := DefaultPartitionOptions()
+		opts.Seed = 1
+		opts.Parallelism = p
+		b.Run(fmt.Sprintf("mixture-1k/p%d", p), func(b *testing.B) {
+			if _, err := PartitionToFit(g, cap, opts); err != nil {
+				b.Fatal(err) // warm the pools outside the measurement
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := PartitionToFit(g, cap, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPartitionTelemetry pins the telemetry cost on the partition hot
 // path. "noop" leaves Options.Trace nil, so every span call takes the
 // nil-receiver fast path — this is the configuration every benchmark and

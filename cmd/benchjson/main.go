@@ -11,15 +11,33 @@
 // same robust center benchstat uses, and names are sorted so the file is
 // byte-stable for identical inputs.
 //
-// Guard mode (the CI telemetry-overhead check):
+// Guard mode (the CI regression checks):
 //
 //	benchjson -guard 'BenchmarkPartitionParallel/mixture-5k' -max-delta-pct 2 \
 //	    -baseline BENCH_BASELINE.txt -current bench.txt
 //
 // compares the median ns/op of every benchmark matching the regex that is
 // present in both files, and exits 1 when any current median exceeds the
-// baseline by more than the threshold. CI runs it with continue-on-error,
-// so a breach warns in the job log without blocking the build.
+// baseline by more than the threshold. `-metric allocs` diffs allocs/op
+// instead — allocation counts are hardware-independent, so that variant can
+// gate the build where ns/op only warns. `-max-allocs N` adds an absolute
+// ceiling on the current medians (no baseline needed):
+//
+//	benchjson -guard 'BenchmarkPartitionAllocs' -metric allocs -max-allocs 1000 \
+//	    -current bench.txt
+//
+// Pair mode compares two benchmarks inside one file, for guards like
+// traced-vs-noop telemetry overhead:
+//
+//	benchjson -pair 'BenchmarkPartitionTelemetry/noop=BenchmarkPartitionTelemetry/traced' \
+//	    -max-delta-pct 5 -current bench.txt
+//
+// exits 1 when the second benchmark's minimum ns/op exceeds the first's by
+// more than the threshold. Pair mode compares minima, not medians: the two
+// sides run minutes apart inside one bench invocation, scheduler and
+// noisy-neighbor interference is strictly additive, and the bounds pair
+// mode enforces (a few percent) sit below that noise floor — the minimum
+// of repeated runs is the standard low-variance estimator of true cost.
 package main
 
 import (
@@ -132,7 +150,7 @@ func writeJSON(w io.Writer, med map[string]sample) error {
 	return err
 }
 
-func parseFile(path string) (map[string]sample, error) {
+func parseFileRaw(path string) (map[string][]sample, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -142,12 +160,37 @@ func parseFile(path string) (map[string]sample, error) {
 	if err := parse(f, raw); err != nil {
 		return nil, err
 	}
+	return raw, nil
+}
+
+func parseFile(path string) (map[string]sample, error) {
+	raw, err := parseFileRaw(path)
+	if err != nil {
+		return nil, err
+	}
 	return medians(raw), nil
+}
+
+// metricOf selects the guarded column of a sample. Guarding allocs on a
+// benchmark that did not run with -benchmem is a configuration error, not a
+// pass, so the caller checks hasMem first.
+func metricOf(s sample, metric string) float64 {
+	if metric == "allocs" {
+		return s.allocsPerOp
+	}
+	return s.nsPerOp
+}
+
+func metricUnit(metric string) string {
+	if metric == "allocs" {
+		return "allocs/op"
+	}
+	return "ns/op"
 }
 
 // guard compares baseline vs current medians for every benchmark matching
 // the pattern that both files carry; it returns the offending lines.
-func guard(pattern string, maxDeltaPct float64, base, cur map[string]sample, w io.Writer) (breaches int, err error) {
+func guard(pattern, metric string, maxDeltaPct float64, base, cur map[string]sample, w io.Writer) (breaches int, err error) {
 	re, err := regexp.Compile(pattern)
 	if err != nil {
 		return 0, fmt.Errorf("bad -guard pattern: %w", err)
@@ -164,20 +207,97 @@ func guard(pattern string, maxDeltaPct float64, base, cur map[string]sample, w i
 		return 0, fmt.Errorf("no benchmark matches %q in both files", pattern)
 	}
 	sort.Strings(names)
+	unit := metricUnit(metric)
 	for _, name := range names {
 		b, c := base[name], cur[name]
+		if metric == "allocs" && (!b.hasMem || !c.hasMem) {
+			return 0, fmt.Errorf("%s lacks -benchmem columns; cannot guard allocs", name)
+		}
+		bv, cv := metricOf(b, metric), metricOf(c, metric)
 		delta := 0.0
-		if b.nsPerOp > 0 {
-			delta = (c.nsPerOp - b.nsPerOp) / b.nsPerOp * 100
+		if bv > 0 {
+			delta = (cv - bv) / bv * 100
+		} else if cv > 0 {
+			delta = 100
 		}
 		status := "ok"
 		if delta > maxDeltaPct {
 			status = "REGRESSION"
 			breaches++
 		}
-		fmt.Fprintf(w, "%-55s %14.0f ns/op → %14.0f ns/op  %+6.2f%%  [%s]\n",
-			name, b.nsPerOp, c.nsPerOp, delta, status)
+		fmt.Fprintf(w, "%-55s %14.0f %s → %14.0f %s  %+6.2f%%  [%s]\n",
+			name, bv, unit, cv, unit, delta, status)
 	}
+	return breaches, nil
+}
+
+// ceiling checks every matching current median against an absolute bound.
+func ceiling(pattern, metric string, max float64, cur map[string]sample, w io.Writer) (breaches int, err error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return 0, fmt.Errorf("bad -guard pattern: %w", err)
+	}
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return 0, fmt.Errorf("no benchmark matches %q in -current", pattern)
+	}
+	sort.Strings(names)
+	unit := metricUnit(metric)
+	for _, name := range names {
+		c := cur[name]
+		if metric == "allocs" && !c.hasMem {
+			return 0, fmt.Errorf("%s lacks -benchmem columns; cannot guard allocs", name)
+		}
+		v := metricOf(c, metric)
+		status := "ok"
+		if v > max {
+			status = "OVER CEILING"
+			breaches++
+		}
+		fmt.Fprintf(w, "%-55s %14.0f %s  (ceiling %.0f)  [%s]\n", name, v, unit, max, status)
+	}
+	return breaches, nil
+}
+
+// pairGuard compares two benchmarks within one file: the minimum ns/op of
+// cur[upper] may exceed the minimum of cur[lower] by at most maxDeltaPct.
+// See the package comment for why pair mode uses minima.
+func pairGuard(spec string, maxDeltaPct float64, cur map[string][]sample, w io.Writer) (breaches int, err error) {
+	lower, upper, ok := strings.Cut(spec, "=")
+	if !ok || lower == "" || upper == "" {
+		return 0, fmt.Errorf("bad -pair spec %q; want 'base=compared'", spec)
+	}
+	bs, okB := cur[lower]
+	cs, okC := cur[upper]
+	if !okB || !okC {
+		return 0, fmt.Errorf("-pair needs both %q and %q in -current", lower, upper)
+	}
+	minNs := func(ss []sample) float64 {
+		m := ss[0].nsPerOp
+		for _, s := range ss[1:] {
+			if s.nsPerOp < m {
+				m = s.nsPerOp
+			}
+		}
+		return m
+	}
+	bMin, cMin := minNs(bs), minNs(cs)
+	delta := 0.0
+	if bMin > 0 {
+		delta = (cMin - bMin) / bMin * 100
+	}
+	status := "ok"
+	if delta > maxDeltaPct {
+		status = "REGRESSION"
+		breaches++
+	}
+	fmt.Fprintf(w, "%s → %s: min %14.0f ns/op → min %14.0f ns/op  %+6.2f%% (max %+.1f%%)  [%s]\n",
+		lower, upper, bMin, cMin, delta, maxDeltaPct, status)
 	return breaches, nil
 }
 
@@ -189,17 +309,63 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out      = fs.String("o", "", "output JSON path (default stdout)")
-		guardPat = fs.String("guard", "", "guard mode: regex of benchmarks to compare between -baseline and -current")
-		maxDelta = fs.Float64("max-delta-pct", 2, "guard mode: maximum allowed ns/op increase, in percent")
-		baseline = fs.String("baseline", "", "guard mode: baseline bench output")
-		current  = fs.String("current", "", "guard mode: current bench output")
+		out       = fs.String("o", "", "output JSON path (default stdout)")
+		guardPat  = fs.String("guard", "", "guard mode: regex of benchmarks to compare between -baseline and -current")
+		metric    = fs.String("metric", "ns", "guard mode: column to compare, 'ns' or 'allocs'")
+		maxDelta  = fs.Float64("max-delta-pct", 2, "guard/pair mode: maximum allowed increase, in percent")
+		maxAllocs = fs.Float64("max-allocs", 0, "guard mode: absolute ceiling on the metric in -current (skips -baseline)")
+		pairSpec  = fs.String("pair", "", "pair mode: 'base=compared' benchmark names to diff within -current")
+		baseline  = fs.String("baseline", "", "guard mode: baseline bench output")
+		current   = fs.String("current", "", "guard/pair mode: current bench output")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *metric != "ns" && *metric != "allocs" {
+		fmt.Fprintf(stderr, "benchjson: -metric must be 'ns' or 'allocs', got %q\n", *metric)
+		return 2
+	}
+
+	if *pairSpec != "" {
+		if *current == "" {
+			fmt.Fprintln(stderr, "benchjson: -pair needs -current")
+			return 2
+		}
+		cur, err := parseFileRaw(*current)
+		if err == nil {
+			var breaches int
+			if breaches, err = pairGuard(*pairSpec, *maxDelta, cur, stdout); err == nil {
+				if breaches > 0 {
+					fmt.Fprintf(stderr, "benchjson: pair overhead beyond %.1f%%\n", *maxDelta)
+					return 1
+				}
+				return 0
+			}
+		}
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
 
 	if *guardPat != "" {
+		if *maxAllocs > 0 {
+			if *current == "" {
+				fmt.Fprintln(stderr, "benchjson: -max-allocs needs -current")
+				return 2
+			}
+			cur, err := parseFile(*current)
+			if err == nil {
+				var breaches int
+				if breaches, err = ceiling(*guardPat, *metric, *maxAllocs, cur, stdout); err == nil {
+					if breaches > 0 {
+						fmt.Fprintf(stderr, "benchjson: %d benchmark(s) over the %.0f ceiling\n", breaches, *maxAllocs)
+						return 1
+					}
+					return 0
+				}
+			}
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
 		if *baseline == "" || *current == "" {
 			fmt.Fprintln(stderr, "benchjson: -guard needs -baseline and -current")
 			return 2
@@ -209,7 +375,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			var cur map[string]sample
 			if cur, err = parseFile(*current); err == nil {
 				var breaches int
-				if breaches, err = guard(*guardPat, *maxDelta, base, cur, stdout); err == nil {
+				if breaches, err = guard(*guardPat, *metric, *maxDelta, base, cur, stdout); err == nil {
 					if breaches > 0 {
 						fmt.Fprintf(stderr, "benchjson: %d benchmark(s) regressed beyond %.1f%%\n", breaches, *maxDelta)
 						return 1

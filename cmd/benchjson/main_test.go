@@ -109,3 +109,128 @@ func TestGuardMode(t *testing.T) {
 		t.Errorf("stderr lacks the no-match error: %s", errBuf.String())
 	}
 }
+
+func TestGuardAllocsMetric(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.txt")
+	cur := filepath.Join(dir, "cur.txt")
+	write := func(path, content string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(base, "BenchmarkPartitionParallel/twitter-10k/p1 \t 10 \t 100000000 ns/op \t 8000000 B/op \t 1000 allocs/op\n")
+	args := []string{"-guard", "BenchmarkPartitionParallel/", "-metric", "allocs", "-max-delta-pct", "10", "-baseline", base, "-current", cur}
+
+	// ns/op tripled but allocs only +5%: the allocs guard passes.
+	write(cur, "BenchmarkPartitionParallel/twitter-10k/p1 \t 10 \t 300000000 ns/op \t 8000000 B/op \t 1050 allocs/op\n")
+	var out, errBuf bytes.Buffer
+	if code := run(args, nil, &out, &errBuf); code != 0 {
+		t.Fatalf("+5%% allocs should pass at 10%%, got exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "allocs/op") {
+		t.Errorf("report should be in allocs/op units:\n%s", out.String())
+	}
+
+	// allocs +50% fails even with ns/op flat.
+	write(cur, "BenchmarkPartitionParallel/twitter-10k/p1 \t 10 \t 100000000 ns/op \t 8000000 B/op \t 1500 allocs/op\n")
+	out.Reset()
+	errBuf.Reset()
+	if code := run(args, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("+50%% allocs should fail, got exit %d", code)
+	}
+
+	// A current file without -benchmem columns is a configuration error.
+	write(cur, "BenchmarkPartitionParallel/twitter-10k/p1 \t 10 \t 100000000 ns/op\n")
+	out.Reset()
+	errBuf.Reset()
+	if code := run(args, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("missing -benchmem columns should fail, got exit %d", code)
+	}
+	if !strings.Contains(errBuf.String(), "lacks -benchmem") {
+		t.Errorf("stderr lacks the benchmem error: %s", errBuf.String())
+	}
+}
+
+func TestGuardAllocsCeiling(t *testing.T) {
+	dir := t.TempDir()
+	cur := filepath.Join(dir, "cur.txt")
+	write := func(content string) {
+		t.Helper()
+		if err := os.WriteFile(cur, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	args := []string{"-guard", "BenchmarkPartitionAllocs", "-metric", "allocs", "-max-allocs", "1000", "-current", cur}
+
+	write("BenchmarkPartitionAllocs/mixture-1k/p1 \t 40 \t 28000000 ns/op \t 84000 B/op \t 157 allocs/op\n" +
+		"BenchmarkPartitionAllocs/mixture-1k/p8 \t 40 \t 28400000 ns/op \t 83400 B/op \t 299 allocs/op\n")
+	var out, errBuf bytes.Buffer
+	if code := run(args, nil, &out, &errBuf); code != 0 {
+		t.Fatalf("under ceiling should pass, got exit %d: %s", code, errBuf.String())
+	}
+	if strings.Count(out.String(), "[ok]") != 2 {
+		t.Errorf("expected two [ok] lines:\n%s", out.String())
+	}
+
+	write("BenchmarkPartitionAllocs/mixture-1k/p1 \t 40 \t 28000000 ns/op \t 84000 B/op \t 250157 allocs/op\n")
+	out.Reset()
+	errBuf.Reset()
+	if code := run(args, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("over ceiling should fail, got exit %d", code)
+	}
+	if !strings.Contains(out.String(), "[OVER CEILING]") {
+		t.Errorf("report lacks [OVER CEILING]:\n%s", out.String())
+	}
+}
+
+func TestPairGuard(t *testing.T) {
+	dir := t.TempDir()
+	cur := filepath.Join(dir, "cur.txt")
+	write := func(content string) {
+		t.Helper()
+		if err := os.WriteFile(cur, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	args := []string{"-pair", "BenchmarkPartitionTelemetry/noop=BenchmarkPartitionTelemetry/traced",
+		"-max-delta-pct", "5", "-current", cur}
+
+	// Pair mode compares minima, not medians: both sides carry one noisy
+	// outlier (traced's median would be +8%), but min-vs-min is +3% and
+	// passes the 5% bound.
+	write("BenchmarkPartitionTelemetry/noop \t 40 \t 100000000 ns/op\n" +
+		"BenchmarkPartitionTelemetry/noop \t 40 \t 130000000 ns/op\n" +
+		"BenchmarkPartitionTelemetry/noop \t 40 \t 131000000 ns/op\n" +
+		"BenchmarkPartitionTelemetry/traced \t 40 \t 103000000 ns/op\n" +
+		"BenchmarkPartitionTelemetry/traced \t 40 \t 140000000 ns/op\n" +
+		"BenchmarkPartitionTelemetry/traced \t 40 \t 141000000 ns/op\n")
+	var out, errBuf bytes.Buffer
+	if code := run(args, nil, &out, &errBuf); code != 0 {
+		t.Fatalf("min +3%% should pass at 5%%, got exit %d: %s", code, errBuf.String())
+	}
+
+	// Traced min 12% above noop min: fails.
+	write("BenchmarkPartitionTelemetry/noop \t 40 \t 100000000 ns/op\n" +
+		"BenchmarkPartitionTelemetry/traced \t 40 \t 112000000 ns/op\n")
+	out.Reset()
+	errBuf.Reset()
+	if code := run(args, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("+12%% should fail, got exit %d", code)
+	}
+	if !strings.Contains(out.String(), "[REGRESSION]") {
+		t.Errorf("report lacks [REGRESSION]:\n%s", out.String())
+	}
+
+	// A missing side of the pair is an error, not a silent pass.
+	write("BenchmarkPartitionTelemetry/noop \t 40 \t 100000000 ns/op\n")
+	out.Reset()
+	errBuf.Reset()
+	if code := run(args, nil, &out, &errBuf); code != 1 {
+		t.Fatalf("missing pair side should fail, got exit %d", code)
+	}
+	if !strings.Contains(errBuf.String(), "needs both") {
+		t.Errorf("stderr lacks the missing-pair error: %s", errBuf.String())
+	}
+}

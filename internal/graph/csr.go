@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"goldilocks/internal/resources"
+)
+
+// CSR is the flat compressed-sparse-row view of a Graph: the METIS-style
+// memory layout the partitioner's hot path runs on. Row v's adjacency is
+// Adj[XAdj[v]:XAdj[v+1]] with parallel edge weights in AdjW, and VWgt holds
+// the vertex weights as one contiguous block. Neighbor order within a row is
+// exactly the Graph's adjacency-list order, so algorithms that iterate
+// neighbors (and sum floating-point weights) behave bit-identically on
+// either representation.
+//
+// The struct is designed for reuse: AppendCSR overwrites the slices in
+// place, reallocating only when capacity is too small, so a pooled CSR
+// reaches steady state with zero allocations per conversion.
+type CSR struct {
+	// XAdj has NumVertices()+1 entries; XAdj[0] is always 0.
+	XAdj []int32
+	// Adj holds both directed halves of every undirected edge (2·NumEdges
+	// entries).
+	Adj []int32
+	// AdjW[i] is the weight of the half-edge Adj[i]. Negative entries are
+	// anti-affinity edges.
+	AdjW []float64
+	// VWgt[v] is the multi-dimensional weight of vertex v.
+	VWgt []resources.Vector
+}
+
+// NumVertices returns the number of vertices in the CSR view.
+func (c *CSR) NumVertices() int {
+	if len(c.XAdj) == 0 {
+		return 0
+	}
+	return len(c.XAdj) - 1
+}
+
+// AppendCSR flattens the graph into c, reusing c's backing arrays when they
+// are large enough. Vertex and half-edge counts must fit in int32 — the
+// dense-id partitioning domain — or the conversion panics.
+func (g *Graph) AppendCSR(c *CSR) {
+	n := g.NumVertices()
+	half := 0
+	for _, es := range g.adj {
+		half += len(es)
+	}
+	if int64(n) > math.MaxInt32 || int64(half) > math.MaxInt32 {
+		panic(fmt.Sprintf("graph: CSR export overflows int32 ids (%d vertices, %d half-edges)", n, half))
+	}
+	c.XAdj = grow32(c.XAdj, n+1)
+	c.Adj = grow32(c.Adj, half)
+	c.AdjW = growF64(c.AdjW, half)
+	c.VWgt = growVec(c.VWgt, n)
+
+	copy(c.VWgt, g.vwgt)
+	pos := int32(0)
+	for v := 0; v < n; v++ {
+		c.XAdj[v] = pos
+		for _, e := range g.adj[v] {
+			c.Adj[pos] = int32(e.To)
+			c.AdjW[pos] = e.Weight
+			pos++
+		}
+	}
+	c.XAdj[n] = pos
+}
+
+func grow32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growVec(s []resources.Vector, n int) []resources.Vector {
+	if cap(s) < n {
+		return make([]resources.Vector, n)
+	}
+	return s[:n]
+}

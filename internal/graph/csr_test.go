@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"goldilocks/internal/resources"
+)
+
+func randomTestGraph(seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(120)
+	g := New(n)
+	for v := 0; v < n; v++ {
+		g.SetVertexWeight(v, resources.New(
+			float64(1+rng.Intn(8)), float64(1+rng.Intn(8)), float64(1+rng.Intn(8))))
+	}
+	for i := 0; i < 3*n; i++ {
+		w := float64(1 + rng.Intn(9))
+		if rng.Intn(5) == 0 {
+			w = -w // anti-affinity edges must survive the flat view
+		}
+		g.AddEdge(rng.Intn(n), rng.Intn(n), w)
+	}
+	return g
+}
+
+// TestAppendCSRRoundTrip checks that the flat view reproduces the graph
+// exactly: same vertex weights, same rows, same neighbor order, same
+// weights — the property every bit-identity argument in internal/partition
+// rests on.
+func TestAppendCSRRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g := randomTestGraph(seed)
+		n := g.NumVertices()
+		var c CSR
+		g.AppendCSR(&c)
+
+		if c.NumVertices() != n {
+			t.Fatalf("seed %d: NumVertices %d, want %d", seed, c.NumVertices(), n)
+		}
+		if int(c.XAdj[n]) != len(c.Adj) || len(c.Adj) != len(c.AdjW) {
+			t.Fatalf("seed %d: inconsistent CSR lengths", seed)
+		}
+		for v := 0; v < n; v++ {
+			if c.VWgt[v] != g.VertexWeight(v) {
+				t.Fatalf("seed %d: vertex %d weight %v, want %v", seed, v, c.VWgt[v], g.VertexWeight(v))
+			}
+			row := g.Neighbors(v)
+			lo, hi := c.XAdj[v], c.XAdj[v+1]
+			if int(hi-lo) != len(row) {
+				t.Fatalf("seed %d: vertex %d degree %d, want %d", seed, v, hi-lo, len(row))
+			}
+			for k, e := range row {
+				if int(c.Adj[lo+int32(k)]) != e.To || c.AdjW[lo+int32(k)] != e.Weight {
+					t.Fatalf("seed %d: vertex %d slot %d: (%d, %v), want (%d, %v)",
+						seed, v, k, c.Adj[lo+int32(k)], c.AdjW[lo+int32(k)], e.To, e.Weight)
+				}
+			}
+		}
+	}
+}
+
+// TestAppendCSRReusesBuffers checks the pooled-conversion contract: a
+// second conversion into the same CSR must not reallocate when capacity
+// suffices, and must fully overwrite stale content.
+func TestAppendCSRReusesBuffers(t *testing.T) {
+	big := randomTestGraph(1)
+	var c CSR
+	big.AppendCSR(&c)
+	xadjPtr, adjPtr := &c.XAdj[0], &c.Adj[0]
+
+	small := randomTestGraph(2)
+	if small.NumVertices() > big.NumVertices() {
+		small, big = big, small
+		big.AppendCSR(&c)
+		xadjPtr, adjPtr = &c.XAdj[0], &c.Adj[0]
+	}
+	small.AppendCSR(&c)
+	if c.NumVertices() != small.NumVertices() {
+		t.Fatalf("reused CSR has %d vertices, want %d", c.NumVertices(), small.NumVertices())
+	}
+	if &c.XAdj[0] != xadjPtr || (len(c.Adj) > 0 && &c.Adj[0] != adjPtr) {
+		t.Fatal("conversion reallocated despite sufficient capacity")
+	}
+	for v := 0; v < small.NumVertices(); v++ {
+		row := small.Neighbors(v)
+		lo, hi := c.XAdj[v], c.XAdj[v+1]
+		if int(hi-lo) != len(row) {
+			t.Fatalf("vertex %d degree %d, want %d", v, hi-lo, len(row))
+		}
+		for k, e := range row {
+			if int(c.Adj[lo+int32(k)]) != e.To || c.AdjW[lo+int32(k)] != e.Weight {
+				t.Fatalf("stale content at vertex %d slot %d", v, k)
+			}
+		}
+	}
+}

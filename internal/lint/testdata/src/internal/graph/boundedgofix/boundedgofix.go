@@ -58,3 +58,40 @@ func waived(loop func()) {
 	//lint:ignore boundedgo fixture: singleton background loop, not partition fan-out
 	go loop()
 }
+
+// arena mirrors the CSR core's pooled scratch: release-style methods that
+// recycle memory but do not return a worker slot.
+type arena struct{ buf []int }
+
+func (a *arena) Release() { a.buf = a.buf[:0] }
+func (a *arena) release() { a.buf = a.buf[:0] }
+
+// Flagged: deferring an arena release looks like the slot discipline
+// syntactically, but the receiver is not Limiter-shaped — the launch is
+// still outside the parallelism budget.
+func arenaOnly(a *arena, work func()) {
+	go func() { // want `goroutine launched outside the bounded worker pool`
+		defer a.Release()
+		work()
+	}()
+}
+
+// Flagged: the lowercase spelling on a non-pool receiver is no better.
+func arenaOnlyLower(a *arena, work func()) {
+	go func() { // want `goroutine launched outside the bounded worker pool`
+		defer a.release()
+		work()
+	}()
+}
+
+// Not flagged: a real slot release next to arena hygiene is the sanctioned
+// combination — the worker returns both its memory and its slot.
+func pooledWithArena(p pool, a *arena, work func()) {
+	if p.TryAcquire() {
+		go func() {
+			defer p.Release()
+			defer a.Release()
+			work()
+		}()
+	}
+}

@@ -1,7 +1,6 @@
 package partition
 
 import (
-	"math/rand"
 	"sync"
 
 	"goldilocks/internal/graph"
@@ -31,21 +30,41 @@ func Bisect(g *graph.Graph, opts Options) Bisection {
 // frac must be in (0, 1); 0.5 yields an even bisection. K-way partitioning
 // with odd k splits with frac = ceil(k/2)/k so each final part still holds
 // ~1/k of the weight (Eq. 3).
+//
+// The graph is flattened once into a pooled CSR arena; the entire
+// multilevel pipeline then runs on flat arrays (see csr.go).
 func BisectFraction(g *graph.Graph, opts Options, frac float64) Bisection {
 	opts = opts.withDefaults()
-	return bisectFraction(g, opts, frac, NewLimiter(opts.Parallelism))
-}
-
-// bisectFraction is BisectFraction with opts already defaulted and an
-// explicit worker-slot limiter, so the recursive driver can share one
-// run-wide parallelism budget across every nested bisection.
-func bisectFraction(g *graph.Graph, opts Options, frac float64, lim Limiter) Bisection {
-	if frac <= 0 || frac >= 1 {
-		frac = 0.5
-	}
 	n := g.NumVertices()
 	if n < 2 {
 		return Bisection{Side: make([]int, n)}
+	}
+	a := getArena()
+	sub := a.buildRootCSR(g)
+	cut := bisectCSR(sub, opts, frac, NewLimiter(opts.Parallelism), a)
+	side := make([]int, n)
+	for v := range side {
+		side[v] = int(a.side[v])
+	}
+	putArena(a)
+	return Bisection{Side: side, Cut: cut}
+}
+
+// bisectCSR computes a balanced min-cut bisection of the arena's subproblem
+// graph g, writing the side assignment into a.side (grown to g.n) and
+// returning the cut weight. opts must already be defaulted; lim is the
+// run-wide worker-slot limiter shared across every nested bisection.
+func bisectCSR(g *csrGraph, opts Options, frac float64, lim Limiter, a *levelArena) float64 {
+	if frac <= 0 || frac >= 1 {
+		frac = 0.5
+	}
+	n := g.n
+	out := growI8(&a.side, n)
+	if n < 2 {
+		for i := range out {
+			out[i] = 0
+		}
+		return 0
 	}
 
 	// dspan gates per-bisection internals: nil (and therefore free) unless
@@ -56,52 +75,61 @@ func bisectFraction(g *graph.Graph, opts Options, frac float64, lim Limiter) Bis
 	}
 
 	cspan := dspan.Child("coarsen")
-	levels := coarsen(g, opts)
+	nl := coarsen(g, opts, a)
 	coarsest := g
-	if len(levels) > 0 {
-		coarsest = levels[len(levels)-1].g
+	if nl > 0 {
+		coarsest = &a.levels[nl-1].g
 	}
-	cspan.SetInt("levels", len(levels))
-	cspan.SetInt("coarsest_vertices", coarsest.NumVertices())
+	cspan.SetInt("levels", nl)
+	cspan.SetInt("coarsest_vertices", coarsest.n)
 	cspan.End()
 
-	side := initialBisection(coarsest, dspan, opts, frac, lim)
+	sideOf := out
+	if nl > 0 {
+		sideOf = growI8(&a.levels[nl-1].side, coarsest.n)
+	}
+	initialBisection(coarsest, dspan, opts, frac, lim, a, sideOf)
 	rspan := dspan.Child("refine")
-	rspan.SetInt("level", len(levels))
-	rspan.SetInt("vertices", coarsest.NumVertices())
-	cut := fmRefine(coarsest, side, opts, frac, rspan)
+	rspan.SetInt("level", nl)
+	rspan.SetInt("vertices", coarsest.n)
+	cut := fmRefine(coarsest, sideOf, opts, frac, rspan, &a.fm)
 	rspan.SetFloat("cut", cut)
 	rspan.End()
 
-	for i := len(levels) - 1; i >= 0; i-- {
-		side = projectSide(levels[i], side)
+	for i := nl - 1; i >= 0; i-- {
+		lvl := a.levels[i]
 		fineGraph := g
+		fineSide := out
 		if i > 0 {
-			fineGraph = levels[i-1].g
+			fineGraph = &a.levels[i-1].g
+			fineSide = growI8(&a.levels[i-1].side, fineGraph.n)
 		}
+		projectSide(lvl, sideOf, fineSide)
+		sideOf = fineSide
 		lspan := dspan.Child("refine")
 		lspan.SetInt("level", i)
-		lspan.SetInt("vertices", fineGraph.NumVertices())
-		cut = fmRefine(fineGraph, side, opts, frac, lspan)
+		lspan.SetInt("vertices", fineGraph.n)
+		cut = fmRefine(fineGraph, sideOf, opts, frac, lspan, &a.fm)
 		lspan.SetFloat("cut", cut)
 		lspan.End()
 	}
-	return Bisection{Side: side, Cut: cut}
+	return cut
 }
 
 // initialBisection produces a balanced starting bisection of a (small)
-// graph by greedy graph growing: grow a region from a seed vertex, always
-// absorbing the frontier vertex with the largest attraction to the region,
-// until the region holds roughly frac of the total weight. The
-// opts.InitialTries seeds run concurrently when worker slots are free —
-// each try owns a generator derived from (opts.Seed, try), and the winner
-// is chosen by a fixed-order reduction (lowest cut, earliest try breaking
-// ties), so the result does not depend on completion order. Falls back to
-// a weight-balanced split when growing cannot balance (e.g. all edges
+// graph by greedy graph growing, writing the winner into out: grow a region
+// from a seed vertex, always absorbing the frontier vertex with the largest
+// attraction to the region, until the region holds roughly frac of the
+// total weight. The opts.InitialTries seeds run concurrently when worker
+// slots are free — each try owns a pooled tryScratch whose generator is
+// re-seeded from (opts.Seed, try), and the winner is chosen by a
+// fixed-order reduction (lowest cut, earliest try breaking ties), so the
+// result does not depend on completion order. Falls back to a
+// weight-balanced split when growing cannot balance (e.g. all edges
 // negative).
-func initialBisection(g *graph.Graph, dspan *telemetry.Span, opts Options, frac float64, lim Limiter) []int {
-	n := g.NumVertices()
-	total := g.TotalVertexWeight()
+func initialBisection(g *csrGraph, dspan *telemetry.Span, opts Options, frac float64, lim Limiter, a *levelArena, out []int8) {
+	n := g.n
+	total := g.totalVertexWeight()
 	target := total.Scale(frac)
 
 	quickOpts := opts
@@ -119,28 +147,30 @@ func initialBisection(g *graph.Graph, dspan *telemetry.Span, opts Options, frac 
 		}
 	}
 
-	type tryResult struct {
-		side []int
-		cut  float64
-		ok   bool
+	results := a.results[:0]
+	for i := 0; i < opts.InitialTries; i++ {
+		results = append(results, tryResult{})
 	}
-	results := make([]tryResult, opts.InitialTries)
+	a.results = results
+
 	runTry := func(try int) {
 		var tspan *telemetry.Span
 		if trySpans != nil {
 			tspan = trySpans[try]
 		}
 		defer tspan.End()
-		rng := rand.New(rand.NewSource(deriveSeed(opts.Seed, saltInitial, uint64(try))))
-		side := growFromSeed(g, rng.Intn(n), target)
+		scr := getTryScratch()
+		results[try].scr = scr
+		rng := scr.seeded(deriveSeed(opts.Seed, saltInitial, uint64(try)))
+		side := growFromSeed(g, int32(rng.Intn(n)), target, scr)
 		bal := newBalanceState(g, side, opts.BalanceEps, frac)
 		if !bal.isBalanced() {
 			tspan.SetStr("outcome", "unbalanced")
 			return
 		}
-		cut := fmRefine(g, side, quickOpts, frac, nil)
+		cut := fmRefine(g, side, quickOpts, frac, nil, &scr.fm)
 		tspan.SetFloat("cut", cut)
-		results[try] = tryResult{side: side, cut: cut, ok: true}
+		results[try].cut, results[try].ok = cut, true
 	}
 
 	var wg sync.WaitGroup
@@ -159,54 +189,69 @@ func initialBisection(g *graph.Graph, dspan *telemetry.Span, opts Options, frac 
 	}
 	wg.Wait()
 
-	bestSide := balancedFallback(g, frac)
-	bestCut := g.CutWeight(bestSide)
-	for _, r := range results {
-		if r.ok && r.cut < bestCut {
+	// Fixed-order reduction, seeded with the always-legal fallback split.
+	balancedFallback(g, frac, a, out)
+	bestCut := g.cutWeight(out)
+	winner := -1
+	for try := range results {
+		if r := &results[try]; r.ok && r.cut < bestCut {
 			bestCut = r.cut
-			bestSide = r.side
+			winner = try
+		}
+	}
+	if winner >= 0 {
+		copy(out, results[winner].scr.side)
+	}
+	for try := range results {
+		if results[try].scr != nil {
+			putTryScratch(results[try].scr)
+			results[try].scr = nil
 		}
 	}
 	ispan.SetFloat("best_cut", bestCut)
 	ispan.End()
-	return bestSide
 }
 
 // growFromSeed grows side 1 from the seed until its weight reaches the
-// target in some positive dimension.
-func growFromSeed(g *graph.Graph, seed int, target resources.Vector) []int {
-	n := g.NumVertices()
-	side := make([]int, n)
-	var grown resources.Vector
-	inRegion := make([]bool, n)
-	attraction := make([]float64, n)
+// target in some positive dimension, using scr's reused buffers. The
+// returned side slice is scr.side.
+func growFromSeed(g *csrGraph, seed int32, target resources.Vector, scr *tryScratch) []int8 {
+	n := g.n
+	side := growI8(&scr.side, n)
+	inRegion := growBool(&scr.inRegion, n)
+	attraction := growF(&scr.attraction, n)
+	for i := 0; i < n; i++ {
+		side[i] = 0
+		inRegion[i] = false
+		attraction[i] = 0
+	}
 
-	reached := func() bool {
+	var grown resources.Vector
+	cur := seed
+	for {
+		// Absorb cur into the region.
+		inRegion[cur] = true
+		side[cur] = 1
+		grown = grown.Add(g.vw[cur])
+		for k := g.xadj[cur]; k < g.xadj[cur+1]; k++ {
+			if to := g.adj[k]; !inRegion[to] {
+				attraction[to] += g.w[k]
+			}
+		}
 		// Stop once any dimension with a positive target is reached;
 		// with comparable vertices this lands near the balance point.
+		reached := false
 		for d := range grown {
 			if target[d] > 0 && grown[d] >= target[d] {
-				return true
+				reached = true
+				break
 			}
 		}
-		return false
-	}
-
-	add := func(v int) {
-		inRegion[v] = true
-		side[v] = 1
-		grown = grown.Add(g.VertexWeight(v))
-		for _, e := range g.Neighbors(v) {
-			if !inRegion[e.To] {
-				attraction[e.To] += e.Weight
-			}
+		if reached {
+			break
 		}
-	}
-
-	add(seed)
-	for !reached() {
-		best, bestA := -1, 0.0
-		for v := 0; v < n; v++ {
+		best, bestA := int32(-1), 0.0
+		for v := int32(0); v < int32(n); v++ {
 			if inRegion[v] {
 				continue
 			}
@@ -217,7 +262,7 @@ func growFromSeed(g *graph.Graph, seed int, target resources.Vector) []int {
 		if best < 0 {
 			break // everything absorbed
 		}
-		add(best)
+		cur = best
 	}
 	return side
 }
@@ -225,28 +270,28 @@ func growFromSeed(g *graph.Graph, seed int, target resources.Vector) []int {
 // balancedFallback splits vertices greedily by descending dominant weight,
 // assigning each to the side furthest below its target share — an LPT-style
 // split that is always legal, used when graph growing cannot achieve
-// balance. Side 1 targets share frac of the total.
-func balancedFallback(g *graph.Graph, frac float64) []int {
-	n := g.NumVertices()
-	total := g.TotalVertexWeight()
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	key := func(v int) float64 {
-		return g.VertexWeight(v).Normalize(total).Sum()
+// balance. Side 1 targets share frac of the total. The keys are computed
+// once per vertex into arena scratch (the legacy implementation recomputed
+// them inside the sort comparisons — same values, quadratically more work).
+func balancedFallback(g *csrGraph, frac float64, a *levelArena, side []int8) {
+	n := g.n
+	total := g.totalVertexWeight()
+	order := growI32(&a.order, n)
+	keys := growF(&a.keys, n)
+	for v := 0; v < n; v++ {
+		order[v] = int32(v)
+		keys[v] = g.vw[v].Normalize(total).Sum()
 	}
 	// Insertion sort by descending key; coarsest graphs are small.
 	for i := 1; i < n; i++ {
-		for j := i; j > 0 && key(order[j]) > key(order[j-1]); j-- {
+		for j := i; j > 0 && keys[order[j]] > keys[order[j-1]]; j-- {
 			order[j], order[j-1] = order[j-1], order[j]
 		}
 	}
-	side := make([]int, n)
 	var w0, w1 float64
 	share := [2]float64{1 - frac, frac}
 	for _, v := range order {
-		k := key(v)
+		k := keys[v]
 		// Assign to the side with the lower filled fraction of its
 		// target share.
 		if w0/share[0] <= w1/share[1] {
@@ -260,7 +305,7 @@ func balancedFallback(g *graph.Graph, frac float64) []int {
 	// Guarantee both sides non-empty for n >= 2.
 	if n >= 2 {
 		seen := [2]bool{}
-		for _, s := range side {
+		for _, s := range side[:n] {
 			seen[s] = true
 		}
 		if !seen[0] {
@@ -270,5 +315,4 @@ func balancedFallback(g *graph.Graph, frac float64) []int {
 			side[order[n-1]] = 1
 		}
 	}
-	return side
 }

@@ -220,6 +220,24 @@ func TestPropertyBisectInvariants(t *testing.T) {
 	}
 }
 
+// testCSR flattens g into a fresh arena for tests exercising pipeline
+// internals.
+func testCSR(g *graph.Graph) (*csrGraph, *levelArena) {
+	a := getArena()
+	return a.buildRootCSR(g), a
+}
+
+// csrEdgeWeight returns the weight of edge u↔v in c, or 0 when absent.
+func csrEdgeWeight(c *csrGraph, u, v int32) float64 {
+	adj, w := c.row(u)
+	for k, to := range adj {
+		if to == v {
+			return w[k]
+		}
+	}
+	return 0
+}
+
 func TestCoarsenPreservesTotals(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	n := 300
@@ -227,30 +245,32 @@ func TestCoarsenPreservesTotals(t *testing.T) {
 	for i := 0; i < 900; i++ {
 		g.AddEdge(rng.Intn(n), rng.Intn(n), float64(1+rng.Intn(4)))
 	}
-	levels := coarsen(g, DefaultOptions())
-	if len(levels) == 0 {
+	c, a := testCSR(g)
+	nl := coarsen(c, DefaultOptions(), a)
+	if nl == 0 {
 		t.Fatal("expected at least one coarsening level for n=300")
 	}
 	want := g.TotalVertexWeight()
-	for i, lvl := range levels {
-		if got := lvl.g.TotalVertexWeight(); got != want {
+	for i := 0; i < nl; i++ {
+		lvl := a.levels[i]
+		if got := lvl.g.totalVertexWeight(); got != want {
 			t.Fatalf("level %d total weight %v, want %v", i, got, want)
 		}
-		if lvl.g.NumVertices() >= n {
-			t.Fatalf("level %d did not shrink: %d vertices", i, lvl.g.NumVertices())
+		if lvl.g.n >= n {
+			t.Fatalf("level %d did not shrink: %d vertices", i, lvl.g.n)
 		}
 	}
-	coarsest := levels[len(levels)-1].g
-	if coarsest.NumVertices() > n/2+1 {
-		t.Fatalf("coarsest graph too large: %d", coarsest.NumVertices())
+	coarsest := &a.levels[nl-1].g
+	if coarsest.n > n/2+1 {
+		t.Fatalf("coarsest graph too large: %d", coarsest.n)
 	}
 }
 
 func TestHeavyEdgeMatchingSkipsNegative(t *testing.T) {
 	g := unitGraph(2)
 	g.AddEdge(0, 1, -5)
-	rng := rand.New(rand.NewSource(1))
-	match := heavyEdgeMatching(g, rng)
+	c, a := testCSR(g)
+	match := heavyEdgeMatching(c, rand.New(rand.NewSource(1)), a)
 	if match[0] != 0 || match[1] != 1 {
 		t.Fatal("vertices joined only by a negative edge must not match")
 	}
@@ -269,18 +289,93 @@ func TestHeavyEdgeMatchingIsValidMatching(t *testing.T) {
 		}
 		g.AddEdge(rng.Intn(n), rng.Intn(n), w)
 	}
+	c, a := testCSR(g)
 	for seed := int64(0); seed < 8; seed++ {
-		match := heavyEdgeMatching(g, rand.New(rand.NewSource(seed)))
+		match := heavyEdgeMatching(c, rand.New(rand.NewSource(seed)), a)
 		for v, m := range match {
-			if m < 0 || m >= n {
+			if m < 0 || int(m) >= n {
 				t.Fatalf("seed %d: match[%d] = %d out of range", seed, v, m)
 			}
-			if match[m] != v {
+			if match[m] != int32(v) {
 				t.Fatalf("seed %d: matching not symmetric at %d↔%d", seed, v, m)
 			}
-			if m != v && g.EdgeWeight(v, m) <= 0 {
+			if int(m) != v && g.EdgeWeight(v, int(m)) <= 0 {
 				t.Fatalf("seed %d: matched across non-positive edge %d↔%d (w=%v)",
-					seed, v, m, g.EdgeWeight(v, m))
+					seed, v, m, g.EdgeWeight(v, int(m)))
+			}
+		}
+	}
+}
+
+// TestHeavyEdgeMatchingOrder pins the refactor's determinism contract: the
+// arena-reused shuffle buffer must replay rand.Perm's exact draw sequence,
+// and the resulting matching must equal the reference greedy matching
+// computed over the adjacency-list graph with rng.Perm — for the same seed,
+// byte for byte.
+func TestHeavyEdgeMatchingOrder(t *testing.T) {
+	// permInto ≡ rand.Perm for the same seed, across sizes.
+	a := getArena()
+	for seed := int64(0); seed < 10; seed++ {
+		for _, n := range []int{0, 1, 2, 7, 48, 331} {
+			want := rand.New(rand.NewSource(seed)).Perm(n)
+			got := a.permInto(a.seeded(seed), n)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d n=%d: length %d, want %d", seed, n, len(got), len(want))
+			}
+			for i := range want {
+				if int(got[i]) != want[i] {
+					t.Fatalf("seed %d n=%d: perm[%d] = %d, want %d", seed, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+
+	// Full matching sequence vs a reference implementation that visits
+	// vertices in rng.Perm order over the adjacency-list graph.
+	rng := rand.New(rand.NewSource(19))
+	n := 120
+	g := unitGraph(n)
+	for i := 0; i < 360; i++ {
+		w := float64(1 + rng.Intn(9))
+		if rng.Intn(6) == 0 {
+			w = -w
+		}
+		g.AddEdge(rng.Intn(n), rng.Intn(n), w)
+	}
+	refMatch := func(seed int64) []int {
+		match := make([]int, n)
+		for i := range match {
+			match[i] = -1
+		}
+		for _, v := range rand.New(rand.NewSource(seed)).Perm(n) {
+			if match[v] >= 0 {
+				continue
+			}
+			best, bestW := -1, 0.0
+			for _, e := range g.Neighbors(v) {
+				if e.Weight <= 0 || match[e.To] >= 0 {
+					continue
+				}
+				if e.Weight > bestW {
+					bestW, best = e.Weight, e.To
+				}
+			}
+			if best >= 0 {
+				match[v], match[best] = best, v
+			} else {
+				match[v] = v
+			}
+		}
+		return match
+	}
+	c, ca := testCSR(g)
+	for seed := int64(0); seed < 6; seed++ {
+		want := refMatch(seed)
+		got := heavyEdgeMatching(c, rand.New(rand.NewSource(seed)), ca)
+		for v := range want {
+			if int(got[v]) != want[v] {
+				t.Fatalf("seed %d: match[%d] = %d, want %d (matching sequence diverged)",
+					seed, v, got[v], want[v])
 			}
 		}
 	}
@@ -292,19 +387,21 @@ func TestContractAccumulatesEdges(t *testing.T) {
 	g.AddEdge(0, 2, 3)
 	g.AddEdge(1, 2, 4)
 	g.AddEdge(0, 1, 9)
-	lvl := contract(g, []int{1, 0, 2})
-	if lvl.g.NumVertices() != 2 {
-		t.Fatalf("coarse vertices = %d, want 2", lvl.g.NumVertices())
+	c, a := testCSR(g)
+	lvl := a.level(0)
+	contract(c, []int32{1, 0, 2}, a, lvl)
+	if lvl.g.n != 2 {
+		t.Fatalf("coarse vertices = %d, want 2", lvl.g.n)
 	}
-	c01 := lvl.fineToCoarse[0]
-	c2 := lvl.fineToCoarse[2]
-	if lvl.fineToCoarse[1] != c01 {
+	c01 := lvl.cmap[0]
+	c2 := lvl.cmap[2]
+	if lvl.cmap[1] != c01 {
 		t.Fatal("matched pair not merged")
 	}
-	if got := lvl.g.EdgeWeight(c01, c2); got != 7 {
+	if got := csrEdgeWeight(&lvl.g, c01, c2); got != 7 {
 		t.Fatalf("accumulated edge weight = %v, want 7", got)
 	}
-	if got := lvl.g.VertexWeight(c01); got != resources.New(2, 2, 2) {
+	if got := lvl.g.vw[c01]; got != resources.New(2, 2, 2) {
 		t.Fatalf("merged vertex weight = %v", got)
 	}
 }

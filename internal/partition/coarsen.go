@@ -3,17 +3,8 @@ package partition
 import (
 	"math/rand"
 
-	"goldilocks/internal/graph"
+	"goldilocks/internal/resources"
 )
-
-// coarseLevel is one level of the multilevel hierarchy: the coarser graph
-// plus the mapping from the finer graph's vertices to coarse vertices.
-type coarseLevel struct {
-	g *graph.Graph
-	// fineToCoarse[v] is the coarse vertex that fine vertex v collapsed
-	// into.
-	fineToCoarse []int
-}
 
 // heavyEdgeMatching computes a matching of g greedily by visiting vertices
 // in random order and matching each unmatched vertex to its unmatched
@@ -21,28 +12,32 @@ type coarseLevel struct {
 // are never matched across: contracting one would glue two replicas into a
 // single vertex and make separating them impossible.
 //
-// The returned slice maps each vertex to its match, or to itself when
-// unmatched.
-func heavyEdgeMatching(g *graph.Graph, rng *rand.Rand) []int {
-	n := g.NumVertices()
-	match := make([]int, n)
+// The visit order comes from the arena's reused shuffle buffer, which
+// replays rand.Perm's draw sequence exactly (see levelArena.permInto), and
+// the match array is arena scratch — the call allocates nothing in steady
+// state. The returned slice maps each vertex to its match, or to itself
+// when unmatched.
+func heavyEdgeMatching(g *csrGraph, rng *rand.Rand, a *levelArena) []int32 {
+	n := g.n
+	match := growI32(&a.match, n)
 	for i := range match {
 		match[i] = -1
 	}
-	order := rng.Perm(n)
+	order := a.permInto(rng, n)
 	for _, v := range order {
 		if match[v] >= 0 {
 			continue
 		}
-		best := -1
+		best := int32(-1)
 		bestW := 0.0
-		for _, e := range g.Neighbors(v) {
-			if e.Weight <= 0 || match[e.To] >= 0 {
+		adj, w := g.row(v)
+		for k, to := range adj {
+			if w[k] <= 0 || match[to] >= 0 {
 				continue
 			}
-			if e.Weight > bestW {
-				bestW = e.Weight
-				best = e.To
+			if w[k] > bestW {
+				bestW = w[k]
+				best = to
 			}
 		}
 		if best >= 0 {
@@ -55,82 +50,104 @@ func heavyEdgeMatching(g *graph.Graph, rng *rand.Rand) []int {
 	return match
 }
 
-// contract collapses matched vertex pairs into coarse vertices. Coarse
-// vertex weights are the sums of their constituents; parallel edges
-// accumulate. Edges internal to a pair vanish (they can never be cut at the
-// coarse level, which is exactly the semantics heavy-edge matching wants).
-func contract(g *graph.Graph, match []int) coarseLevel {
-	n := g.NumVertices()
-	fineToCoarse := make([]int, n)
-	for i := range fineToCoarse {
-		fineToCoarse[i] = -1
+// contract collapses matched vertex pairs into coarse vertices, building the
+// coarse graph CSR→CSR into lvl's pooled buffers. Coarse vertex weights are
+// the sums of their constituents; parallel edges accumulate. Edges internal
+// to a pair vanish (they can never be cut at the coarse level, which is
+// exactly the semantics heavy-edge matching wants).
+//
+// Coarse ids are assigned in first-visit fine order and coarse edges are
+// emitted in the fine row-scan order with first-seen-keeps-position
+// accumulation (routeHalves dedup), so the coarse graph's adjacency layout —
+// and every float sum over it — matches the adjacency-list implementation's
+// AddEdge ordering bit for bit.
+func contract(fine *csrGraph, match []int32, a *levelArena, lvl *csrLevel) {
+	n := fine.n
+	cmap := growI32(&lvl.cmap, n)
+	for i := range cmap {
+		cmap[i] = -1
 	}
-	next := 0
+	next := int32(0)
 	for v := 0; v < n; v++ {
-		if fineToCoarse[v] >= 0 {
+		if cmap[v] >= 0 {
 			continue
 		}
-		fineToCoarse[v] = next
-		if m := match[v]; m != v && fineToCoarse[m] < 0 {
-			fineToCoarse[m] = next
+		cmap[v] = next
+		if m := match[v]; m != int32(v) && cmap[m] < 0 {
+			cmap[m] = next
 		}
 		next++
 	}
-	cg := graph.New(next)
-	for v := 0; v < n; v++ {
-		cv := fineToCoarse[v]
-		cg.SetVertexWeight(cv, cg.VertexWeight(cv).Add(g.VertexWeight(v)))
+	cn := int(next)
+
+	vw := growVecs(&lvl.g.vw, cn)
+	for i := range vw {
+		vw[i] = resources.Vector{}
 	}
-	// Accumulate edges. Deduplicate per fine vertex so the undirected edge
-	// is added once per fine edge.
 	for v := 0; v < n; v++ {
-		cv := fineToCoarse[v]
-		for _, e := range g.Neighbors(v) {
-			if v >= e.To {
+		cv := cmap[v]
+		vw[cv] = vw[cv].Add(fine.vw[v])
+	}
+
+	// Emit each undirected fine edge once (at its lower endpoint) as a pair
+	// of directed halves, then route into coarse rows with accumulation.
+	halves := a.halves[:0]
+	for v := 0; v < n; v++ {
+		cv := cmap[v]
+		for k := fine.xadj[v]; k < fine.xadj[v+1]; k++ {
+			to := fine.adj[k]
+			if int32(v) >= to {
 				continue // visit each undirected fine edge once
 			}
-			cu := fineToCoarse[e.To]
-			if cu != cv {
-				cg.AddEdge(cv, cu, e.Weight)
+			if cu := cmap[to]; cu != cv {
+				halves = append(halves,
+					halfEdge{row: cv, col: cu, w: fine.w[k]},
+					halfEdge{row: cu, col: cv, w: fine.w[k]})
 			}
 		}
 	}
-	return coarseLevel{g: cg, fineToCoarse: fineToCoarse}
+	a.halves = halves
+	a.routeHalves(cn, true, &lvl.g.xadj, &lvl.g.adj, &lvl.g.w)
+
+	lvl.g.n = cn
+	lvl.g.vw = vw
+	lvl.g.toOrig = nil
+	lvl.g.totalVWValid = false
+	lvl.cmap = cmap
 }
 
-// coarsen builds the multilevel hierarchy, stopping when the graph is small
-// enough or matching stops shrinking it. levels[0] corresponds to the
-// contraction of the original graph; the coarsest graph is
-// levels[len(levels)-1].g (or the original graph if no contraction helped).
+// coarsen builds the multilevel hierarchy in the arena, stopping when the
+// graph is small enough or matching stops shrinking it, and returns the
+// number of levels built. a.levels[0] corresponds to the contraction of g;
+// the coarsest graph is a.levels[nl-1].g (or g itself when nl is 0).
 //
 // Each level's matching order comes from a generator derived from
 // (opts.Seed, level) rather than one shared across the run, so coarsening
 // draws no state reachable from other goroutines (see parallel.go).
-func coarsen(g *graph.Graph, opts Options) []coarseLevel {
-	var levels []coarseLevel
+func coarsen(g *csrGraph, opts Options, a *levelArena) int {
+	nl := 0
 	cur := g
-	for cur.NumVertices() > opts.CoarsenTo {
-		rng := rand.New(rand.NewSource(deriveSeed(opts.Seed, saltCoarsen, uint64(len(levels)))))
-		match := heavyEdgeMatching(cur, rng)
-		lvl := contract(cur, match)
+	for cur.n > opts.CoarsenTo {
+		rng := a.seeded(deriveSeed(opts.Seed, saltCoarsen, uint64(nl)))
+		match := heavyEdgeMatching(cur, rng, a)
+		lvl := a.level(nl)
+		contract(cur, match, a, lvl)
 		// Stall detection: if matching barely shrank the graph (e.g.
 		// star graphs or mostly-negative edges), further rounds waste
 		// time without improving the initial partition.
-		if float64(lvl.g.NumVertices()) > 0.95*float64(cur.NumVertices()) {
+		if float64(lvl.g.n) > 0.95*float64(cur.n) {
 			break
 		}
-		levels = append(levels, lvl)
-		cur = lvl.g
+		nl++
+		cur = &lvl.g
 	}
-	return levels
+	return nl
 }
 
-// projectSide lifts a side assignment from a coarse graph back to the finer
-// graph of the same level.
-func projectSide(lvl coarseLevel, coarseSide []int) []int {
-	fine := make([]int, len(lvl.fineToCoarse))
-	for v, cv := range lvl.fineToCoarse {
-		fine[v] = coarseSide[cv]
+// projectSide lifts a side assignment from lvl's coarse graph back to the
+// finer graph of the same level, writing into fineSide.
+func projectSide(lvl *csrLevel, coarseSide, fineSide []int8) {
+	for v, cv := range lvl.cmap {
+		fineSide[v] = coarseSide[cv]
 	}
-	return fine
 }

@@ -1,0 +1,160 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"goldilocks/internal/graph"
+	"goldilocks/internal/resources"
+)
+
+// randomRoundTripGraph builds a randomized graph with duplicate edges,
+// self-loop attempts (dropped by AddEdge) and ~20% negative anti-affinity
+// weights — the inputs most likely to expose a divergence between the flat
+// CSR evaluation and the pointer-based graph.Graph path.
+func randomRoundTripGraph(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 4 + rng.Intn(200)
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		g.SetVertexWeight(v, resources.New(
+			float64(1+rng.Intn(10)), float64(1+rng.Intn(10)), float64(1+rng.Intn(10))))
+	}
+	for i := 0; i < 4*n; i++ {
+		w := float64(1+rng.Intn(9)) * 0.5
+		if rng.Intn(5) == 0 {
+			w = -w
+		}
+		// Bias endpoints toward a few hubs so rows have skewed degree and
+		// duplicate (u,v) pairs that exercise the accumulate path.
+		u := rng.Intn(n)
+		if rng.Intn(3) == 0 {
+			u = rng.Intn(4)
+		}
+		g.AddEdge(u, rng.Intn(n), w)
+	}
+	return g
+}
+
+// TestCSRRoundTripMatchesGraph is the satellite property test: evaluating a
+// partition through the flat CSR view must agree exactly — not just within
+// epsilon — with the legacy graph.Graph evaluation, on randomized graphs
+// including negative anti-affinity edges.
+func TestCSRRoundTripMatchesGraph(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		g := randomRoundTripGraph(seed)
+		n := g.NumVertices()
+		a := getArena()
+		c := a.buildRootCSRNormalized(g)
+
+		if got, want := c.totalVertexWeight(), g.TotalVertexWeight(); got != want {
+			t.Fatalf("seed %d: totalVertexWeight %v, want %v", seed, got, want)
+		}
+		rng := rand.New(rand.NewSource(seed + 1000))
+		side8 := make([]int8, n)
+		side := make([]int, n)
+		for trial := 0; trial < 10; trial++ {
+			for v := range side8 {
+				side8[v] = int8(rng.Intn(2))
+				side[v] = int(side8[v])
+			}
+			if got, want := c.cutWeight(side8), g.CutWeight(side); got != want {
+				t.Fatalf("seed %d trial %d: cutWeight %v, want %v", seed, trial, got, want)
+			}
+		}
+		putArena(a)
+	}
+}
+
+// TestExtractChildMatchesSubgraph checks that carving a side out of a
+// normalized CSR is bit-identical to graph.Graph.Subgraph on the same
+// vertex set: same vertex order, same weights, same adjacency rows in the
+// same emission order. This is the fixed-point property the recursive
+// driver relies on to reproduce the legacy per-level Subgraph calls without
+// materializing any graph copies.
+func TestExtractChildMatchesSubgraph(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomRoundTripGraph(seed)
+		n := g.NumVertices()
+		a := getArena()
+		c := a.buildRootCSRNormalized(g)
+
+		rng := rand.New(rand.NewSource(seed + 2000))
+		side := make([]int8, n)
+		for v := range side {
+			side[v] = int8(rng.Intn(2))
+		}
+		for s := int8(0); s <= 1; s++ {
+			var verts []int
+			for v := 0; v < n; v++ {
+				if side[v] == s {
+					verts = append(verts, v)
+				}
+			}
+			if len(verts) == 0 {
+				continue
+			}
+			want, _ := g.Subgraph(verts)
+
+			ca := getArena()
+			child := extractChild(c, side, s, a, ca)
+			if child.n != want.NumVertices() {
+				t.Fatalf("seed %d side %d: child has %d vertices, want %d", seed, s, child.n, want.NumVertices())
+			}
+			for i := 0; i < child.n; i++ {
+				if int(child.toOrig[i]) != verts[i] {
+					t.Fatalf("seed %d side %d: toOrig[%d]=%d, want %d", seed, s, i, child.toOrig[i], verts[i])
+				}
+				if child.vw[i] != want.VertexWeight(i) {
+					t.Fatalf("seed %d side %d: vw[%d]=%v, want %v", seed, s, i, child.vw[i], want.VertexWeight(i))
+				}
+				row := want.Neighbors(i)
+				lo, hi := child.xadj[i], child.xadj[i+1]
+				if int(hi-lo) != len(row) {
+					t.Fatalf("seed %d side %d: vertex %d degree %d, want %d", seed, s, i, hi-lo, len(row))
+				}
+				for k, e := range row {
+					if int(child.adj[lo+int32(k)]) != e.To || child.w[lo+int32(k)] != e.Weight {
+						t.Fatalf("seed %d side %d vertex %d slot %d: (%d,%v), want (%d,%v)",
+							seed, s, i, k, child.adj[lo+int32(k)], child.w[lo+int32(k)], e.To, e.Weight)
+					}
+				}
+			}
+			putArena(ca)
+		}
+		putArena(a)
+	}
+}
+
+// TestNormalizedRootMatchesSubgraphIdentity pins the normalization choice
+// itself: buildRootCSRNormalized must order every row exactly as
+// g.Subgraph(all vertices) would, since the legacy recursive driver always
+// started from that copy.
+func TestNormalizedRootMatchesSubgraphIdentity(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomRoundTripGraph(seed)
+		n := g.NumVertices()
+		all := make([]int, n)
+		for v := range all {
+			all[v] = v
+		}
+		want, _ := g.Subgraph(all)
+
+		a := getArena()
+		c := a.buildRootCSRNormalized(g)
+		for v := 0; v < n; v++ {
+			row := want.Neighbors(v)
+			lo, hi := c.xadj[v], c.xadj[v+1]
+			if int(hi-lo) != len(row) {
+				t.Fatalf("seed %d: vertex %d degree %d, want %d", seed, v, hi-lo, len(row))
+			}
+			for k, e := range row {
+				if int(c.adj[lo+int32(k)]) != e.To || c.w[lo+int32(k)] != e.Weight {
+					t.Fatalf("seed %d vertex %d slot %d: (%d,%v), want (%d,%v)",
+						seed, v, k, c.adj[lo+int32(k)], c.w[lo+int32(k)], e.To, e.Weight)
+				}
+			}
+		}
+		putArena(a)
+	}
+}

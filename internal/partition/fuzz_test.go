@@ -107,6 +107,15 @@ func FuzzPartitionToFit(f *testing.F) {
 	f.Add(int64(1), []byte("goldilocks"))
 	f.Add(int64(42), []byte{0x10, 0x80, 0xff, 0x03, 0x3c, 0x77, 0x01, 0x02, 0x03, 0x04})
 	f.Add(int64(-7), []byte{})
+	// CSR-stress seed: a 40-vertex hub-and-spoke where every spoke pair is
+	// added twice (once per direction), giving vertex 0 a maximally skewed
+	// row with duplicate parallel edges — the worst case for the flat
+	// adjacency layout's dedup-accumulate path.
+	hub := []byte{38}
+	for k := byte(1); k < 40; k++ {
+		hub = append(hub, 0, k, k, k, 0, 3)
+	}
+	f.Add(int64(77), hub)
 	f.Fuzz(func(t *testing.T, seed int64, raw []byte) {
 		n := 2 + int(byteAt(raw, 0))%40
 		g := buildFuzzGraph(n, raw)

@@ -65,6 +65,11 @@ func (t *Tree) Assignment(numVertices int) []int {
 // (Eq. 2 with the Peak Energy Efficiency packing limit). This is the
 // Goldilocks placement core: min-cut keeps chatty containers together,
 // recursion depth induces the locality hierarchy.
+//
+// The container graph is flattened once into a pooled CSR arena at the top;
+// the recursion then extracts child subgraphs CSR→CSR into child arenas
+// (never materializing intermediate graph.Graph copies), so the whole run
+// allocates little beyond the result tree itself.
 func PartitionToFit(g *graph.Graph, capacity resources.Vector, targetUtil float64, opts Options) (*Tree, error) {
 	opts = opts.withDefaults()
 	if targetUtil <= 0 {
@@ -91,7 +96,9 @@ func PartitionToFit(g *graph.Graph, capacity resources.Vector, targetUtil float6
 	// pre-created by the caller (so forked children never append to a
 	// shared parent concurrently).
 	opts.Trace = span.Child("split")
-	root, err := splitToFit(g, all, demand, usable, 0, opts, NewLimiter(opts.Parallelism))
+	a := getArena()
+	sub := a.buildRootCSRNormalized(g)
+	root, err := splitToFit(sub, all, demand, usable, 0, opts, NewLimiter(opts.Parallelism), a)
 	if err != nil {
 		span.SetStr("error", err.Error())
 		span.End()
@@ -110,7 +117,13 @@ func PartitionToFit(g *graph.Graph, capacity resources.Vector, targetUtil float6
 // means the bisection failed to make progress.
 const maxDepth = 64
 
-func splitToFit(g *graph.Graph, vertices []int, demand, usable resources.Vector, depth int, opts Options, lim Limiter) (*Group, error) {
+// splitToFit recursively splits one subproblem. sub is the subproblem's
+// CSR, owned by arena a; vertices is the matching original-id list (same
+// order as sub's local ids, ascending). The callee owns a: it returns the
+// arena to the pool as soon as the children's CSRs have been extracted —
+// before recursing — so the number of live arenas tracks the recursion
+// frontier, not the tree size.
+func splitToFit(sub *csrGraph, vertices []int, demand, usable resources.Vector, depth int, opts Options, lim Limiter, a *levelArena) (*Group, error) {
 	// opts.Trace is this subproblem's own span, pre-created by the caller
 	// before any fork so sibling order is structural (telemetry contract).
 	span := opts.Trace
@@ -120,14 +133,15 @@ func splitToFit(g *graph.Graph, vertices []int, demand, usable resources.Vector,
 	grp := &Group{Vertices: vertices, Demand: demand, Depth: depth}
 	if demand.Fits(usable) {
 		span.SetInt("leaf", 1)
+		putArena(a)
 		return grp, nil
 	}
 	if depth >= maxDepth || len(vertices) < 2 {
+		putArena(a)
 		return nil, fmt.Errorf("partition: cannot split group of %d vertices at depth %d to fit %v",
 			len(vertices), depth, usable)
 	}
 
-	sub, toOrig := g.Subgraph(vertices)
 	// Split in server-count proportions rather than naive halves: a group
 	// needing ceil(r) servers splits ceil(k/2):floor(k/2), so leaf groups
 	// fill servers close to the packing target instead of stranding
@@ -150,9 +164,10 @@ func splitToFit(g *graph.Graph, vertices []int, demand, usable resources.Vector,
 	// ladder itself stays sequential because its early exit usually stops
 	// after one try, and speculating the later tries inflates total work,
 	// starving the recursion fan-out of worker slots.
-	var bestSide []int
+	n := sub.n
+	bestSide := growI8(&a.bestSide, n)
 	bestBudget, bestCut := int(^uint(0)>>1), 0.0
-	epsLadder := []float64{opts.BalanceEps, opts.BalanceEps * 2, opts.BalanceEps * 4}
+	epsLadder := [3]float64{opts.BalanceEps, opts.BalanceEps * 2, opts.BalanceEps * 4}
 	for try := 0; try < len(epsLadder); try++ {
 		subOpts := opts
 		subOpts.BalanceEps = epsLadder[try]
@@ -162,57 +177,76 @@ func splitToFit(g *graph.Graph, vertices []int, demand, usable resources.Vector,
 		trySpan.SetInt("try", try)
 		trySpan.SetFloat("eps", subOpts.BalanceEps)
 		subOpts.Trace = trySpan
-		bis := bisectFraction(sub, subOpts, frac, lim)
+		cut := bisectCSR(sub, subOpts, frac, lim, a)
 		var ld, rd resources.Vector
-		for sv, side := range bis.Side {
-			w := g.VertexWeight(toOrig[sv])
-			if side == 0 {
-				ld = ld.Add(w)
+		for sv := 0; sv < n; sv++ {
+			if a.side[sv] == 0 {
+				ld = ld.Add(sub.vw[sv])
 			} else {
-				rd = rd.Add(w)
+				rd = rd.Add(sub.vw[sv])
 			}
 		}
 		budget := serversNeeded(ld, usable) + serversNeeded(rd, usable)
-		trySpan.SetFloat("cut", bis.Cut)
+		trySpan.SetFloat("cut", cut)
 		trySpan.SetInt("budget", budget)
 		trySpan.End()
-		if budget < bestBudget || (budget == bestBudget && bis.Cut < bestCut) {
-			bestBudget, bestCut = budget, bis.Cut
-			bestSide = bis.Side
+		if budget < bestBudget || (budget == bestBudget && cut < bestCut) {
+			bestBudget, bestCut = budget, cut
+			copy(bestSide, a.side)
 		}
 		if budget <= k {
 			break // within the parent's budget: good enough
 		}
 	}
 
-	var leftV, rightV []int
-	var leftD, rightD resources.Vector
-	for sv, side := range bestSide {
-		ov := toOrig[sv]
-		if side == 0 {
-			leftV = append(leftV, ov)
-			leftD = leftD.Add(g.VertexWeight(ov))
-		} else {
-			rightV = append(rightV, ov)
-			rightD = rightD.Add(g.VertexWeight(ov))
+	nLeft := 0
+	for sv := 0; sv < n; sv++ {
+		if bestSide[sv] == 0 {
+			nLeft++
 		}
 	}
-	if len(leftV) == 0 || len(rightV) == 0 {
+	var leftV, rightV []int
+	var leftD, rightD resources.Vector
+	if nLeft == 0 || nLeft == n {
 		// Defensive: bisection should never empty a side for n >= 2,
-		// but a hard index split always makes progress.
+		// but a hard index split always makes progress. Local ids are
+		// ascending in original ids, so the index split agrees between
+		// vertices and bestSide.
 		mid := len(vertices) / 2
 		leftV, rightV = vertices[:mid], vertices[mid:]
-		leftD, rightD = resources.Vector{}, resources.Vector{}
-		for _, v := range leftV {
-			leftD = leftD.Add(g.VertexWeight(v))
+		for sv := 0; sv < mid; sv++ {
+			bestSide[sv] = 0
+			leftD = leftD.Add(sub.vw[sv])
 		}
-		for _, v := range rightV {
-			rightD = rightD.Add(g.VertexWeight(v))
+		for sv := mid; sv < n; sv++ {
+			bestSide[sv] = 1
+			rightD = rightD.Add(sub.vw[sv])
+		}
+	} else {
+		leftV = make([]int, 0, nLeft)
+		rightV = make([]int, 0, n-nLeft)
+		for sv := 0; sv < n; sv++ {
+			ov := int(sub.toOrig[sv])
+			if bestSide[sv] == 0 {
+				leftV = append(leftV, ov)
+				leftD = leftD.Add(sub.vw[sv])
+			} else {
+				rightV = append(rightV, ov)
+				rightD = rightD.Add(sub.vw[sv])
+			}
 		}
 	}
 
+	// Extract both child CSRs into fresh arenas, then return this
+	// subproblem's arena: nothing below needs sub or a's scratch.
+	la := getArena()
+	leftSub := extractChild(sub, bestSide, 0, a, la)
+	ra := getArena()
+	rightSub := extractChild(sub, bestSide, 1, a, ra)
+	putArena(a)
+
 	// The two child subproblems are fully independent (disjoint vertex
-	// sets, read-only access to g), so the right child runs on a spare
+	// sets, each owning its CSR arena), so the right child runs on a spare
 	// worker slot when one is free. Child seeds depend only on structure,
 	// so the tree is identical however the recursion is scheduled. Child
 	// spans are created here, sequentially, before any fork: the right
@@ -231,9 +265,9 @@ func splitToFit(g *graph.Graph, vertices []int, demand, usable resources.Vector,
 		go func() {
 			defer wg.Done()
 			defer lim.Release()
-			rightGrp, rightErr = splitToFit(g, rightV, rightD, usable, depth+1, rightOpts, lim)
+			rightGrp, rightErr = splitToFit(rightSub, rightV, rightD, usable, depth+1, rightOpts, lim, ra)
 		}()
-		grp.Left, err = splitToFit(g, leftV, leftD, usable, depth+1, leftOpts, lim)
+		grp.Left, err = splitToFit(leftSub, leftV, leftD, usable, depth+1, leftOpts, lim, la)
 		wg.Wait()
 		if err != nil {
 			return nil, err
@@ -244,11 +278,11 @@ func splitToFit(g *graph.Graph, vertices []int, demand, usable resources.Vector,
 		grp.Right = rightGrp
 		return grp, nil
 	}
-	grp.Left, err = splitToFit(g, leftV, leftD, usable, depth+1, leftOpts, lim)
+	grp.Left, err = splitToFit(leftSub, leftV, leftD, usable, depth+1, leftOpts, lim, la)
 	if err != nil {
 		return nil, err
 	}
-	grp.Right, err = splitToFit(g, rightV, rightD, usable, depth+1, rightOpts, lim)
+	grp.Right, err = splitToFit(rightSub, rightV, rightD, usable, depth+1, rightOpts, lim, ra)
 	if err != nil {
 		return nil, err
 	}

@@ -1,11 +1,8 @@
 package partition
 
 import (
-	"container/heap"
 	"strconv"
-	"sync"
 
-	"goldilocks/internal/graph"
 	"goldilocks/internal/resources"
 	"goldilocks/internal/telemetry"
 )
@@ -20,12 +17,12 @@ type balanceState struct {
 	maxSide [2]resources.Vector // per-dimension cap per side
 }
 
-func newBalanceState(g *graph.Graph, sideOf []int, eps, frac float64) *balanceState {
-	b := &balanceState{}
-	total := g.TotalVertexWeight()
-	for v := 0; v < g.NumVertices(); v++ {
+func newBalanceState(g *csrGraph, sideOf []int8, eps, frac float64) balanceState {
+	var b balanceState
+	total := g.totalVertexWeight()
+	for v := 0; v < g.n; v++ {
 		s := sideOf[v]
-		b.side[s] = b.side[s].Add(g.VertexWeight(v))
+		b.side[s] = b.side[s].Add(g.vw[v])
 		b.count[s]++
 	}
 	b.maxSide[1] = total.Scale(frac * (1 + eps))
@@ -36,7 +33,7 @@ func newBalanceState(g *graph.Graph, sideOf []int, eps, frac float64) *balanceSt
 // canMove reports whether moving a vertex of weight w from side `from` keeps
 // the bisection legal: the destination side must stay under the cap in every
 // dimension and the source side must not become empty.
-func (b *balanceState) canMove(w resources.Vector, from int) bool {
+func (b *balanceState) canMove(w resources.Vector, from int8) bool {
 	if b.count[from] <= 1 {
 		return false
 	}
@@ -44,7 +41,7 @@ func (b *balanceState) canMove(w resources.Vector, from int) bool {
 	return b.side[to].Add(w).Fits(b.maxSide[to])
 }
 
-func (b *balanceState) apply(w resources.Vector, from int) {
+func (b *balanceState) apply(w resources.Vector, from int8) {
 	to := 1 - from
 	b.side[from] = b.side[from].Sub(w)
 	b.side[to] = b.side[to].Add(w)
@@ -59,54 +56,78 @@ func (b *balanceState) isBalanced() bool {
 
 // gainItem is a lazily-invalidated max-heap entry for FM refinement.
 type gainItem struct {
-	v     int
+	v     int32
 	gain  float64
 	stamp uint64
 }
 
+// gainHeap is a typed max-heap of gainItems (highest gain first) that
+// replicates container/heap's Init/Push/Pop sift algorithms verbatim. The
+// replication matters twice over: interface boxing made heap operations the
+// partitioner's dominant allocation source, and — because several entries
+// often share a gain value — the *comparison sequence* of the sift
+// determines which vertex pops first, so any other heap arrangement would
+// silently change tie-breaking and break the bit-identity contract with the
+// pre-CSR implementation.
 type gainHeap []gainItem
 
-func (h gainHeap) Len() int            { return len(h) }
-func (h gainHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
-func (h gainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *gainHeap) Push(x interface{}) { *h = append(*h, x.(gainItem)) }
-func (h *gainHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+func (h gainHeap) less(i, j int) bool { return h[i].gain > h[j].gain }
+
+// init establishes the heap invariant, exactly as container/heap.Init.
+func (h gainHeap) init() {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.down(i, n)
+	}
+}
+
+// push appends it and sifts up, exactly as container/heap.Push.
+func (h *gainHeap) push(it gainItem) {
+	*h = append(*h, it)
+	s := *h
+	// Sift-up from container/heap.up.
+	j := len(s) - 1
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+// pop removes and returns the max item, exactly as container/heap.Pop: swap
+// root with last, sift the new root down over the shortened prefix, detach
+// the last element.
+func (h *gainHeap) pop() gainItem {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	s.down(0, n)
+	it := s[n]
+	*h = s[:n]
 	return it
 }
 
-// fmScratch holds the per-call working memory of fmRefine: the gain and
-// stamp arrays plus the heap/move buckets rebuilt every pass. One refinement
-// runs per level per bisection, and a parallel partitioning run fires many
-// bisections at once, so these allocations dominate the partitioner's
-// allocation volume without pooling. Stamps need no reset between uses:
-// every pass bumps stamps[v] before publishing heap entries, so entries
-// from a previous owner can never match.
-type fmScratch struct {
-	gains    []float64
-	stamps   []uint64
-	locked   []bool
-	moves    []int
-	heap     gainHeap
-	deferred []gainItem
-}
-
-var fmScratchPool = sync.Pool{New: func() interface{} { return new(fmScratch) }}
-
-// grow resizes the vertex-indexed arrays to n, reallocating only when the
-// pooled capacity is too small.
-func (s *fmScratch) grow(n int) {
-	if cap(s.gains) < n {
-		s.gains = make([]float64, n)
-		s.stamps = make([]uint64, n)
-		s.locked = make([]bool, n)
+// down is container/heap.down verbatim (minus the unused return value).
+func (h gainHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
 	}
-	s.gains = s.gains[:n]
-	s.stamps = s.stamps[:n]
-	s.locked = s.locked[:n]
 }
 
 // fmRefine runs Fiduccia–Mattheyses passes on the bisection in sideOf,
@@ -115,44 +136,42 @@ func (s *fmScratch) grow(n int) {
 // decreasing gain (allowing uphill moves), then rolls back to the best
 // prefix. Passes repeat until no pass improves the cut or opts.FMPasses is
 // exhausted. span, when non-nil, receives one event per pass with the
-// resulting cut (the "FM refinement rounds" detail of the trace).
-func fmRefine(g *graph.Graph, sideOf []int, opts Options, frac float64, span *telemetry.Span) float64 {
-	n := g.NumVertices()
+// resulting cut (the "FM refinement rounds" detail of the trace). scr is
+// caller-owned working memory (arena or try scratch), so refinement
+// allocates nothing once the scratch has grown to the graph's size.
+func fmRefine(g *csrGraph, sideOf []int8, opts Options, frac float64, span *telemetry.Span, scr *fmScratch) float64 {
+	n := g.n
 	if n == 0 {
 		return 0
 	}
 	bal := newBalanceState(g, sideOf, opts.BalanceEps, frac)
-	cut := g.CutWeight(sideOf)
+	cut := g.cutWeight(sideOf)
 
-	scr := fmScratchPool.Get().(*fmScratch)
 	scr.grow(n)
-	defer fmScratchPool.Put(scr)
 	gains := scr.gains
 	stamps := scr.stamps
 	locked := scr.locked
 	moves := scr.moves[:0]
-
-	computeGain := func(v int) float64 {
-		gain := 0.0
-		for _, e := range g.Neighbors(v) {
-			if sideOf[e.To] == sideOf[v] {
-				gain -= e.Weight
-			} else {
-				gain += e.Weight
-			}
-		}
-		return gain
-	}
+	xadj, adjn, wts, vw := g.xadj, g.adj, g.w, g.vw
 
 	for pass := 0; pass < opts.FMPasses; pass++ {
 		h := scr.heap[:0]
 		for v := 0; v < n; v++ {
 			locked[v] = false
-			gains[v] = computeGain(v)
+			sv := sideOf[v]
+			gain := 0.0
+			for k := xadj[v]; k < xadj[v+1]; k++ {
+				if sideOf[adjn[k]] == sv {
+					gain -= wts[k]
+				} else {
+					gain += wts[k]
+				}
+			}
+			gains[v] = gain
 			stamps[v]++
-			h = append(h, gainItem{v: v, gain: gains[v], stamp: stamps[v]})
+			h = append(h, gainItem{v: int32(v), gain: gain, stamp: stamps[v]})
 		}
-		heap.Init(&h)
+		h.init()
 
 		moves = moves[:0]
 		curCut := cut
@@ -160,24 +179,24 @@ func fmRefine(g *graph.Graph, sideOf []int, opts Options, frac float64, span *te
 		bestPrefix := 0
 		deferred := scr.deferred[:0]
 
-		for h.Len() > 0 {
-			it := heap.Pop(&h).(gainItem)
+		for len(h) > 0 {
+			it := h.pop()
 			if it.stamp != stamps[it.v] || locked[it.v] {
 				continue // stale entry
 			}
 			v := it.v
-			if !bal.canMove(g.VertexWeight(v), sideOf[v]) {
+			if !bal.canMove(vw[v], sideOf[v]) {
 				// Not movable right now; it may become movable
 				// after other moves rebalance the sides, so park
 				// it instead of locking it.
 				deferred = append(deferred, it)
-				if h.Len() == 0 {
+				if len(h) == 0 {
 					break
 				}
 				continue
 			}
 			// Apply the tentative move.
-			bal.apply(g.VertexWeight(v), sideOf[v])
+			bal.apply(vw[v], sideOf[v])
 			sideOf[v] = 1 - sideOf[v]
 			locked[v] = true
 			curCut -= it.gain
@@ -187,25 +206,25 @@ func fmRefine(g *graph.Graph, sideOf []int, opts Options, frac float64, span *te
 				bestPrefix = len(moves)
 			}
 			// Update unlocked neighbors' gains.
-			for _, e := range g.Neighbors(v) {
-				u := e.To
+			for k := xadj[v]; k < xadj[v+1]; k++ {
+				u := adjn[k]
 				if locked[u] {
 					continue
 				}
 				// u's edge to v flipped side: the gain delta is
 				// ±2·w depending on whether they now differ.
 				if sideOf[u] == sideOf[v] {
-					gains[u] -= 2 * e.Weight
+					gains[u] -= 2 * wts[k]
 				} else {
-					gains[u] += 2 * e.Weight
+					gains[u] += 2 * wts[k]
 				}
 				stamps[u]++
-				heap.Push(&h, gainItem{v: u, gain: gains[u], stamp: stamps[u]})
+				h.push(gainItem{v: u, gain: gains[u], stamp: stamps[u]})
 			}
 			// Re-offer deferred vertices now that balance changed.
 			for _, d := range deferred {
 				if !locked[d.v] && d.stamp == stamps[d.v] {
-					heap.Push(&h, d)
+					h.push(d)
 				}
 			}
 			deferred = deferred[:0]
@@ -214,17 +233,20 @@ func fmRefine(g *graph.Graph, sideOf []int, opts Options, frac float64, span *te
 		// Roll back moves after the best prefix.
 		for i := len(moves) - 1; i >= bestPrefix; i-- {
 			v := moves[i]
-			bal.apply(g.VertexWeight(v), sideOf[v])
+			bal.apply(vw[v], sideOf[v])
 			sideOf[v] = 1 - sideOf[v]
 		}
 		// Hand grown buffers back to the scratch so later passes (and the
 		// next pooled user) reuse their capacity.
 		scr.heap, scr.deferred = h[:0], deferred[:0]
 		if span.Enabled() {
+			// telemetry.Itoa serves the pass/moves labels from its
+			// small-int cache, so a traced refinement round costs no
+			// strconv calls for the common values.
 			span.Event("fm-pass",
-				telemetry.Attr{Key: "pass", Val: strconv.Itoa(pass)},
+				telemetry.Attr{Key: "pass", Val: telemetry.Itoa(pass)},
 				telemetry.Attr{Key: "cut", Val: strconv.FormatFloat(bestCut, 'g', -1, 64)},
-				telemetry.Attr{Key: "moves", Val: strconv.Itoa(bestPrefix)})
+				telemetry.Attr{Key: "moves", Val: telemetry.Itoa(bestPrefix)})
 		}
 		if bestCut >= cut-1e-12 {
 			cut = bestCut

@@ -38,6 +38,9 @@ type Span struct {
 	wallStart time.Time
 	wallDur   time.Duration
 	ended     bool
+	// attrsInline backs the first few attrs so typical spans (a handful of
+	// SetInt/SetFloat calls) never reallocate on append.
+	attrsInline [4]Attr
 }
 
 // Tracer collects root spans. The mutex serializes Root only; span bodies
@@ -59,6 +62,7 @@ func (t *Tracer) Root(name string, simAt time.Duration) *Span {
 		return nil
 	}
 	s := &Span{tr: t, name: name, simAt: simAt, wallStart: wallNow()}
+	s.attrs = s.attrsInline[:0]
 	t.mu.Lock()
 	t.roots = append(t.roots, s)
 	t.mu.Unlock()
@@ -82,6 +86,7 @@ func (s *Span) Child(name string) *Span {
 		return nil
 	}
 	c := &Span{tr: s.tr, name: name, simAt: s.simAt, wallStart: wallNow()}
+	c.attrs = c.attrsInline[:0]
 	s.children = append(s.children, c)
 	return c
 }
@@ -128,12 +133,31 @@ func (s *Span) SetStr(key, val string) {
 	s.attrs = append(s.attrs, Attr{key, val})
 }
 
+// smallInts caches the decimal strings of small non-negative integers so
+// hot-path SetInt calls (depth, level, try, pass counters) skip strconv.
+var smallInts = func() [256]string {
+	var t [256]string
+	for i := range t {
+		t[i] = strconv.Itoa(i)
+	}
+	return t
+}()
+
+// Itoa is strconv.Itoa with a cache for small non-negative values; use it
+// to build hot-path label strings without per-call allocation.
+func Itoa(v int) string {
+	if v >= 0 && v < len(smallInts) {
+		return smallInts[v]
+	}
+	return strconv.Itoa(v)
+}
+
 // SetInt annotates the span with an integer attribute.
 func (s *Span) SetInt(key string, v int) {
 	if s == nil {
 		return
 	}
-	s.attrs = append(s.attrs, Attr{key, strconv.Itoa(v)})
+	s.attrs = append(s.attrs, Attr{key, Itoa(v)})
 }
 
 // SetFloat annotates the span with a float attribute, rendered with the
@@ -158,6 +182,12 @@ func (s *Span) SetDuration(key string, d time.Duration) {
 func (s *Span) Event(name string, attrs ...Attr) {
 	if s == nil {
 		return
+	}
+	if s.events == nil {
+		// Spans that record one event usually record several (per-pass FM
+		// markers, per-epoch metric deltas): pre-size to skip the append
+		// doubling steps.
+		s.events = make([]Event, 0, 8)
 	}
 	s.events = append(s.events, Event{Name: name, Attrs: attrs, wallAt: wallNow().Sub(s.tr.wallStart)})
 }
