@@ -13,7 +13,24 @@ BENCH_COUNT   ?= 5
 # target gets this much generated-input time on top of the seed corpus).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench bench-json telemetry-overhead allocs-guard fmt fmt-check vet lint fuzz-smoke ci
+# Scaling sweep shape: which generator sizes BenchmarkPartitionScaling runs
+# (the guard reads only the 500k power-law cells) and how many repetitions
+# feed the min-vs-min speedup ratios. Each 500k repetition is minutes of
+# wall-clock, so the count stays small; the guard compares minima, which
+# converge fast.
+SCALING_SIZES ?= 500k
+SCALING_COUNT ?= 2
+
+# Allocation ceiling for the 100k in-level allocs row (see allocs-guard):
+# steady-state is O(leaves + workers) — measured 64k allocs/op serial and
+# 77k at p8 for the ~1250-leaf tree (~50/leaf: tree nodes, leaf slices,
+# goroutine fan-out). The ceiling leaves ~2.6x headroom; chunk scratch
+# allocated per call instead of from the arena costs O(levels x chunks)
+# per bisect across ~2500 bisects (≥ 500k allocs/op) and blows through it
+# at once.
+ALLOCS_CEILING_100K ?= 200000
+
+.PHONY: all build test race bench bench-json telemetry-overhead allocs-guard scaling-bench scaling-guard fmt fmt-check vet lint fuzz-smoke ci
 
 all: build test
 
@@ -36,8 +53,33 @@ bench:
 # CI uploads the file as an artifact next to the raw bench.txt.
 bench-json:
 	@[ -f bench.txt ] || $(MAKE) bench
-	$(GO) run ./cmd/benchjson -o BENCH_PR5.json bench.txt
-	@echo "wrote BENCH_PR5.json"
+	$(GO) run ./cmd/benchjson -o BENCH_PR6.json bench.txt
+	@echo "wrote BENCH_PR6.json"
+
+# The in-level scaling sweep: data-center-sized graphs (opt-in via
+# GOLDILOCKS_SCALING_SIZES because a 500k cell costs minutes per
+# repetition), one iteration per repetition — PartitionToFit at these sizes
+# runs long enough that -benchtime 1x is already a stable sample, and the
+# guard consumes minima across $(SCALING_COUNT) repetitions anyway.
+scaling-bench:
+	GOLDILOCKS_SCALING_SIZES=$(SCALING_SIZES) $(GO) test \
+		-bench 'BenchmarkPartitionScaling/powerlaw-500k' -run '^$$' \
+		-benchtime 1x -count=$(SCALING_COUNT) -timeout 3h . | tee bench_scaling.txt
+
+# Scaling guard: the blocking contract that in-level + recursive
+# parallelism actually buys wall-clock. p4 must be ≥ 1.6x over p1 on any
+# host with ≥ 4 CPUs; hosts with ≥ 8 CPUs must also show p8 ≥ 2.5x (the
+# acceptance floor). Below 4 CPUs the premise is unmeasurable, so the
+# target skips — without burning half an hour generating bench data first
+# (benchjson applies the same runtime.NumCPU() gate internally).
+scaling-guard:
+	@if [ "$$(nproc)" -lt 4 ]; then \
+		echo "scaling-guard: host has $$(nproc) CPUs (< 4); parallel speedup is not measurable — skipping"; \
+	else \
+		[ -f bench_scaling.txt ] || $(MAKE) scaling-bench; \
+		$(GO) run ./cmd/benchjson -speedup 'BenchmarkPartitionScaling/powerlaw-500k' \
+			-min-p4 1.6 -min-p8 2.5 -current bench_scaling.txt; \
+	fi
 
 # Telemetry-overhead guard: BenchmarkPartitionTelemetry runs the same
 # partition workload with the tracer off (noop — every span call takes the
@@ -60,8 +102,13 @@ telemetry-overhead:
 # it immediately. CI runs this as a blocking step.
 allocs-guard:
 	@[ -f bench.txt ] || $(MAKE) bench
-	$(GO) run ./cmd/benchjson -guard 'BenchmarkPartitionAllocs' \
+	$(GO) run ./cmd/benchjson -guard 'BenchmarkPartitionAllocs/mixture' \
 		-metric allocs -max-allocs 1000 -current bench.txt
+	GOLDILOCKS_ALLOCS_LARGE=1 $(GO) test \
+		-bench 'BenchmarkPartitionAllocs/powerlaw-100k' -benchmem \
+		-benchtime 1x -count 1 -run '^$$' -timeout 1h . | tee bench_allocs_large.txt
+	$(GO) run ./cmd/benchjson -guard 'BenchmarkPartitionAllocs/powerlaw-100k' \
+		-metric allocs -max-allocs $(ALLOCS_CEILING_100K) -current bench_allocs_large.txt
 
 fmt:
 	gofmt -l -w .

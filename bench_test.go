@@ -7,6 +7,8 @@ package goldilocks
 
 import (
 	"fmt"
+	"os"
+	"strings"
 	"testing"
 
 	"goldilocks/internal/experiments"
@@ -208,6 +210,89 @@ func BenchmarkPartitionParallel(b *testing.B) {
 	}
 }
 
+// scalingCase is one (generator, size) cell of the scaling sweep.
+type scalingCase struct {
+	name string
+	gen  func(n int, seed int64) *Spec
+	n    int
+}
+
+// scalingCases maps the GOLDILOCKS_SCALING_SIZES tokens to benchmark cells.
+// Both generators run at every requested size; the CI guard reads only the
+// 500k power-law cell (the heavy-tailed shape is the harder scaling case),
+// the rest are for the EXPERIMENTS.md sweep.
+func scalingCases(raw string) ([]scalingCase, error) {
+	sizes := []struct {
+		token string
+		n     int
+	}{{"100k", 100_000}, {"500k", 500_000}, {"1m", 1_000_000}}
+	var out []scalingCase
+	for _, tok := range strings.Split(raw, ",") {
+		tok = strings.TrimSpace(strings.ToLower(tok))
+		if tok == "" {
+			continue
+		}
+		found := false
+		for _, s := range sizes {
+			if s.token == tok {
+				out = append(out,
+					scalingCase{"powerlaw-" + s.token, workload.PowerLawWorkload, s.n},
+					scalingCase{"microservice-" + s.token, workload.MicroserviceWorkload, s.n})
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown size %q (want 100k, 500k, 1m)", tok)
+		}
+	}
+	return out, nil
+}
+
+// BenchmarkPartitionScaling measures in-level + recursive parallel scaling
+// on data-center-sized container graphs (100k–1M vertices, far above the
+// inLevelMinN threshold, so chunked matching, parallel contraction and
+// parallel gain-init all engage). The sweep is opt-in — building a 10⁶-
+// vertex mesh per cell is too heavy for the default bench run — via
+// GOLDILOCKS_SCALING_SIZES, a comma-separated subset of 100k,500k,1m:
+//
+//	GOLDILOCKS_SCALING_SIZES=500k go test -bench PartitionScaling -run '^$' .
+//
+// `make scaling-bench` runs the 500k cells and `make scaling-guard` turns
+// the p4/p1 (and, on ≥8-core hosts, p8/p1) wall-clock ratios of the 500k
+// power-law cell into a blocking CI assertion via benchjson -speedup.
+// Output is bit-identical across the parallelism levels (the in-level
+// determinism contract), so the sub-benchmarks measure pure scheduling.
+func BenchmarkPartitionScaling(b *testing.B) {
+	raw := os.Getenv("GOLDILOCKS_SCALING_SIZES")
+	if raw == "" {
+		b.Skip("set GOLDILOCKS_SCALING_SIZES=100k,500k,1m (any subset) to run the scaling sweep; see `make scaling-bench`")
+	}
+	cases, err := scalingCases(raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range cases {
+		g := c.gen(c.n, 7).Graph()
+		cap := serverCapacityFor(g, c.n/80)
+		for _, p := range []int{1, 4, 8} {
+			opts := DefaultPartitionOptions()
+			opts.Seed = 1
+			opts.Parallelism = p
+			b.Run(fmt.Sprintf("%s/p%d", c.name, p), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					tree, err := PartitionToFit(g, cap, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(tree.Leaves) < 2 {
+						b.Fatalf("degenerate partition: %d leaves", len(tree.Leaves))
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkPartitionAllocs pins the partitioner's steady-state allocation
 // count. After the first iteration warms the arena pools, every
 // PartitionToFit call should run the multilevel pipeline out of pooled flat
@@ -216,25 +301,45 @@ func BenchmarkPartitionParallel(b *testing.B) {
 // against an absolute ceiling (`make allocs-guard`) — allocs/op is
 // hardware-independent, so unlike ns/op this gate can block.
 func BenchmarkPartitionAllocs(b *testing.B) {
-	spec := workload.MixtureWorkload(1000, 7)
-	g := spec.Graph()
-	cap := serverCapacityFor(g, g.NumVertices()/80)
-	for _, p := range []int{1, 8} {
-		opts := DefaultPartitionOptions()
-		opts.Seed = 1
-		opts.Parallelism = p
-		b.Run(fmt.Sprintf("mixture-1k/p%d", p), func(b *testing.B) {
-			if _, err := PartitionToFit(g, cap, opts); err != nil {
-				b.Fatal(err) // warm the pools outside the measurement
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
+	cases := []struct {
+		name string
+		spec *Spec
+	}{
+		{"mixture-1k", workload.MixtureWorkload(1000, 7)},
+	}
+	// The 100k row is the arena-discipline check for the in-level parallel
+	// paths: above inLevelMinN the chunked matching, parallel contraction
+	// and parallel gain-init run, and their chunk scratch (bounds, count
+	// slabs, markers, fineOf) must come out of the level arena — a per-call
+	// allocation there shows up as ~10⁵ extra allocs/op instantly. It is
+	// opt-in (≈ 1 min/op) so the default bench sweep stays fast; `make
+	// allocs-guard` runs it with its own ceiling.
+	if os.Getenv("GOLDILOCKS_ALLOCS_LARGE") != "" {
+		cases = append(cases, struct {
+			name string
+			spec *Spec
+		}{"powerlaw-100k", workload.PowerLawWorkload(100_000, 7)})
+	}
+	for _, c := range cases {
+		g := c.spec.Graph()
+		cap := serverCapacityFor(g, g.NumVertices()/80)
+		for _, p := range []int{1, 8} {
+			opts := DefaultPartitionOptions()
+			opts.Seed = 1
+			opts.Parallelism = p
+			b.Run(fmt.Sprintf("%s/p%d", c.name, p), func(b *testing.B) {
 				if _, err := PartitionToFit(g, cap, opts); err != nil {
-					b.Fatal(err)
+					b.Fatal(err) // warm the pools outside the measurement
 				}
-			}
-		})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := PartitionToFit(g, cap, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -26,6 +26,20 @@
 //	benchjson -guard 'BenchmarkPartitionAllocs' -metric allocs -max-allocs 1000 \
 //	    -current bench.txt
 //
+// Speedup mode turns parallel scaling into a blocking contract:
+//
+//	benchjson -speedup 'BenchmarkPartitionScaling/powerlaw-500k' \
+//	    -min-p4 1.6 -min-p8 2.5 -current bench_scaling.txt
+//
+// reads the /p1, /p4 and /p8 sub-benchmarks under the prefix and asserts
+// the p1/p4 wall-clock ratio (and, when the host has ≥ 8 CPUs, p1/p8)
+// against the floors. On hosts with fewer than 4 CPUs the speedup is not
+// measurable at all, so the check prints a skip notice and exits 0 — the
+// guard blocks only where its premise (enough cores) holds. Like pair
+// mode it compares minima across repetitions: scheduler interference is
+// additive, so the minimum estimates true cost with the least variance,
+// and a speedup ratio of minima is the least noisy ratio available.
+//
 // Pair mode compares two benchmarks inside one file, for guards like
 // traced-vs-noop telemetry overhead:
 //
@@ -47,6 +61,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -277,15 +292,6 @@ func pairGuard(spec string, maxDeltaPct float64, cur map[string][]sample, w io.W
 	if !okB || !okC {
 		return 0, fmt.Errorf("-pair needs both %q and %q in -current", lower, upper)
 	}
-	minNs := func(ss []sample) float64 {
-		m := ss[0].nsPerOp
-		for _, s := range ss[1:] {
-			if s.nsPerOp < m {
-				m = s.nsPerOp
-			}
-		}
-		return m
-	}
 	bMin, cMin := minNs(bs), minNs(cs)
 	delta := 0.0
 	if bMin > 0 {
@@ -298,6 +304,69 @@ func pairGuard(spec string, maxDeltaPct float64, cur map[string][]sample, w io.W
 	}
 	fmt.Fprintf(w, "%s → %s: min %14.0f ns/op → min %14.0f ns/op  %+6.2f%% (max %+.1f%%)  [%s]\n",
 		lower, upper, bMin, cMin, delta, maxDeltaPct, status)
+	return breaches, nil
+}
+
+// minNs returns the minimum ns/op across a benchmark's repetitions.
+func minNs(ss []sample) float64 {
+	m := ss[0].nsPerOp
+	for _, s := range ss[1:] {
+		if s.nsPerOp < m {
+			m = s.nsPerOp
+		}
+	}
+	return m
+}
+
+// speedupGuard asserts the parallel scaling floors of the sub-benchmarks
+// under prefix: p1/p4 ≥ minP4 always, p1/p8 ≥ minP8 only on hosts with at
+// least 8 CPUs (below that the p8 run cannot physically reach the floor,
+// so its ratio is reported informationally). The caller has already
+// handled the <4-CPU full skip.
+func speedupGuard(prefix string, minP4, minP8 float64, ncpu int, cur map[string][]sample, w io.Writer) (breaches int, err error) {
+	get := func(p string) ([]sample, error) {
+		ss, ok := cur[prefix+"/"+p]
+		if !ok {
+			return nil, fmt.Errorf("-speedup needs %q in -current", prefix+"/"+p)
+		}
+		return ss, nil
+	}
+	p1, err := get("p1")
+	if err != nil {
+		return 0, err
+	}
+	p4, err := get("p4")
+	if err != nil {
+		return 0, err
+	}
+	base := minNs(p1)
+	if base <= 0 {
+		return 0, fmt.Errorf("%s/p1 has non-positive ns/op", prefix)
+	}
+	s4 := base / minNs(p4)
+	status := "ok"
+	if s4 < minP4 {
+		status = "BELOW FLOOR"
+		breaches++
+	}
+	fmt.Fprintf(w, "%s: p4 speedup %.2fx (floor %.2fx, %d CPUs)  [%s]\n", prefix, s4, minP4, ncpu, status)
+
+	if p8, err := get("p8"); err == nil {
+		s8 := base / minNs(p8)
+		switch {
+		case ncpu >= 8:
+			status = "ok"
+			if s8 < minP8 {
+				status = "BELOW FLOOR"
+				breaches++
+			}
+			fmt.Fprintf(w, "%s: p8 speedup %.2fx (floor %.2fx, %d CPUs)  [%s]\n", prefix, s8, minP8, ncpu, status)
+		default:
+			fmt.Fprintf(w, "%s: p8 speedup %.2fx (floor %.2fx not asserted: %d CPUs < 8)  [skipped]\n", prefix, s8, minP8, ncpu)
+		}
+	} else if ncpu >= 8 {
+		return breaches, err // ≥8 CPUs promised a p8 assertion; missing data is an error
+	}
 	return breaches, nil
 }
 
@@ -315,6 +384,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		maxDelta  = fs.Float64("max-delta-pct", 2, "guard/pair mode: maximum allowed increase, in percent")
 		maxAllocs = fs.Float64("max-allocs", 0, "guard mode: absolute ceiling on the metric in -current (skips -baseline)")
 		pairSpec  = fs.String("pair", "", "pair mode: 'base=compared' benchmark names to diff within -current")
+		speedup   = fs.String("speedup", "", "speedup mode: benchmark prefix whose /p1,/p4,/p8 sub-benchmarks must meet the scaling floors")
+		minP4     = fs.Float64("min-p4", 1.6, "speedup mode: minimum p1/p4 wall-clock ratio")
+		minP8     = fs.Float64("min-p8", 2.5, "speedup mode: minimum p1/p8 wall-clock ratio (asserted only on ≥8-CPU hosts)")
+		cpus      = fs.Int("assume-cpus", 0, "speedup mode: pretend the host has this many CPUs (0 = runtime.NumCPU; for tests)")
 		baseline  = fs.String("baseline", "", "guard mode: baseline bench output")
 		current   = fs.String("current", "", "guard/pair mode: current bench output")
 	)
@@ -324,6 +397,37 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *metric != "ns" && *metric != "allocs" {
 		fmt.Fprintf(stderr, "benchjson: -metric must be 'ns' or 'allocs', got %q\n", *metric)
 		return 2
+	}
+
+	if *speedup != "" {
+		ncpu := *cpus
+		if ncpu == 0 {
+			ncpu = runtime.NumCPU()
+		}
+		if ncpu < 4 {
+			// Not a failure: the floors are unmeasurable here. The CPU
+			// check runs before the file is even opened so a low-core
+			// host needs no bench data at all.
+			fmt.Fprintf(stdout, "benchjson: host has %d CPUs (< 4) — parallel speedup is not measurable; skipping scaling floors\n", ncpu)
+			return 0
+		}
+		if *current == "" {
+			fmt.Fprintln(stderr, "benchjson: -speedup needs -current")
+			return 2
+		}
+		cur, err := parseFileRaw(*current)
+		if err == nil {
+			var breaches int
+			if breaches, err = speedupGuard(*speedup, *minP4, *minP8, ncpu, cur, stdout); err == nil {
+				if breaches > 0 {
+					fmt.Fprintf(stderr, "benchjson: parallel speedup below the blocking floor\n")
+					return 1
+				}
+				return 0
+			}
+		}
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
 	}
 
 	if *pairSpec != "" {

@@ -185,6 +185,96 @@ func TestGuardAllocsCeiling(t *testing.T) {
 	}
 }
 
+func TestSpeedupGuard(t *testing.T) {
+	dir := t.TempDir()
+	cur := filepath.Join(dir, "cur.txt")
+	write := func(content string) {
+		t.Helper()
+		if err := os.WriteFile(cur, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prefix := "BenchmarkPartitionScaling/powerlaw-500k"
+	args := func(cpus string) []string {
+		return []string{"-speedup", prefix, "-min-p4", "1.6", "-min-p8", "2.5",
+			"-assume-cpus", cpus, "-current", cur}
+	}
+
+	// Healthy scaling on an 8-CPU host: p4 2.4x, p8 3.2x — both floors met.
+	// Minima are compared, so the noisy second repetitions don't matter.
+	write(prefix + "/p1 \t 1 \t 8000000000 ns/op\n" +
+		prefix + "/p1 \t 1 \t 9100000000 ns/op\n" +
+		prefix + "/p4 \t 1 \t 3333333333 ns/op\n" +
+		prefix + "/p4 \t 1 \t 4100000000 ns/op\n" +
+		prefix + "/p8 \t 1 \t 2500000000 ns/op\n" +
+		prefix + "/p8 \t 1 \t 3600000000 ns/op\n")
+	var out, errBuf bytes.Buffer
+	if code := run(args("8"), nil, &out, &errBuf); code != 0 {
+		t.Fatalf("floors met should pass, got exit %d: %s %s", code, out.String(), errBuf.String())
+	}
+	if strings.Count(out.String(), "[ok]") != 2 {
+		t.Errorf("expected p4 and p8 [ok] lines:\n%s", out.String())
+	}
+
+	// p8 below its floor on an 8-CPU host: blocking failure.
+	write(prefix + "/p1 \t 1 \t 8000000000 ns/op\n" +
+		prefix + "/p4 \t 1 \t 4000000000 ns/op\n" +
+		prefix + "/p8 \t 1 \t 4000000000 ns/op\n")
+	out.Reset()
+	errBuf.Reset()
+	if code := run(args("8"), nil, &out, &errBuf); code != 1 {
+		t.Fatalf("p8 2.0x under 2.5x floor should fail, got exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "[BELOW FLOOR]") {
+		t.Errorf("report lacks [BELOW FLOOR]:\n%s", out.String())
+	}
+
+	// Same data on a 4-CPU host: the p8 floor is not asserted (4 cores
+	// cannot reach 2.5x at p8 reliably), so only the p4 floor gates.
+	out.Reset()
+	errBuf.Reset()
+	if code := run(args("4"), nil, &out, &errBuf); code != 0 {
+		t.Fatalf("4-CPU host should not assert the p8 floor, got exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "[skipped]") {
+		t.Errorf("p8 line should be marked skipped on 4 CPUs:\n%s", out.String())
+	}
+
+	// p4 below its floor fails at any CPU count ≥ 4.
+	write(prefix + "/p1 \t 1 \t 8000000000 ns/op\n" +
+		prefix + "/p4 \t 1 \t 7000000000 ns/op\n" +
+		prefix + "/p8 \t 1 \t 2000000000 ns/op\n")
+	out.Reset()
+	errBuf.Reset()
+	if code := run(args("4"), nil, &out, &errBuf); code != 1 {
+		t.Fatalf("p4 1.14x under 1.6x floor should fail, got exit %d:\n%s", code, out.String())
+	}
+
+	// Fewer than 4 CPUs: full skip with exit 0, before the file is read —
+	// a missing bench file must not fail the skip path.
+	out.Reset()
+	errBuf.Reset()
+	skipArgs := []string{"-speedup", prefix, "-assume-cpus", "2",
+		"-current", filepath.Join(dir, "does-not-exist.txt")}
+	if code := run(skipArgs, nil, &out, &errBuf); code != 0 {
+		t.Fatalf("<4 CPUs should skip with exit 0, got %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "skipping") {
+		t.Errorf("skip notice missing:\n%s", out.String())
+	}
+
+	// Missing p4 data on a capable host is an error, not a silent pass.
+	write(prefix + "/p1 \t 1 \t 8000000000 ns/op\n")
+	out.Reset()
+	errBuf.Reset()
+	if code := run(args("8"), nil, &out, &errBuf); code != 1 {
+		t.Fatalf("missing p4 should fail, got exit %d", code)
+	}
+	if !strings.Contains(errBuf.String(), "needs") {
+		t.Errorf("stderr lacks the missing-benchmark error: %s", errBuf.String())
+	}
+}
+
 func TestPairGuard(t *testing.T) {
 	dir := t.TempDir()
 	cur := filepath.Join(dir, "cur.txt")

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"goldilocks/internal/resources"
+)
+
+// sameGraph asserts exact structural equality: vertex weights, labels, and
+// every adjacency row in the same order with the same float weight bits.
+func sameGraph(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if want.NumVertices() != got.NumVertices() {
+		t.Fatalf("vertex count %d vs %d", want.NumVertices(), got.NumVertices())
+	}
+	for v := 0; v < want.NumVertices(); v++ {
+		if want.VertexWeight(v) != got.VertexWeight(v) {
+			t.Fatalf("vertex %d weight %v vs %v", v, want.VertexWeight(v), got.VertexWeight(v))
+		}
+		if want.Label(v) != got.Label(v) {
+			t.Fatalf("vertex %d label %q vs %q", v, want.Label(v), got.Label(v))
+		}
+		we, ge := want.Neighbors(v), got.Neighbors(v)
+		if len(we) != len(ge) {
+			t.Fatalf("vertex %d degree %d vs %d", v, len(we), len(ge))
+		}
+		for i := range we {
+			if we[i] != ge[i] {
+				t.Fatalf("vertex %d edge %d: %+v vs %+v", v, i, we[i], ge[i])
+			}
+		}
+	}
+}
+
+// TestBuilderMatchesAddEdge pins the Builder equivalence contract: for an
+// identical call sequence — including duplicate pairs, reversed duplicates,
+// self-loops, and negative weights — Build yields exactly the Graph that
+// Graph.AddEdge produces.
+func TestBuilderMatchesAddEdge(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 40 + rng.Intn(120)
+		ref := New(n)
+		b := NewBuilder(n, 0)
+		for v := 0; v < n; v++ {
+			w := resources.New(float64(1+rng.Intn(8)), float64(rng.Intn(64)), float64(rng.Intn(10)))
+			ref.SetVertexWeight(v, w)
+			b.SetVertexWeight(v, w)
+			if v%7 == 0 {
+				ref.SetLabel(v, "c")
+				b.SetLabel(v, "c")
+			}
+		}
+		calls := 6 * n
+		for i := 0; i < calls; i++ {
+			u, v := rng.Intn(n), rng.Intn(n) // self-loops included on purpose
+			w := float64(rng.Intn(21) - 5)   // negative anti-affinity weights too
+			ref.AddEdge(u, v, w)
+			b.AddEdge(u, v, w)
+		}
+		sameGraph(t, ref, b.Build())
+	}
+}
+
+// TestBuilderHubRow exercises the case Builder exists for: one hub joined
+// to every other vertex, with every pair added twice in both orientations
+// so dedup-accumulate must fire on a long row.
+func TestBuilderHubRow(t *testing.T) {
+	n := 500
+	ref := New(n)
+	b := NewBuilder(n, 2*n)
+	for v := 1; v < n; v++ {
+		ref.AddEdge(0, v, float64(v))
+		b.AddEdge(0, v, float64(v))
+		ref.AddEdge(v, 0, 0.5)
+		b.AddEdge(v, 0, 0.5)
+	}
+	got := b.Build()
+	sameGraph(t, ref, got)
+	if got.Degree(0) != n-1 {
+		t.Fatalf("hub degree %d, want %d", got.Degree(0), n-1)
+	}
+	if got.EdgeWeight(0, 7) != 7.5 {
+		t.Fatalf("accumulated weight %v, want 7.5", got.EdgeWeight(0, 7))
+	}
+}
+
+// TestBuilderEmptyRows: isolated vertices keep nil adjacency, matching New.
+func TestBuilderEmptyRows(t *testing.T) {
+	b := NewBuilder(3, 0)
+	b.AddEdge(0, 1, 2)
+	g := b.Build()
+	if g.Degree(2) != 0 {
+		t.Fatalf("vertex 2 should be isolated")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges %d, want 1", g.NumEdges())
+	}
+}

@@ -75,7 +75,7 @@ func bisectCSR(g *csrGraph, opts Options, frac float64, lim Limiter, a *levelAre
 	}
 
 	cspan := dspan.Child("coarsen")
-	nl := coarsen(g, opts, a)
+	nl := coarsen(g, opts, lim, a)
 	coarsest := g
 	if nl > 0 {
 		coarsest = &a.levels[nl-1].g
@@ -92,7 +92,7 @@ func bisectCSR(g *csrGraph, opts Options, frac float64, lim Limiter, a *levelAre
 	rspan := dspan.Child("refine")
 	rspan.SetInt("level", nl)
 	rspan.SetInt("vertices", coarsest.n)
-	cut := fmRefine(coarsest, sideOf, opts, frac, rspan, &a.fm)
+	cut := fmRefine(coarsest, sideOf, opts, frac, rspan, lim, &a.fm)
 	rspan.SetFloat("cut", cut)
 	rspan.End()
 
@@ -109,7 +109,7 @@ func bisectCSR(g *csrGraph, opts Options, frac float64, lim Limiter, a *levelAre
 		lspan := dspan.Child("refine")
 		lspan.SetInt("level", i)
 		lspan.SetInt("vertices", fineGraph.n)
-		cut = fmRefine(fineGraph, sideOf, opts, frac, lspan, &a.fm)
+		cut = fmRefine(fineGraph, sideOf, opts, frac, lspan, lim, &a.fm)
 		lspan.SetFloat("cut", cut)
 		lspan.End()
 	}
@@ -168,7 +168,11 @@ func initialBisection(g *csrGraph, dspan *telemetry.Span, opts Options, frac flo
 			tspan.SetStr("outcome", "unbalanced")
 			return
 		}
-		cut := fmRefine(g, side, quickOpts, frac, nil, &scr.fm)
+		// Tries share the Limiter with sibling tries, so the quick
+		// refinement stays serial (nil lim): its heap bytes are already
+		// identical either way, but a try must not hold workers hostage
+		// while sibling tries wait for slots.
+		cut := fmRefine(g, side, quickOpts, frac, nil, nil, &scr.fm)
 		tspan.SetFloat("cut", cut)
 		results[try].cut, results[try].ok = cut, true
 	}

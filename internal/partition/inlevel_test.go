@@ -1,0 +1,189 @@
+package partition
+
+// Byte-identity tests for the in-level parallel paths (inlevel.go): every
+// chunked routine must produce exactly the bytes of its serial counterpart,
+// on the graph shapes that stress it — power-law hubs, tiered microservice
+// call-graphs, and the adversarial all-edges-on-one-row hub skew. The
+// graphs here are all above inLevelMinN, unlike the synthetic shapes in
+// determinism_test.go, so the parallel code actually runs.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"goldilocks/internal/graph"
+	"goldilocks/internal/workload"
+)
+
+// inLevelGraphs returns the generator graphs the in-level paths are tested
+// on. Sizes sit above inLevelMinN so the chunked code runs, small enough
+// that the suite stays fast.
+func inLevelGraphs() []struct {
+	name string
+	g    *graph.Graph
+} {
+	return []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"powerlaw-20k", workload.PowerLawWorkload(20000, 7).Graph()},
+		{"microservice-20k", workload.MicroserviceWorkload(20000, 11).Graph()},
+		{"hubskew-12k", workload.HubWorkload(12000, 4, 3).Graph()},
+	}
+}
+
+// TestChunkedMatchingIdentity pins heavyEdgeMatchingChunked to
+// heavyEdgeMatching byte for byte: same permutation, same match array, at
+// several worker counts.
+func TestChunkedMatchingIdentity(t *testing.T) {
+	for _, tc := range inLevelGraphs() {
+		name, g := tc.name, tc.g
+		t.Run(name, func(t *testing.T) {
+			c, a := testCSR(g)
+			defer putArena(a)
+			for seed := int64(0); seed < 3; seed++ {
+				want := append([]int32(nil), heavyEdgeMatching(c, rand.New(rand.NewSource(seed)), a)...)
+				for _, p := range []int{2, 4, 8} {
+					got := heavyEdgeMatchingChunked(c, rand.New(rand.NewSource(seed)), a, NewLimiter(p))
+					for v := range want {
+						if got[v] != want[v] {
+							t.Fatalf("seed %d p=%d: match[%d] = %d, serial %d", seed, p, v, got[v], want[v])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestContractParallelIdentity pins contractRouteParallel to the serial
+// halves+routeHalves path: identical xadj/adj and bit-identical weights
+// and vertex weights.
+func TestContractParallelIdentity(t *testing.T) {
+	for _, tc := range inLevelGraphs() {
+		name, g := tc.name, tc.g
+		t.Run(name, func(t *testing.T) {
+			c, a := testCSR(g)
+			defer putArena(a)
+			match := heavyEdgeMatching(c, rand.New(rand.NewSource(1)), a)
+			matchCopy := append([]int32(nil), match...)
+
+			serial := new(csrLevel)
+			contract(c, matchCopy, a, serial, nil)
+
+			for _, p := range []int{2, 8} {
+				par := new(csrLevel)
+				contract(c, matchCopy, a, par, NewLimiter(p))
+				if par.g.n != serial.g.n {
+					t.Fatalf("p=%d: coarse n %d vs %d", p, par.g.n, serial.g.n)
+				}
+				for r := 0; r <= serial.g.n; r++ {
+					if par.g.xadj[r] != serial.g.xadj[r] {
+						t.Fatalf("p=%d: xadj[%d] = %d, serial %d", p, r, par.g.xadj[r], serial.g.xadj[r])
+					}
+				}
+				for k := range serial.g.adj {
+					if par.g.adj[k] != serial.g.adj[k] {
+						t.Fatalf("p=%d: adj[%d] = %d, serial %d", p, k, par.g.adj[k], serial.g.adj[k])
+					}
+					if math.Float64bits(par.g.w[k]) != math.Float64bits(serial.g.w[k]) {
+						t.Fatalf("p=%d: w[%d] = %x, serial %x", p, k,
+							math.Float64bits(par.g.w[k]), math.Float64bits(serial.g.w[k]))
+					}
+				}
+				for v := 0; v < serial.g.n; v++ {
+					if par.g.vw[v] != serial.g.vw[v] {
+						t.Fatalf("p=%d: vw[%d] = %v, serial %v", p, v, par.g.vw[v], serial.g.vw[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInLevelBisectInvariant runs the whole multilevel pipeline on the
+// generator graphs at p = 1, 4, 8 and requires identical sides and cut
+// bits — the end-to-end determinism contract extended to graphs large
+// enough to take every in-level parallel path (matching windows, parallel
+// contraction, parallel FM gain init).
+func TestInLevelBisectInvariant(t *testing.T) {
+	for _, tc := range inLevelGraphs() {
+		name, g := tc.name, tc.g
+		t.Run(name, func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.Seed = 42
+			opts.Parallelism = 1
+			base := Bisect(g, opts)
+			for _, p := range []int{4, 8} {
+				opts.Parallelism = p
+				got := Bisect(g, opts)
+				if math.Float64bits(got.Cut) != math.Float64bits(base.Cut) {
+					t.Fatalf("p=%d cut %v, p=1 cut %v", p, got.Cut, base.Cut)
+				}
+				for v := range base.Side {
+					if got.Side[v] != base.Side[v] {
+						t.Fatalf("p=%d: vertex %d side %d, p=1 side %d", p, v, got.Side[v], base.Side[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInLevelChunkedMatchingRace exists for the CI race step: it drives the
+// chunked matching, parallel contraction and parallel gain-init through a
+// full bisection at p=8 with the race detector's scheduler perturbation.
+// The assertion is the same byte identity — under -race the interesting
+// failure mode is the detector firing on a missed chunk boundary.
+func TestInLevelChunkedMatchingRace(t *testing.T) {
+	g := workload.PowerLawWorkload(16000, 5).Graph()
+	opts := DefaultOptions()
+	opts.Seed = 9
+	opts.Parallelism = 1
+	base := Bisect(g, opts)
+	opts.Parallelism = 8
+	for rep := 0; rep < 2; rep++ {
+		got := Bisect(g, opts)
+		if math.Float64bits(got.Cut) != math.Float64bits(base.Cut) {
+			t.Fatalf("rep %d: cut %v, serial %v", rep, got.Cut, base.Cut)
+		}
+		for v := range base.Side {
+			if got.Side[v] != base.Side[v] {
+				t.Fatalf("rep %d: vertex %d side %d, serial %d", rep, v, got.Side[v], base.Side[v])
+			}
+		}
+	}
+}
+
+// TestEdgeChunkBounds sanity-checks the edge-balanced splitter: monotone
+// boundaries covering [0, n], and chunk edge spans within 2× of even.
+func TestEdgeChunkBounds(t *testing.T) {
+	g := workload.PowerLawWorkload(20000, 7).Graph()
+	c, a := testCSR(g)
+	defer putArena(a)
+	var buf []int32
+	k := 8
+	b := edgeChunkBounds(c.xadj, c.n, k, &buf)
+	if b[0] != 0 || int(b[k]) != c.n {
+		t.Fatalf("bounds do not cover [0, n]: %v", b)
+	}
+	total := c.xadj[c.n]
+	for i := 0; i < k; i++ {
+		if b[i+1] < b[i] {
+			t.Fatalf("bounds not monotone: %v", b)
+		}
+		span := c.xadj[b[i+1]] - c.xadj[b[i]]
+		// One hub row can exceed the even share; anything beyond
+		// share + maxRow would mean the split missed a boundary.
+		maxRow := int32(0)
+		for v := int(b[i]); v < int(b[i+1]); v++ {
+			if l := c.xadj[v+1] - c.xadj[v]; l > maxRow {
+				maxRow = l
+			}
+		}
+		if span > total/int32(k)+maxRow {
+			t.Fatalf("chunk %d spans %d edges, even share %d, max row %d", i, span, total/int32(k), maxRow)
+		}
+	}
+}

@@ -139,7 +139,15 @@ func (h gainHeap) down(i0, n int) {
 // resulting cut (the "FM refinement rounds" detail of the trace). scr is
 // caller-owned working memory (arena or try scratch), so refinement
 // allocates nothing once the scratch has grown to the graph's size.
-func fmRefine(g *csrGraph, sideOf []int8, opts Options, frac float64, span *telemetry.Span, scr *fmScratch) float64 {
+//
+// lim, when non-nil and the graph is large, fans the per-pass gain
+// initialization out across workers: each vertex's starting gain is an
+// independent row scan, and the heap is materialized as the same length-n
+// array the serial append loop builds (entry v at index v) before the
+// serial h.init() establishes the invariant — so the heap bytes, and
+// therefore every tie-break downstream, are unchanged. The move loop
+// itself stays strictly serial: move order is the algorithm's output.
+func fmRefine(g *csrGraph, sideOf []int8, opts Options, frac float64, span *telemetry.Span, lim Limiter, scr *fmScratch) float64 {
 	n := g.n
 	if n == 0 {
 		return 0
@@ -156,20 +164,30 @@ func fmRefine(g *csrGraph, sideOf []int8, opts Options, frac float64, span *tele
 
 	for pass := 0; pass < opts.FMPasses; pass++ {
 		h := scr.heap[:0]
-		for v := 0; v < n; v++ {
-			locked[v] = false
-			sv := sideOf[v]
-			gain := 0.0
-			for k := xadj[v]; k < xadj[v+1]; k++ {
-				if sideOf[adjn[k]] == sv {
-					gain -= wts[k]
-				} else {
-					gain += wts[k]
+		if useInLevel(n, lim) {
+			// The chunked init lives in its own function: a closure here
+			// would make every captured local — including h — escape, and
+			// the per-call heap cells would cost an allocation on the
+			// small-graph serial path too (fmRefine runs hundreds of times
+			// per PartitionToFit). Keeping fmRefine closure-free keeps the
+			// steady-state allocs/op at its pre-in-level level.
+			h = gainInitChunked(g, sideOf, gains, stamps, locked, lim, scr)
+		} else {
+			for v := 0; v < n; v++ {
+				locked[v] = false
+				sv := sideOf[v]
+				gain := 0.0
+				for k := xadj[v]; k < xadj[v+1]; k++ {
+					if sideOf[adjn[k]] == sv {
+						gain -= wts[k]
+					} else {
+						gain += wts[k]
+					}
 				}
+				gains[v] = gain
+				stamps[v]++
+				h = append(h, gainItem{v: int32(v), gain: gain, stamp: stamps[v]})
 			}
-			gains[v] = gain
-			stamps[v]++
-			h = append(h, gainItem{v: int32(v), gain: gain, stamp: stamps[v]})
 		}
 		h.init()
 
@@ -178,6 +196,20 @@ func fmRefine(g *csrGraph, sideOf []int8, opts Options, frac float64, span *tele
 		bestCut := cut
 		bestPrefix := 0
 		deferred := scr.deferred[:0]
+		// The park-and-re-offer discipline below re-pushes every deferred
+		// vertex after every applied move. That is the right call on the
+		// small graphs the paper's figures use — nothing is ever locked
+		// out, and the legacy bytes are pinned to it — but it is quadratic
+		// when a large unmovable set coexists with a long move sequence: at
+		// 10⁵ power-law vertices the re-sifting of parked entries is >95%
+		// of total partitioning time. Above the structural size floor an
+		// unmovable vertex is locked for the rest of the pass instead (the
+		// next pass reconsiders it with fresh gains), keeping each pass at
+		// O((n + m) log n). The policy switch changes move order — and
+		// therefore output — only above the threshold, where no legacy
+		// bytes exist; either policy is a pure function of (graph, seed),
+		// so parallelism invariance is untouched.
+		lockUnmovable := n >= inLevelMinN
 
 		for len(h) > 0 {
 			it := h.pop()
@@ -186,6 +218,10 @@ func fmRefine(g *csrGraph, sideOf []int8, opts Options, frac float64, span *tele
 			}
 			v := it.v
 			if !bal.canMove(vw[v], sideOf[v]) {
+				if lockUnmovable {
+					locked[v] = true
+					continue
+				}
 				// Not movable right now; it may become movable
 				// after other moves rebalance the sides, so park
 				// it instead of locking it.
@@ -221,7 +257,8 @@ func fmRefine(g *csrGraph, sideOf []int8, opts Options, frac float64, span *tele
 				stamps[u]++
 				h.push(gainItem{v: u, gain: gains[u], stamp: stamps[u]})
 			}
-			// Re-offer deferred vertices now that balance changed.
+			// Re-offer deferred vertices now that balance changed (the
+			// lock-unmovable policy has nothing parked).
 			for _, d := range deferred {
 				if !locked[d.v] && d.stamp == stamps[d.v] {
 					h.push(d)
