@@ -4,10 +4,16 @@
 //
 //	goldilocks-lint [flags] [packages]
 //
-// Diagnostics print as file:line:col: message (analyzer) and a non-empty
-// report exits 1, so `make lint` and the CI lint job fail the build on any
-// unwaived violation. Exit code 2 means the driver itself failed (bad
+// Diagnostics print as file:line:col: message (analyzer) — or as a JSON
+// array with -json — and a non-empty report exits 1, so `make lint` and
+// the CI lint job fail the build on any unwaived violation. Exit code 2
+// means the driver itself failed (bad flag, unknown analyzer, bad
 // pattern, package does not type-check).
+//
+// -analyzers runs a comma-separated subset of the suite; note that the
+// stale-waiver report only judges //lint:ignore comments naming analyzers
+// in the running set, so a subset run never flags waivers it cannot
+// verify.
 //
 // Suppress a finding in place with
 //
@@ -17,47 +23,117 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"goldilocks/internal/lint"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list the registered analyzers and exit")
-	dir := flag.String("C", ".", "directory of the module to analyze")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: goldilocks-lint [flags] [packages]\n\nAnalyzers:\n")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable driver body: 0 clean, 1 findings, 2 driver error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("goldilocks-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the registered analyzers and exit")
+	dir := fs.String("C", ".", "directory of the module to analyze")
+	jsonOut := fs.Bool("json", false, "print diagnostics as a JSON array instead of text")
+	only := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: the full suite)")
+	listArgs := fs.Bool("listargs", false, "print the go list argument vector the loader uses and exit (the Makefile cache step shells out to this so it can never drift from the loader)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: goldilocks-lint [flags] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
-			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stderr, "  %-10s %s\n", a.Name, a.Doc)
 		}
-		flag.PrintDefaults()
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
+	}
+	if *listArgs {
+		patterns := fs.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		fmt.Fprintln(stdout, strings.Join(lint.ListArgs(patterns...), " "))
+		return 0
 	}
 
-	pkgs, err := lint.Load(*dir, flag.Args()...)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer, len(analyzers))
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var selected []*lint.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "goldilocks-lint: unknown analyzer %q (run with -list to see the suite)\n", name)
+				return 2
+			}
+			selected = append(selected, a)
+		}
+		analyzers = selected
 	}
-	diags, err := lint.Run(pkgs, lint.Analyzers())
+
+	pkgs, err := lint.Load(*dir, fs.Args()...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	if *jsonOut {
+		type jsonDiag struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "goldilocks-lint: %d violation(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "goldilocks-lint: %d violation(s)\n", len(diags))
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureDir is the lint fixture module, whose packages have known
+// violation counts the driver tests can rely on.
+var fixtureDir = filepath.Join("..", "..", "internal", "lint", "testdata", "src")
+
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name       string
+		args       []string
+		wantCode   int
+		wantStdout string // substring; "" means stdout must be empty
+		wantStderr string // substring; "" means no constraint
+	}{
+		{
+			name:     "clean package exits 0",
+			args:     []string{"-C", fixtureDir, "-analyzers", "maporder", "./internal/experiments/uncovered"},
+			wantCode: 0,
+		},
+		{
+			name:       "findings exit 1",
+			args:       []string{"-C", fixtureDir, "-analyzers", "maporder", "./internal/partition/maporderfix"},
+			wantCode:   1,
+			wantStdout: "order-sensitive body",
+			wantStderr: "violation(s)",
+		},
+		{
+			name:       "arenapair findings exit 1",
+			args:       []string{"-C", fixtureDir, "-analyzers", "arenapair", "./internal/partition/arenapairfix"},
+			wantCode:   1,
+			wantStdout: "neither released nor handed off",
+		},
+		{
+			name:       "unknown analyzer exits 2",
+			args:       []string{"-C", fixtureDir, "-analyzers", "nosuch", "./internal/experiments/uncovered"},
+			wantCode:   2,
+			wantStderr: `unknown analyzer "nosuch"`,
+		},
+		{
+			name:       "load error exits 2",
+			args:       []string{"-C", fixtureDir, "./internal/does/not/exist"},
+			wantCode:   2,
+			wantStderr: "lint:",
+		},
+		{
+			name:       "bad flag exits 2",
+			args:       []string{"-definitely-not-a-flag"},
+			wantCode:   2,
+			wantStderr: "flag provided but not defined",
+		},
+		{
+			name:       "list exits 0 and names the suite",
+			args:       []string{"-list"},
+			wantCode:   0,
+			wantStdout: "allocfree",
+		},
+		{
+			name:       "listargs prints the loader vector for the Makefile cache",
+			args:       []string{"-listargs"},
+			wantCode:   0,
+			wantStdout: "list -e -export -deps",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(c.args, &stdout, &stderr)
+			if code != c.wantCode {
+				t.Fatalf("exit code = %d, want %d\nstdout: %s\nstderr: %s",
+					code, c.wantCode, stdout.String(), stderr.String())
+			}
+			if c.wantStdout == "" {
+				if stdout.Len() != 0 {
+					t.Errorf("stdout = %q, want empty", stdout.String())
+				}
+			} else if !strings.Contains(stdout.String(), c.wantStdout) {
+				t.Errorf("stdout %q does not contain %q", stdout.String(), c.wantStdout)
+			}
+			if c.wantStderr != "" && !strings.Contains(stderr.String(), c.wantStderr) {
+				t.Errorf("stderr %q does not contain %q", stderr.String(), c.wantStderr)
+			}
+		})
+	}
+}
+
+// TestListNamesFullSuite pins the -list contract: every registered
+// analyzer appears, so CI logs always show what actually ran.
+func TestListNamesFullSuite(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit code = %d, stderr: %s", code, stderr.String())
+	}
+	for _, name := range []string{"maporder", "nondeterm", "boundedgo", "allocfree", "arenapair", "spanowner"} {
+		if !strings.Contains(stdout.String(), name+":") {
+			t.Errorf("-list output lacks analyzer %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+// TestJSONFindings checks the machine-readable output: a valid JSON
+// array, stable across runs, with the position fields populated.
+func TestJSONFindings(t *testing.T) {
+	args := []string{"-C", fixtureDir, "-json", "-analyzers", "maporder", "./internal/partition/maporderfix"}
+	var out1, out2, stderr bytes.Buffer
+	if code := run(args, &out1, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if code := run(args, &out2, &stderr); code != 1 {
+		t.Fatalf("second run exit code = %d, want 1", code)
+	}
+	if out1.String() != out2.String() {
+		t.Error("same input produced different JSON bytes")
+	}
+
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out1.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out1.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("JSON output has no findings for a fixture with known violations")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "maporder" {
+			t.Errorf("unexpected analyzer %q in -analyzers maporder run", d.Analyzer)
+		}
+		if d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestJSONCleanIsEmptyArray pins the no-findings JSON shape: consumers
+// get [], not null.
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-C", fixtureDir, "-json", "-analyzers", "maporder", "./internal/experiments/uncovered"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean JSON output = %q, want []", got)
+	}
+}

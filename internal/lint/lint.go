@@ -17,6 +17,27 @@
 //     (partition.Limiter), which both caps goroutine fan-out and keeps
 //     randomness private to each subproblem.
 //
+// A second generation of analyzers turns the PR 5/6 performance contracts
+// — the allocation-free CSR hot path and the pooled-arena ownership
+// discipline — into compile-time proofs:
+//
+//   - allocfree: functions annotated //goldilocks:hotpath must produce no
+//     `escapes to heap` / `moved to heap` escape-analysis diagnostics; the
+//     package is compiled with -gcflags=-m and every diagnostic inside an
+//     annotated function is an error.
+//   - arenapair: every arena acquire (a get*/Get* call returning an
+//     *arena/*scratch-shaped value) must be released, deferred-released,
+//     or handed off on every path to every return, with the release
+//     matching the acquired value; arena-owned slices must not escape via
+//     returns, stores into foreign structs, or goroutine captures.
+//   - spanowner: telemetry spans are created by a single owner before any
+//     fork — no Span/Tracer Child/Root/Start* calls inside `go` function
+//     literals or inside functions reachable only from them.
+//
+// Run also reports, as analyzer "stalewaiver", any //lint:ignore comment
+// naming an analyzer in the run set that suppressed nothing — waiver debt
+// cannot rot silently.
+//
 // The API deliberately mirrors golang.org/x/tools/go/analysis
 // (Analyzer/Pass/Diagnostic) so the suite can be rehosted on the upstream
 // multichecker verbatim once the dependency is available; the toolchain
@@ -82,9 +103,11 @@ type Analyzer struct {
 }
 
 // A Pass provides one analyzer with the parsed, type-checked view of a
-// single package and a sink for its diagnostics.
+// single package and a sink for its diagnostics. Dir is the package's
+// source directory (see Package.Dir).
 type Pass struct {
 	Analyzer  *Analyzer
+	Dir       string
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
@@ -95,9 +118,16 @@ type Pass struct {
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.ReportAtf(p.Fset.Position(pos), format, args...)
+}
+
+// ReportAtf records a diagnostic at an already-resolved file position —
+// the path for findings that originate outside the FileSet, such as the
+// compiler escape diagnostics allocfree attributes back to source lines.
+func (p *Pass) ReportAtf(pos token.Position, format string, args ...interface{}) {
 	p.report(Diagnostic{
 		Analyzer: p.Analyzer.Name,
-		Pos:      p.Fset.Position(pos),
+		Pos:      pos,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
@@ -115,7 +145,12 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 }
 
-// Analyzers returns the full goldilocks-lint suite in a stable order.
+// Analyzers returns the full goldilocks-lint suite in a stable order: the
+// three determinism analyzers from PR 2 followed by the performance- and
+// ownership-contract analyzers (allocfree, arenapair, spanowner).
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrderAnalyzer, NonDetermAnalyzer, BoundedGoAnalyzer}
+	return []*Analyzer{
+		MapOrderAnalyzer, NonDetermAnalyzer, BoundedGoAnalyzer,
+		AllocFreeAnalyzer, ArenaPairAnalyzer, SpanOwnerAnalyzer,
+	}
 }

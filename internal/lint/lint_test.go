@@ -103,6 +103,28 @@ func TestBoundedGoAnalyzer(t *testing.T) {
 	runFixture(t, []*lint.Analyzer{lint.BoundedGoAnalyzer}, "./internal/graph/boundedgofix")
 }
 
+// TestAllocFreeAnalyzer compiles the fixture with -gcflags=-m for real:
+// the markers pin the compiler's escape diagnostics to annotated
+// functions, the waived growth call, and the unannotated helpers.
+func TestAllocFreeAnalyzer(t *testing.T) {
+	runFixture(t, []*lint.Analyzer{lint.AllocFreeAnalyzer}, "./internal/partition/allocfreefix")
+}
+
+func TestArenaPairAnalyzer(t *testing.T) {
+	runFixture(t, []*lint.Analyzer{lint.ArenaPairAnalyzer}, "./internal/partition/arenapairfix")
+}
+
+func TestSpanOwnerAnalyzer(t *testing.T) {
+	runFixture(t, []*lint.Analyzer{lint.SpanOwnerAnalyzer}, "./internal/telemetry/spanownerfix")
+}
+
+// TestStaleWaiver exercises the run-level stalewaiver report: used
+// waivers and waivers naming analyzers outside the run set stay silent,
+// unused in-set waivers are flagged, and the flag is itself waivable.
+func TestStaleWaiver(t *testing.T) {
+	runFixture(t, []*lint.Analyzer{lint.MapOrderAnalyzer}, "./internal/partition/stalewaiverfix")
+}
+
 // TestAnalyzersSkipUncoveredPackages proves the suite scopes to the
 // deterministic packages: the uncovered fixture commits every banned
 // pattern at once and must produce zero diagnostics.

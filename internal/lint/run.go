@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/token"
 	"regexp"
 	"sort"
 	"strings"
@@ -14,6 +15,14 @@ import (
 // The reason after the analyzer list is mandatory.
 var waiverRe = regexp.MustCompile(`^//\s*lint:ignore\s+([A-Za-z0-9_,]+)\s+(\S.*)$`)
 
+// StaleWaiverName is the pseudo-analyzer under which Run reports
+// //lint:ignore directives that suppressed nothing. It is not part of
+// Analyzers() — staleness is a property of the run, not of one package
+// pass — but it participates in the waiver grammar like any analyzer, so
+// a deliberately-kept waiver can itself be waived with
+// //lint:ignore stalewaiver <reason>.
+const StaleWaiverName = "stalewaiver"
+
 // waiverKey identifies one (file, line, analyzer) suppression.
 type waiverKey struct {
 	file     string
@@ -21,11 +30,23 @@ type waiverKey struct {
 	analyzer string
 }
 
+// waiver is one parsed //lint:ignore directive for one analyzer name: it
+// covers its own source line and the line below, and records whether it
+// ever suppressed a diagnostic so Run can flag stale waiver debt.
+type waiver struct {
+	file     string
+	line     int // line of the comment itself
+	analyzer string
+	used     bool
+}
+
 // collectWaivers scans a package's comments for //lint:ignore directives. A
 // directive waives its own source line and the line below it, so both
 // trailing comments and own-line comments above the offending statement
-// work.
-func collectWaivers(pkg *Package, into map[waiverKey]bool) {
+// work. Each (directive, analyzer) pair becomes one waiver record indexed
+// under both covered lines.
+func collectWaivers(pkg *Package, into map[waiverKey][]*waiver) []*waiver {
+	var records []*waiver
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -39,22 +60,42 @@ func collectWaivers(pkg *Package, into map[waiverKey]bool) {
 					if name == "" {
 						continue
 					}
-					into[waiverKey{pos.Filename, pos.Line, name}] = true
-					into[waiverKey{pos.Filename, pos.Line + 1, name}] = true
+					w := &waiver{file: pos.Filename, line: pos.Line, analyzer: name}
+					records = append(records, w)
+					into[waiverKey{pos.Filename, pos.Line, name}] = append(into[waiverKey{pos.Filename, pos.Line, name}], w)
+					into[waiverKey{pos.Filename, pos.Line + 1, name}] = append(into[waiverKey{pos.Filename, pos.Line + 1, name}], w)
 				}
 			}
 		}
 	}
+	return records
 }
 
 // Run applies every analyzer to every package and returns the surviving
 // diagnostics sorted by position. Diagnostics on lines carrying a matching
 // //lint:ignore waiver are dropped. Analyzer Run errors abort the whole
 // run: a broken analyzer must fail loudly, not pass silently.
+//
+// After all analyzers have run, every waiver naming an analyzer in this
+// run's set that suppressed nothing is itself reported (as "stalewaiver"):
+// a waiver outliving its diagnostic is debt that would otherwise rot
+// unnoticed, and deleting it is always safe — if the finding comes back,
+// so does the lint error. Waivers naming analyzers outside the run set are
+// left alone (a partial run cannot judge them), and a stale report can be
+// silenced with //lint:ignore stalewaiver <reason> when a waiver guards a
+// configuration the default toolchain does not exercise.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	waivers := make(map[waiverKey]bool)
+	waivers := make(map[waiverKey][]*waiver)
+	var records []*waiver
 	for _, pkg := range pkgs {
-		collectWaivers(pkg, waivers)
+		records = append(records, collectWaivers(pkg, waivers)...)
+	}
+	suppress := func(d Diagnostic) bool {
+		ws := waivers[waiverKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]
+		for _, w := range ws {
+			w.used = true
+		}
+		return len(ws) > 0
 	}
 
 	var diags []Diagnostic
@@ -62,12 +103,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
+				Dir:       pkg.Dir,
 				Fset:      pkg.Fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Pkg,
 				TypesInfo: pkg.TypesInfo,
 				report: func(d Diagnostic) {
-					if waivers[waiverKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+					if suppress(d) {
 						return
 					}
 					diags = append(diags, d)
@@ -78,6 +120,25 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
+
+	inRun := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		inRun[a.Name] = true
+	}
+	for _, w := range records {
+		if !w.used && inRun[w.analyzer] {
+			d := Diagnostic{
+				Analyzer: StaleWaiverName,
+				Pos:      token.Position{Filename: w.file, Line: w.line, Column: 1},
+				Message:  "stale //lint:ignore " + w.analyzer + " waiver: the analyzer no longer reports anything on this line; delete the waiver (or waive with //lint:ignore stalewaiver <reason>)",
+			}
+			if suppress(d) {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {

@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SpanOwnerAnalyzer enforces the PR 4 telemetry single-owner rule: every
+// span handed to a fan-out goroutine is created by the owner *before* the
+// fork, so sibling order under a parent span is structural (source order)
+// rather than a race over the parent's children slice. Creating a span
+// inside a goroutine — directly in a `go` function literal, or in a
+// function reachable only from goroutines — reintroduces exactly the
+// nondeterminism the deterministic-trace contract forbids.
+//
+// A span creation is a Child/Root/Start*-named method call on a
+// Span/Tracer-shaped receiver. The reachability half is a fixpoint over
+// the package-local call graph: a function is goroutine-only when every
+// reference to it is a `go f(...)` launch, a call inside a `go` literal,
+// or a call from another goroutine-only function. Exported functions and
+// functions with no in-package references are assumed normally entered
+// (external callers are invisible to a per-package pass). Scoped to
+// DeterministicPackages like the other determinism analyzers.
+var SpanOwnerAnalyzer = &Analyzer{
+	Name: "spanowner",
+	Doc: "flags telemetry span creation (Child/Root/Start* on Span/Tracer receivers) " +
+		"inside go literals or functions reachable only from goroutines; spans must be " +
+		"pre-created by a single owner before the fork",
+	Run: runSpanOwner,
+}
+
+func runSpanOwner(pass *Pass) error {
+	if pass.Pkg == nil || !IsDeterministicPackage(pass.Pkg.Path()) {
+		return nil
+	}
+
+	// Package-level function declarations, keyed by their object.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	// Source extents of every `go func() { ... }` literal, and the callee
+	// identifiers of every `go f(...)` launch of a named function.
+	var goLitRanges []posRange
+	goCallees := make(map[*ast.Ident]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(g.Call.Fun).(type) {
+			case *ast.FuncLit:
+				goLitRanges = append(goLitRanges, posRange{fun.Body.Pos(), fun.Body.End()})
+			case *ast.Ident:
+				goCallees[fun] = true
+			case *ast.SelectorExpr:
+				goCallees[fun.Sel] = true
+			}
+			return true
+		})
+	}
+	inGoLit := func(p token.Pos) bool {
+		for _, r := range goLitRanges {
+			if r.contains(p) {
+				return true
+			}
+		}
+		return false
+	}
+	enclosing := func(p token.Pos) types.Object {
+		for obj, fd := range decls {
+			if fd.Body.Pos() <= p && p < fd.Body.End() {
+				return obj
+			}
+		}
+		return nil
+	}
+
+	// Classify every in-package reference to a declared function.
+	type ref struct {
+		from  types.Object // enclosing declaration; nil for file-scope refs
+		goCtx bool         // launched with go, or referenced inside a go literal
+	}
+	refs := make(map[types.Object][]ref)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if _, declared := decls[obj]; !declared {
+				return true
+			}
+			refs[obj] = append(refs[obj], ref{
+				from:  enclosing(id.Pos()),
+				goCtx: goCallees[id] || inGoLit(id.Pos()),
+			})
+			return true
+		})
+	}
+
+	// Fixpoint: a function is normally entered when it is exported, has no
+	// in-package references (an entry point to this pass's horizon), or has
+	// a non-go reference from file scope or another normally-entered
+	// function. Everything else is reachable only from goroutines.
+	normal := make(map[types.Object]bool)
+	for obj, fd := range decls {
+		if fd.Name.IsExported() || len(refs[obj]) == 0 {
+			normal[obj] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj := range decls {
+			if normal[obj] {
+				continue
+			}
+			for _, r := range refs[obj] {
+				if !r.goCtx && (r.from == nil || normal[r.from]) {
+					normal[obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !spanCreation(pass, call) {
+				return true
+			}
+			switch {
+			case inGoLit(call.Pos()):
+				pass.Reportf(call.Pos(),
+					"span created inside a goroutine; the single-owner rule requires the parent to pre-create spans before the fork (or waive with //lint:ignore spanowner <reason>)")
+			default:
+				if owner := enclosing(call.Pos()); owner != nil && !normal[owner] {
+					pass.Reportf(call.Pos(),
+						"span created in %s, which is reachable only from goroutines; hoist the creation to the forking owner (or waive with //lint:ignore spanowner <reason>)",
+						declName(decls[owner]))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// posRange is a [from, to) source extent.
+type posRange struct{ from, to token.Pos }
+
+func (r posRange) contains(p token.Pos) bool { return r.from <= p && p < r.to }
+
+// spanCreation reports whether the call mints a new telemetry span: a
+// Child, Root, or Start*-named method on a Span- or Tracer-shaped
+// receiver. End/Set*/Event calls mutate an existing span and are the
+// operations goroutines are *supposed* to perform on their pre-created
+// span, so only creation names match.
+func spanCreation(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if name != "Child" && name != "Root" && !strings.HasPrefix(name, "Start") {
+		return false
+	}
+	return spanShaped(pass.TypesInfo.TypeOf(sel.X))
+}
+
+// spanShaped reports whether t is (a pointer to) a named type from the
+// telemetry span family: its name contains "span" or "tracer".
+func spanShaped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := strings.ToLower(named.Obj().Name())
+	return strings.Contains(name, "span") || strings.Contains(name, "tracer")
+}
+
+// declName renders a function declaration's name, including the receiver
+// type for methods.
+func declName(fd *ast.FuncDecl) string {
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if t := recvTypeName(fd.Recv.List[0].Type); t != "" {
+			name = t + "." + name
+		}
+	}
+	return name
+}

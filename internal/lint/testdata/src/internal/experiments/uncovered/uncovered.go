@@ -16,3 +16,29 @@ func allAllowedHere(m map[string]int, work func()) ([]int, time.Time, int) {
 	go work()
 	return out, time.Now(), rand.Intn(10)
 }
+
+// scratch and reportSpan give the second-generation analyzers (arenapair,
+// spanowner) their banned patterns too: an unpaired acquire and a span
+// created inside a goroutine are fine in experiment code.
+type scratch struct{ buf []int }
+
+func getScratch() *scratch  { return &scratch{} }
+func putScratch(s *scratch) {}
+
+type reportSpan struct{ children []*reportSpan }
+
+func (s *reportSpan) Child(name string) *reportSpan {
+	c := &reportSpan{}
+	s.children = append(s.children, c)
+	return c
+}
+
+func leakyAndForked(root *reportSpan, done chan struct{}) []int {
+	s := getScratch()
+	go func() {
+		root.Child("report")
+		_ = s.buf
+		close(done)
+	}()
+	return s.buf
+}

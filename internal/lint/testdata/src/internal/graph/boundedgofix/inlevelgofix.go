@@ -1,0 +1,66 @@
+// This file covers the in-level chunk fan-out shape added in PR 6
+// (internal/partition/inlevel.go runChunks): workers pull edge-balanced
+// chunks off a shared atomic cursor, extra workers are spawned only while
+// pool slots are free, and the caller always works inline. The launch
+// sites postdate the original fixtures, so the shape gets its own
+// positive/negative pair here.
+package boundedgofix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Not flagged: the runChunks discipline — each spawned worker defers both
+// its WaitGroup exit and its slot release.
+func runChunksShaped(p pool, bounds []int, visit func(lo, hi int)) {
+	var next int64
+	work := func() {
+		for {
+			c := int(atomic.AddInt64(&next, 1)) - 1
+			if c >= len(bounds)-1 {
+				return
+			}
+			visit(bounds[c], bounds[c+1])
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < len(bounds)-1; i++ {
+		if !p.TryAcquire() {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer p.Release()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}
+
+// Flagged: the same loop with the slot discipline dropped — the WaitGroup
+// joins the workers but nothing bounds how many run.
+func runChunksUnpooled(bounds []int, visit func(lo, hi int)) {
+	var next int64
+	work := func() {
+		for {
+			c := int(atomic.AddInt64(&next, 1)) - 1
+			if c >= len(bounds)-1 {
+				return
+			}
+			visit(bounds[c], bounds[c+1])
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < len(bounds)-1; i++ {
+		wg.Add(1)
+		go func() { // want `goroutine launched outside the bounded worker pool`
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}

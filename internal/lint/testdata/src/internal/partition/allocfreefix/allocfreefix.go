@@ -1,0 +1,74 @@
+// Package allocfreefix exercises the allocfree analyzer: escape-analysis
+// diagnostics inside //goldilocks:hotpath functions are errors, waivers
+// suppress sanctioned cold-start allocations, and unannotated functions
+// may allocate freely.
+package allocfreefix
+
+import "fmt"
+
+// scratch mimics a pooled arena: grow reallocates on capacity miss, the
+// steady state reuses the backing array.
+type scratch struct {
+	buf []int32
+}
+
+// grow is the sanctioned cold-start path; it is not annotated, so its own
+// allocation is outside the contract.
+func (s *scratch) grow(n int) {
+	if cap(s.buf) < n {
+		s.buf = make([]int32, n, n+n/4)
+	}
+	s.buf = s.buf[:n]
+}
+
+// hotClean is the steady-state shape the contract demands: index arithmetic
+// over pre-grown arena memory, no allocation sites at all.
+//
+//goldilocks:hotpath
+func hotClean(s *scratch, deg []int32) int32 {
+	var acc int32
+	for i := range deg {
+		j := int(deg[i]) % len(s.buf)
+		acc += s.buf[j]
+	}
+	return acc
+}
+
+// hotSprintf is the seeded regression from the acceptance criteria: a
+// deliberate fmt.Sprintf on the hot path. Boxing the operand into the
+// interface argument escapes.
+//
+//goldilocks:hotpath
+func hotSprintf(cut int32) string {
+	return fmt.Sprintf("cut=%d", cut) // want `heap allocation in //goldilocks:hotpath function hotSprintf: cut escapes to heap`
+}
+
+// hotLeak returns freshly made memory, so the make escapes.
+//
+//goldilocks:hotpath
+func hotLeak(n int) []int32 {
+	out := make([]int32, n) // want `heap allocation in //goldilocks:hotpath function hotLeak: make\(\[\]int32, n\) escapes to heap`
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// hotWaived models the real hot path's amortized growth: the inlined grow
+// surfaces its cold-start make at this call line, and the waiver blesses it.
+//
+//goldilocks:hotpath
+func hotWaived(s *scratch, n int) int32 {
+	s.grow(n) //lint:ignore allocfree amortized cold-start growth; steady state reuses the arena
+	for i := range s.buf {
+		s.buf[i] = int32(i)
+	}
+	return s.buf[0]
+}
+
+// coldAlloc allocates on every call but carries no annotation, so the
+// analyzer must stay silent here.
+func coldAlloc(n int) []int32 {
+	out := make([]int32, n)
+	return out
+}

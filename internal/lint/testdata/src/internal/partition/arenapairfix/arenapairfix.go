@@ -1,0 +1,189 @@
+// Package arenapairfix is a goldilocks-lint fixture for the arenapair
+// analyzer: every arena acquire must be released or handed off on all
+// paths, releases must match acquires, and arena-owned slices must not
+// escape the arena's lifetime.
+package arenapairfix
+
+import "errors"
+
+var errEmpty = errors.New("arenapairfix: empty work")
+
+// scratch mirrors the CSR core's pooled arenas (levelArena, tryScratch).
+type scratch struct {
+	buf  []int32
+	side []int8
+}
+
+func (s *scratch) grow(n int) {
+	if cap(s.buf) < n {
+		s.buf = make([]int32, n)
+	}
+	s.buf = s.buf[:n]
+}
+
+var freeScratch []*scratch
+
+func getScratch() *scratch {
+	if n := len(freeScratch); n > 0 {
+		s := freeScratch[n-1]
+		freeScratch = freeScratch[:n-1]
+		return s
+	}
+	return &scratch{}
+}
+
+func putScratch(s *scratch) { freeScratch = append(freeScratch, s) }
+
+// Not flagged: the canonical pairing — acquire, use, release.
+func paired(work []int32) int32 {
+	s := getScratch()
+	s.grow(len(work))
+	copy(s.buf, work)
+	var acc int32
+	for _, x := range s.buf {
+		acc += x
+	}
+	putScratch(s)
+	return acc
+}
+
+// Not flagged: a deferred release covers every path, early returns
+// included.
+func deferredRelease(work []int32) int32 {
+	s := getScratch()
+	defer putScratch(s)
+	if len(work) == 0 {
+		return 0
+	}
+	s.grow(len(work))
+	copy(s.buf, work)
+	return s.buf[0]
+}
+
+// Not flagged: bare handoff — the callee takes ownership (the
+// splitToFit/extractChild discipline).
+func handoff(work []int32) {
+	s := getScratch()
+	s.grow(len(work))
+	consume(s)
+}
+
+func consume(s *scratch) {
+	putScratch(s)
+}
+
+// slot mirrors tryResult: a result structure holding a checked-out
+// scratch.
+type slot struct{ scr *scratch }
+
+// Not flagged: storing the arena bare into a result slot transfers
+// ownership (the initialBisection runTry pattern); the released-from
+// expression is the slot, not the original variable.
+func storeHandoff(slots []slot, i int) {
+	s := getScratch()
+	slots[i].scr = s
+}
+
+func drainSlots(slots []slot) {
+	for i := range slots {
+		if slots[i].scr != nil {
+			putScratch(slots[i].scr)
+			slots[i].scr = nil
+		}
+	}
+}
+
+// Not flagged: returning the arena bare hands ownership to the caller.
+func returnHandoff(n int) *scratch {
+	s := getScratch()
+	s.grow(n)
+	return s
+}
+
+// Not flagged: an acquire inside a closure resolves inside the closure.
+func closureAcquire(slots []slot) {
+	fill := func(i int) {
+		s := getScratch()
+		slots[i].scr = s
+	}
+	fill(0)
+}
+
+// Flagged: acquired and simply dropped — under sync.Pool this is silent
+// pool-capacity loss.
+func leakedNoReturn(n int) {
+	s := getScratch() // want `arena s is acquired here but neither released nor handed off`
+	s.grow(n)
+}
+
+// Flagged: the early-error path returns while still holding the arena.
+func branchLeak(work []int32) error {
+	s := getScratch()
+	if len(work) == 0 {
+		return errEmpty // want `return leaks arena s \(acquired at line \d+\)`
+	}
+	s.grow(len(work))
+	copy(s.buf, work)
+	putScratch(s)
+	return nil
+}
+
+// Flagged: releasing the same value twice corrupts the pool with an
+// aliased entry.
+func doubleRelease(n int) {
+	s := getScratch()
+	s.grow(n)
+	putScratch(s)
+	putScratch(s) // want `arena s is released again on a path where it was already released`
+}
+
+// Flagged: the returned slice shares the arena's backing array, which is
+// recycled by the deferred release before the caller ever reads it.
+func returnSlice(n int) []int32 {
+	s := getScratch()
+	defer putScratch(s)
+	s.grow(n)
+	return s.buf[:n] // want `arena-owned slice s\.buf escapes via return`
+}
+
+// rowCache is a non-arena structure; parking arena memory in it outlives
+// the release.
+type rowCache struct{ rows []int32 }
+
+// Flagged: storing an owned slice into a foreign structure.
+func storeSlice(c *rowCache, n int) {
+	s := getScratch()
+	defer putScratch(s)
+	s.grow(n)
+	c.rows = s.buf // want `arena-owned slice s\.buf escapes via store into a non-arena structure`
+}
+
+// Flagged: the goroutine reads arena memory that the parent releases
+// immediately after the launch.
+func goCapture(done chan struct{}) {
+	s := getScratch()
+	s.grow(1)
+	go func() {
+		_ = s.buf[0] // want `arena-owned slice s\.buf is captured by a goroutine`
+		close(done)
+	}()
+	putScratch(s)
+}
+
+// Not flagged: a waived intentional checkout (the report lands on the
+// acquire line, which the waiver covers).
+func primeWarmPool(n int) {
+	//lint:ignore arenapair fixture: warm-up priming deliberately keeps the scratch checked out
+	s := getScratch()
+	s.grow(n)
+}
+
+var statsFreed int
+
+// putScratchStats is release-shaped by name but takes a count; the shape
+// check insists release-named calls receive the arena itself.
+func putScratchStats(n int) { statsFreed += n }
+
+func accounting() {
+	putScratchStats(1) // want `release-shaped call putScratchStats does not take a single arena/scratch value`
+}

@@ -1,0 +1,46 @@
+// Package stalewaiverfix is a goldilocks-lint fixture for the stalewaiver
+// report: a //lint:ignore directive naming an analyzer in the run set
+// that suppresses nothing is itself a diagnostic, so waiver debt cannot
+// rot silently. The fixture is exercised with the maporder analyzer only.
+package stalewaiverfix
+
+// Not flagged: the waiver suppresses a live maporder diagnostic on the
+// next line, so it is used.
+func usedWaiver(m map[string][]int) [][]int {
+	var groups [][]int
+	//lint:ignore maporder fixture: downstream consumer sorts the groups
+	for _, g := range m {
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// Flagged: the loop below is a commutative reduction the analyzer never
+// reports — the waiver outlived whatever it once suppressed.
+func staleWaiver(m map[string]float64) float64 {
+	total := 0.0
+	//lint:ignore maporder rewritten long ago; nothing to suppress // want `stale //lint:ignore maporder waiver`
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Not flagged: the waiver names an analyzer outside this run's set; a
+// partial run cannot judge whether it is stale.
+func foreignWaiver(done chan struct{}) {
+	//lint:ignore boundedgo fixture: singleton background loop, not worker fan-out
+	go func() { close(done) }()
+}
+
+// Not flagged: a deliberately-kept waiver is itself waivable — the
+// stalewaiver directive covers the line below it.
+func keptWaiver(m map[string]int) int {
+	n := 0
+	//lint:ignore stalewaiver fixture: the maporder waiver below guards a non-default configuration
+	//lint:ignore maporder kept for a build where the loop body is order-sensitive
+	for range m {
+		n++
+	}
+	return n
+}

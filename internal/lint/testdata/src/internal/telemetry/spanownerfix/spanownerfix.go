@@ -1,0 +1,111 @@
+// Package spanownerfix is a goldilocks-lint fixture for the spanowner
+// analyzer: telemetry spans handed to fan-out goroutines must be created
+// by a single owner before the fork — never inside a `go` literal, and
+// never in a function reachable only from goroutines.
+package spanownerfix
+
+// Span is a local stand-in for telemetry.Span: appending to children is
+// what makes concurrent creation under one parent racy and
+// order-nondeterministic.
+type Span struct {
+	name     string
+	children []*Span
+}
+
+func (s *Span) Child(name string) *Span {
+	c := &Span{name: name}
+	s.children = append(s.children, c)
+	return c
+}
+
+func (s *Span) End() {}
+
+// Tracer is a local stand-in for telemetry.Tracer.
+type Tracer struct{ root *Span }
+
+func (t *Tracer) Root(name string) *Span {
+	t.root = &Span{name: name}
+	return t.root
+}
+
+func (t *Tracer) StartSpan(name string) *Span {
+	return &Span{name: name}
+}
+
+// Not flagged: the single-owner rule followed to the letter — every
+// worker span is created sequentially by the owner, then handed in.
+func fanOutClean(t *Tracer, parts int, done chan struct{}) {
+	root := t.Root("epoch")
+	for i := 0; i < parts; i++ {
+		child := root.Child("worker")
+		go func(c *Span) {
+			defer c.End()
+			done <- struct{}{}
+		}(child)
+	}
+}
+
+// Flagged: creating the child inside the goroutine races siblings over
+// the parent's children slice.
+func fanOutDirty(root *Span, done chan struct{}) {
+	go func() {
+		s := root.Child("worker") // want `span created inside a goroutine`
+		s.End()
+		close(done)
+	}()
+}
+
+// Flagged: tracer Start* calls inside a goroutine are the same violation
+// through the other constructor surface.
+func fanOutTracerDirty(t *Tracer, done chan struct{}) {
+	go func() {
+		s := t.StartSpan("worker") // want `span created inside a goroutine`
+		s.End()
+		close(done)
+	}()
+}
+
+// launch forks worker; worker is referenced nowhere else, so it is
+// reachable only from goroutines.
+func launch(root *Span) {
+	go worker(root)
+}
+
+// Flagged: worker executes exclusively on goroutines, so its span
+// creation is a fork-side creation with extra steps.
+func worker(root *Span) {
+	s := root.Child("work") // want `span created in worker, which is reachable only from goroutines`
+	defer s.End()
+	annotate(s)
+}
+
+// Flagged: the property is transitive — annotate is called normally, but
+// only ever from worker, which never runs outside a goroutine.
+func annotate(s *Span) {
+	c := s.Child("annotate") // want `span created in annotate, which is reachable only from goroutines`
+	c.End()
+}
+
+// Not flagged (false positive guard): shared runs both inline and on a
+// goroutine, so a normal entry path exists and the owner is accountable
+// for the ordering there.
+func launchBoth(root *Span) {
+	shared(root)
+	go shared(root)
+}
+
+func shared(root *Span) {
+	s := root.Child("shared")
+	s.End()
+}
+
+// Not flagged: waived with a reason — a detached span appended after the
+// join barrier cannot race the parent.
+func detached(root *Span, done chan struct{}) {
+	go func() {
+		//lint:ignore spanowner fixture: detached audit span, attached after the join barrier
+		s := root.Child("audit")
+		s.End()
+		close(done)
+	}()
+}

@@ -54,12 +54,14 @@ func BisectFraction(g *graph.Graph, opts Options, frac float64) Bisection {
 // graph g, writing the side assignment into a.side (grown to g.n) and
 // returning the cut weight. opts must already be defaulted; lim is the
 // run-wide worker-slot limiter shared across every nested bisection.
+//
+//goldilocks:hotpath
 func bisectCSR(g *csrGraph, opts Options, frac float64, lim Limiter, a *levelArena) float64 {
 	if frac <= 0 || frac >= 1 {
 		frac = 0.5
 	}
 	n := g.n
-	out := growI8(&a.side, n)
+	out := growI8(&a.side, n) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	if n < 2 {
 		for i := range out {
 			out[i] = 0
@@ -86,7 +88,7 @@ func bisectCSR(g *csrGraph, opts Options, frac float64, lim Limiter, a *levelAre
 
 	sideOf := out
 	if nl > 0 {
-		sideOf = growI8(&a.levels[nl-1].side, coarsest.n)
+		sideOf = growI8(&a.levels[nl-1].side, coarsest.n) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	}
 	initialBisection(coarsest, dspan, opts, frac, lim, a, sideOf)
 	rspan := dspan.Child("refine")
@@ -102,7 +104,7 @@ func bisectCSR(g *csrGraph, opts Options, frac float64, lim Limiter, a *levelAre
 		fineSide := out
 		if i > 0 {
 			fineGraph = &a.levels[i-1].g
-			fineSide = growI8(&a.levels[i-1].side, fineGraph.n)
+			fineSide = growI8(&a.levels[i-1].side, fineGraph.n) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 		}
 		projectSide(lvl, sideOf, fineSide)
 		sideOf = fineSide
@@ -219,11 +221,13 @@ func initialBisection(g *csrGraph, dspan *telemetry.Span, opts Options, frac flo
 // growFromSeed grows side 1 from the seed until its weight reaches the
 // target in some positive dimension, using scr's reused buffers. The
 // returned side slice is scr.side.
+//
+//goldilocks:hotpath
 func growFromSeed(g *csrGraph, seed int32, target resources.Vector, scr *tryScratch) []int8 {
 	n := g.n
-	side := growI8(&scr.side, n)
-	inRegion := growBool(&scr.inRegion, n)
-	attraction := growF(&scr.attraction, n)
+	side := growI8(&scr.side, n)            //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
+	inRegion := growBool(&scr.inRegion, n)  //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
+	attraction := growF(&scr.attraction, n) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	for i := 0; i < n; i++ {
 		side[i] = 0
 		inRegion[i] = false
@@ -277,11 +281,13 @@ func growFromSeed(g *csrGraph, seed int32, target resources.Vector, scr *tryScra
 // balance. Side 1 targets share frac of the total. The keys are computed
 // once per vertex into arena scratch (the legacy implementation recomputed
 // them inside the sort comparisons — same values, quadratically more work).
+//
+//goldilocks:hotpath
 func balancedFallback(g *csrGraph, frac float64, a *levelArena, side []int8) {
 	n := g.n
 	total := g.totalVertexWeight()
-	order := growI32(&a.order, n)
-	keys := growF(&a.keys, n)
+	order := growI32(&a.order, n) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
+	keys := growF(&a.keys, n)     //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	for v := 0; v < n; v++ {
 		order[v] = int32(v)
 		keys[v] = g.vw[v].Normalize(total).Sum()

@@ -17,9 +17,11 @@ import (
 // the match array is arena scratch — the call allocates nothing in steady
 // state. The returned slice maps each vertex to its match, or to itself
 // when unmatched.
+//
+//goldilocks:hotpath
 func heavyEdgeMatching(g *csrGraph, rng *rand.Rand, a *levelArena) []int32 {
 	n := g.n
-	match := growI32(&a.match, n)
+	match := growI32(&a.match, n) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	for i := range match {
 		match[i] = -1
 	}
@@ -63,16 +65,18 @@ func heavyEdgeMatching(g *csrGraph, rng *rand.Rand, a *levelArena) []int32 {
 // AddEdge ordering bit for bit. Above the in-level size floor the rows are
 // built by contractRouteParallel instead — same bytes, fanned out (see
 // inlevel.go).
+//
+//goldilocks:hotpath
 func contract(fine *csrGraph, match []int32, a *levelArena, lvl *csrLevel, lim Limiter) {
 	n := fine.n
-	cmap := growI32(&lvl.cmap, n)
+	cmap := growI32(&lvl.cmap, n) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	for i := range cmap {
 		cmap[i] = -1
 	}
 	// fineOf records each coarse vertex's constituents (second slot −1 for
 	// singletons) so the parallel path can re-derive vertex weights without
 	// a serial accumulation scan.
-	fineOf := growI32(&a.il.fineOf, 2*n)
+	fineOf := growI32(&a.il.fineOf, 2*n) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	next := int32(0)
 	for v := 0; v < n; v++ {
 		if cmap[v] >= 0 {
@@ -92,7 +96,7 @@ func contract(fine *csrGraph, match []int32, a *levelArena, lvl *csrLevel, lim L
 	if useInLevel(n, lim) {
 		contractRouteParallel(fine, cmap, cn, fineOf, a, lvl, lim)
 	} else {
-		vw := growVecs(&lvl.g.vw, cn)
+		vw := growVecs(&lvl.g.vw, cn) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 		for i := range vw {
 			vw[i] = resources.Vector{}
 		}
@@ -140,6 +144,8 @@ func contract(fine *csrGraph, match []int32, a *levelArena, lvl *csrLevel, lim L
 // draws no state reachable from other goroutines (see parallel.go). Levels
 // above the in-level size floor run the chunked matching and parallel
 // contraction paths, whose output is byte-identical to the serial ones.
+//
+//goldilocks:hotpath
 func coarsen(g *csrGraph, opts Options, lim Limiter, a *levelArena) int {
 	nl := 0
 	cur := g
@@ -151,7 +157,7 @@ func coarsen(g *csrGraph, opts Options, lim Limiter, a *levelArena) int {
 		} else {
 			match = heavyEdgeMatching(cur, rng, a)
 		}
-		lvl := a.level(nl)
+		lvl := a.level(nl) //lint:ignore allocfree per-level descriptor, one allocation per coarsening level
 		contract(cur, match, a, lvl, lim)
 		// Stall detection: if matching barely shrank the graph (e.g.
 		// star graphs or mostly-negative edges), further rounds waste
@@ -167,6 +173,8 @@ func coarsen(g *csrGraph, opts Options, lim Limiter, a *levelArena) int {
 
 // projectSide lifts a side assignment from lvl's coarse graph back to the
 // finer graph of the same level, writing into fineSide.
+//
+//goldilocks:hotpath
 func projectSide(lvl *csrLevel, coarseSide, fineSide []int8) {
 	for v, cv := range lvl.cmap {
 		fineSide[v] = coarseSide[cv]

@@ -203,6 +203,8 @@ func putTryScratch(s *tryScratch) { tryScratchPool.Put(s) }
 
 // seeded re-seeds the try's generator, yielding the exact stream of a fresh
 // rand.New(rand.NewSource(seed)).
+//
+//goldilocks:hotpath
 func (s *tryScratch) seeded(seed int64) *rand.Rand {
 	s.rng.Seed(seed)
 	return s.rng
@@ -219,6 +221,8 @@ type tryResult struct {
 // seeded re-seeds the arena's generator, yielding the exact stream of a
 // fresh rand.New(rand.NewSource(seed)) without reallocating the 607-word
 // generator state.
+//
+//goldilocks:hotpath
 func (a *levelArena) seeded(seed int64) *rand.Rand {
 	a.rng.Seed(seed)
 	return a.rng
@@ -282,12 +286,14 @@ func grownCap(n int) int { return n + n/4 }
 
 // growMarker resizes the −1-filled marker array, preserving the all-−1
 // invariant for both freshly allocated and re-sliced regions.
+//
+//goldilocks:hotpath
 func (a *levelArena) growMarker(n int) []int32 {
 	if cap(a.marker) < n {
 		// Initialize the full capacity, not just the requested length:
 		// a later regrow within capacity re-slices past n and must still
 		// see −1 everywhere.
-		m := make([]int32, grownCap(n))
+		m := make([]int32, grownCap(n)) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 		for i := range m {
 			m[i] = -1
 		}
@@ -302,13 +308,15 @@ func (a *levelArena) growMarker(n int) []int32 {
 
 // buildRootCSR flattens g into the arena's subproblem storage with an
 // identity toOrig map.
+//
+//goldilocks:hotpath
 func (a *levelArena) buildRootCSR(g *graph.Graph) *csrGraph {
 	var c graph.CSR
 	c.XAdj, c.Adj, c.AdjW, c.VWgt = a.subXadj, a.subAdj, a.subW, a.subVW
 	g.AppendCSR(&c)
 	a.subXadj, a.subAdj, a.subW, a.subVW = c.XAdj, c.Adj, c.AdjW, c.VWgt
 	n := g.NumVertices()
-	orig := growI32(&a.subOrig, n)
+	orig := growI32(&a.subOrig, n) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	for v := range orig {
 		orig[v] = int32(v)
 	}
@@ -324,6 +332,8 @@ func (a *levelArena) buildRootCSR(g *graph.Graph) *csrGraph {
 // and the layout extractChild preserves as a fixed point — so the recursive
 // driver's subgraph chain reproduces the legacy Subgraph-per-level float
 // orderings without ever materializing a Graph copy.
+//
+//goldilocks:hotpath
 func (a *levelArena) buildRootCSRNormalized(g *graph.Graph) *csrGraph {
 	n := g.NumVertices()
 	halves := a.halves[:0]
@@ -337,13 +347,13 @@ func (a *levelArena) buildRootCSRNormalized(g *graph.Graph) *csrGraph {
 		}
 	}
 	if int64(n) > math.MaxInt32 || int64(len(halves)) > math.MaxInt32 {
-		panic(fmt.Sprintf("partition: CSR conversion overflows int32 ids (%d vertices, %d half-edges)", n, len(halves)))
+		panic(fmt.Sprintf("partition: CSR conversion overflows int32 ids (%d vertices, %d half-edges)", n, len(halves))) //lint:ignore allocfree int32-overflow panic message, unreachable below 2^31 half-edges
 	}
 	a.halves = halves
 	// Graph rows carry distinct neighbors, so routing needs no dedup.
 	a.routeHalves(n, false, &a.subXadj, &a.subAdj, &a.subW)
-	vw := growVecs(&a.subVW, n)
-	orig := growI32(&a.subOrig, n)
+	vw := growVecs(&a.subVW, n)    //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
+	orig := growI32(&a.subOrig, n) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	for v := 0; v < n; v++ {
 		vw[v] = g.VertexWeight(v)
 		orig[v] = int32(v)
@@ -354,9 +364,11 @@ func (a *levelArena) buildRootCSRNormalized(g *graph.Graph) *csrGraph {
 
 // level returns the i-th coarsening level's storage, growing the hierarchy
 // on demand.
+//
+//goldilocks:hotpath
 func (a *levelArena) level(i int) *csrLevel {
 	for len(a.levels) <= i {
-		a.levels = append(a.levels, new(csrLevel))
+		a.levels = append(a.levels, new(csrLevel)) //lint:ignore allocfree per-level descriptor, one allocation per coarsening level
 	}
 	return a.levels[i]
 }
@@ -365,8 +377,10 @@ func (a *levelArena) level(i int) *csrLevel {
 // arena's reused permutation buffer: iteration i draws rng.Intn(i+1), so
 // for a given seed the visit order is byte-for-byte the one rand.Perm
 // produced before the arena existed (pinned by TestHeavyEdgeMatchingOrder).
+//
+//goldilocks:hotpath
 func (a *levelArena) permInto(rng *rand.Rand, n int) []int32 {
-	p := growI32(&a.perm, n)
+	p := growI32(&a.perm, n) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	for i := 0; i < n; i++ {
 		j := rng.Intn(i + 1)
 		p[i] = p[j]
@@ -381,12 +395,14 @@ func (a *levelArena) permInto(rng *rand.Rand, n int) []int32 {
 // weights at the position of the first occurrence — exactly the semantics
 // of graph.Graph.AddEdge's linear-scan accumulation, in the same order.
 // The routed rows are appended into (*xadj, *adj, *w).
+//
+//goldilocks:hotpath
 func (a *levelArena) routeHalves(n int, dedup bool, xadj *[]int32, adj *[]int32, w *[]float64) {
 	halves := a.halves
-	xa := growI32(xadj, n+1)
+	xa := growI32(xadj, n+1) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 
 	// Pass 1: per-row counts → provisional row offsets.
-	pos := growI32(&a.rowPos, n+1)
+	pos := growI32(&a.rowPos, n+1) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	for i := range pos {
 		pos[i] = 0
 	}
@@ -399,8 +415,8 @@ func (a *levelArena) routeHalves(n int, dedup bool, xadj *[]int32, adj *[]int32,
 
 	// Pass 2: stable scatter into row-grouped scratch. The scratch is the
 	// final adjacency when no dedup is needed.
-	ad := growI32(adj, len(halves))
-	wt := growF(w, len(halves))
+	ad := growI32(adj, len(halves)) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
+	wt := growF(w, len(halves))     //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	for i := range halves {
 		h := &halves[i]
 		p := pos[h.row]
@@ -419,7 +435,7 @@ func (a *levelArena) routeHalves(n int, dedup bool, xadj *[]int32, adj *[]int32,
 	// Pass 3: in-place per-row dedup+accumulate, first occurrence keeping
 	// its position. marker[col] is the output index of col within the
 	// current row, restored to −1 before moving on.
-	marker := a.growMarker(n)
+	marker := a.growMarker(n) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	out := int32(0)
 	for v := 0; v < n; v++ {
 		lo, hi := xa[v], xa[v+1]
@@ -450,8 +466,10 @@ func (a *levelArena) routeHalves(n int, dedup bool, xadj *[]int32, adj *[]int32,
 // assigned in ascending parent order, edges are routed in the parent's
 // row-scan order with both halves emitted when the lower endpoint is
 // visited — reproducing graph.Graph.Subgraph's adjacency layout exactly.
+//
+//goldilocks:hotpath
 func extractChild(parent *csrGraph, side []int8, s int8, pa, ca *levelArena) *csrGraph {
-	remap := growI32(&pa.remap, parent.n)
+	remap := growI32(&pa.remap, parent.n) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	m := 0
 	for v := 0; v < parent.n; v++ {
 		if side[v] == s {
@@ -462,8 +480,8 @@ func extractChild(parent *csrGraph, side []int8, s int8, pa, ca *levelArena) *cs
 		}
 	}
 
-	vw := growVecs(&ca.subVW, m)
-	orig := growI32(&ca.subOrig, m)
+	vw := growVecs(&ca.subVW, m)    //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
+	orig := growI32(&ca.subOrig, m) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	i := 0
 	for v := 0; v < parent.n; v++ {
 		if side[v] != s {

