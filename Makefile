@@ -34,7 +34,7 @@ SCALING_COUNT ?= 2
 # shaped amortization breaking down).
 ALLOCS_CEILING_100K ?= 200000
 
-.PHONY: all build test race bench bench-json telemetry-overhead allocs-guard scaling-bench scaling-guard fmt fmt-check vet lint fuzz-smoke ci
+.PHONY: all build test race bench bench-json telemetry-overhead allocs-guard scaling-bench scaling-guard crash-replay-guard fmt fmt-check vet lint fuzz-smoke ci
 
 all: build test
 
@@ -113,6 +113,13 @@ allocs-guard:
 		-benchtime 1x -count 1 -run '^$$' -timeout 1h . | tee bench_allocs_large.txt
 	$(GO) run ./cmd/benchjson -guard 'BenchmarkPartitionAllocs/powerlaw-100k' \
 		-metric allocs -max-allocs $(ALLOCS_CEILING_100K) -current bench_allocs_large.txt
+
+# Crash-recovery contract (blocking in CI): every-record-boundary
+# crash/resume byte-identity under the race detector, plus a CLI-level
+# crash → resume diff of the goldilocks-sim crashchaos output. See
+# scripts/crash_replay_guard.sh and DESIGN.md §5.1.8.
+crash-replay-guard:
+	sh scripts/crash_replay_guard.sh
 
 fmt:
 	gofmt -l -w .

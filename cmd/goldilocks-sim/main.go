@@ -7,11 +7,21 @@
 //	goldilocks-sim -experiment fig13 -arity 28     # paper-scale Fig. 13
 //
 // Experiments: fig1a fig1b fig2 fig3 table2 fig5 fig7 fig9 fig10 fig11
-// fig12 fig13 ext-incremental chaos all. Output is the text table
-// corresponding to the figure's series; see EXPERIMENTS.md for the
+// fig12 fig13 ext-incremental chaos crashchaos all. Output is the text
+// table corresponding to the figure's series; see EXPERIMENTS.md for the
 // paper-vs-measured comparison. The chaos experiment sweeps seeded fault
 // injection (-mttf, -mttr, -burst) over all policies plus the incremental
 // variant, under one identical fault schedule per cell.
+//
+// Crash recovery (crashchaos — the journaled control-plane chaos cell):
+//
+//	goldilocks-sim -experiment crashchaos -journal j/                  # write-ahead journaled run
+//	goldilocks-sim -experiment crashchaos -journal j/ -crash-at-epoch 7  # die mid-run (simulated kill)
+//	goldilocks-sim -experiment crashchaos -journal j/ -resume          # recover and finish the run
+//
+// The resumed run's "epoch …" and "final: …" lines are byte-identical to
+// an uninterrupted run's, whichever record boundary the crash tore
+// (-crash-at-record picks it); `make crash-replay-guard` enforces this.
 //
 // Observability (cluster-loop experiments: fig9 fig10 fig13 chaos
 // ext-incremental):
@@ -36,6 +46,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	rtrace "runtime/trace"
 	"strconv"
 	"strings"
@@ -91,6 +102,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mttr   = fs.Float64("mttr", 0, "chaos: mean outage duration in epochs (default 1.5)")
 		burst  = fs.String("burst", "", "chaos: comma-separated crash burst-size sweep (default 1,3)")
 
+		journalDir   = fs.String("journal", "", "crashchaos: write-ahead journal the run into this directory")
+		resume       = fs.Bool("resume", false, "crashchaos: recover from the -journal directory's journal and continue")
+		crashAtEpoch = fs.Int("crash-at-epoch", -1, "crashchaos: simulate a control-plane kill during this epoch (-1 = none)")
+		crashAtRec   = fs.Int("crash-at-record", -1, "crashchaos: journal-record boundary within the crash epoch the kill lands after (-1 = before any record)")
+
 		traceOut   = fs.String("trace-out", "", "write a Chrome trace_event JSON (Perfetto-loadable) of the run")
 		traceTree  = fs.String("trace-tree", "", "write the span tree as indented text")
 		traceWall  = fs.Bool("trace-wall", false, "use wall-clock timestamps in -trace-out (non-deterministic)")
@@ -137,7 +153,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	ids := strings.Split(strings.ToLower(*exp), ",")
 	if *exp == "all" {
-		ids = []string{"fig1a", "fig1b", "fig2", "fig3", "table2", "fig5", "fig7", "fig12", "fig9", "fig10", "fig11", "fig13", "ext-incremental", "chaos"}
+		ids = []string{"fig1a", "fig1b", "fig2", "fig3", "table2", "fig5", "fig7", "fig12", "fig9", "fig10", "fig11", "fig13", "ext-incremental", "chaos", "crashchaos"}
 	}
 
 	// fig11 needs fig9+fig10 results; cache them across ids.
@@ -269,6 +285,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 					} else {
 						r.Print(stdout)
 					}
+				}
+			}
+		case "crashchaos":
+			opts := experiments.DefaultCrashChaos()
+			opts.Seed = *seed
+			opts.Telemetry = sess
+			if *epochs > 0 {
+				opts.Epochs = *epochs
+			}
+			opts.Resume = *resume
+			opts.CrashAtEpoch = *crashAtEpoch
+			opts.CrashAtRecord = *crashAtRec
+			if *journalDir != "" {
+				if err = os.MkdirAll(*journalDir, 0o755); err == nil {
+					opts.JournalPath = filepath.Join(*journalDir, "crashchaos.wal")
+				}
+			} else if *resume || *crashAtEpoch >= 0 {
+				err = fmt.Errorf("-resume and -crash-at-epoch need -journal <dir>")
+			}
+			if err == nil {
+				var r *experiments.CrashChaosResult
+				if r, err = experiments.CrashChaos(opts); err == nil {
+					r.Print(stdout)
 				}
 			}
 		case "ext-incremental":

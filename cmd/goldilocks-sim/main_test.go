@@ -74,3 +74,51 @@ func TestExplainPrintsRationale(t *testing.T) {
 		t.Fatalf("explain output carries no placement rationale:\n%s", stdout.String())
 	}
 }
+
+// crashChaosLines filters a crashchaos run's output down to the
+// byte-identity surface the guard diffs: epoch lines plus the final line.
+func crashChaosLines(s string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "epoch ") || strings.HasPrefix(line, "final:") {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+func TestCrashChaosCrashThenResumeMatchesFullRun(t *testing.T) {
+	dir := t.TempDir()
+	var full, crash, resumed, stderr bytes.Buffer
+
+	if code := run([]string{"-experiment", "crashchaos"}, &full, &stderr); code != 0 {
+		t.Fatalf("full run: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	code := run([]string{"-experiment", "crashchaos", "-journal", dir, "-crash-at-epoch", "7", "-crash-at-record", "1"}, &crash, &stderr)
+	if code != 0 {
+		t.Fatalf("crash run: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(crash.String(), "crash: simulated control-plane kill during epoch 7") {
+		t.Fatalf("crash run output missing crash line:\n%s", crash.String())
+	}
+	code = run([]string{"-experiment", "crashchaos", "-journal", dir, "-resume", "-crash-at-epoch", "7", "-crash-at-record", "1"}, &resumed, &stderr)
+	if code != 0 {
+		t.Fatalf("resume run: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(resumed.String(), "recovered: ") {
+		t.Fatalf("resume output missing recovery banner:\n%s", resumed.String())
+	}
+	if got, want := crashChaosLines(resumed.String()), crashChaosLines(full.String()); got != want {
+		t.Fatalf("resumed epoch/final lines differ from full run:\nfull:\n%s\nresumed:\n%s", want, got)
+	}
+}
+
+func TestCrashChaosResumeWithoutJournalFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-experiment", "crashchaos", "-resume"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "need -journal") {
+		t.Fatalf("stderr = %q, want a need-journal error", stderr.String())
+	}
+}

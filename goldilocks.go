@@ -44,6 +44,7 @@ import (
 	"goldilocks/internal/cluster"
 	"goldilocks/internal/experiments"
 	"goldilocks/internal/graph"
+	"goldilocks/internal/journal"
 	"goldilocks/internal/migrate"
 	"goldilocks/internal/monitor"
 	"goldilocks/internal/netsim"
@@ -294,6 +295,54 @@ func SimulateMigrations(topo *Topology, plan *MigrationPlan, opts MigrationOptio
 // rsync.
 func DefaultMigrationOptions() MigrationOptions { return migrate.DefaultOptions() }
 
+// Crash recovery (the journal subsystem): every epoch is journaled as
+// intent records before it is applied and sealed by a commit record, so a
+// control-plane crash at any byte boundary recovers to the last committed
+// epoch and resumes with a byte-identical report stream. Arm it via
+// RunnerOptions.Journal; see DESIGN.md §5.1.8.
+type (
+	// JournalWriter is the append-only, fsync-per-record epoch journal.
+	JournalWriter = journal.Writer
+	// JournalRecord is one decoded length+CRC framed journal record.
+	JournalRecord = journal.Raw
+	// RunnerState is the journaled control-plane snapshot (epoch,
+	// placement, per-server liveness) sealed into checkpoint and commit
+	// records.
+	RunnerState = journal.RunnerState
+	// MigrationRetryPolicy seeds the deterministic per-transfer
+	// retry/timeout/exponential-backoff schedule; see
+	// RunnerOptions.MigrateRetry.
+	MigrationRetryPolicy = migrate.RetryPolicy
+	// RecoverOutcome summarizes journal recovery: the restored state,
+	// the committed reports to re-emit, orphaned post-commit records,
+	// and whether a torn tail was truncated.
+	RecoverOutcome = cluster.RecoverOutcome
+	// ReconcileReport accounts for half-applied migration waves rolled
+	// forward or back during recovery.
+	ReconcileReport = cluster.ReconcileReport
+)
+
+// CreateJournal opens a fresh epoch journal at path, truncating any
+// existing file. Pass a nil session to disable journal telemetry.
+func CreateJournal(path string, sess *TelemetrySession) (*JournalWriter, error) {
+	return journal.Create(path, sess)
+}
+
+// RecoverJournal replays a journal after a crash: it truncates any torn
+// tail, restores the last committed state, and returns a writer
+// positioned to continue the run. cfgHash must match the value sealed in
+// the checkpoint record, so a journal from a different run configuration
+// is refused rather than silently replayed.
+func RecoverJournal(path string, cfgHash uint64, sess *TelemetrySession) (*JournalWriter, RecoverOutcome, error) {
+	return cluster.RecoverJournal(path, cfgHash, sess)
+}
+
+// WriteCheckpoint seals the run configuration hash and the initial
+// control-plane state into a fresh journal; it must be the first record.
+func WriteCheckpoint(w *JournalWriter, cfgHash uint64, st RunnerState) error {
+	return cluster.WriteCheckpoint(w, cfgHash, st)
+}
+
 // Fault injection and failure recovery (the chaos subsystem): seeded
 // fault schedules replayed deterministically onto a topology between
 // epochs; the cluster runner detects the damage, fails replicas over,
@@ -397,6 +446,10 @@ var (
 	Fig12 = experiments.Fig12
 	// Fig13 runs the large-scale trace-driven simulation.
 	Fig13 = experiments.Fig13
+	// CrashChaos runs the journaled control-plane chaos extension:
+	// solve stragglers, migration flakes and scheduler crashes with
+	// crash/resume byte-identity.
+	CrashChaos = experiments.CrashChaos
 )
 
 // Experiment option types and their paper defaults.
@@ -409,6 +462,12 @@ type (
 	Fig10Options = experiments.Fig10Options
 	// Fig13Options parameterizes the large-scale simulation.
 	Fig13Options = experiments.Fig13Options
+	// CrashChaosOptions parameterizes the control-plane chaos
+	// extension, including the journal path and crash injection point.
+	CrashChaosOptions = experiments.CrashChaosOptions
+	// CrashChaosResult is the journaled chaos run outcome, including
+	// recovery and reconciliation accounting.
+	CrashChaosResult = experiments.CrashChaosResult
 )
 
 // Observability (the telemetry subsystem): a deterministic, dependency-free
@@ -455,3 +514,7 @@ func DefaultFig10Options() Fig10Options { return experiments.DefaultFig10() }
 // DefaultFig13Options returns the paper-scale Fig. 13 configuration
 // (28-ary fat tree: 5488 servers, 49392 containers).
 func DefaultFig13Options() Fig13Options { return experiments.DefaultFig13() }
+
+// DefaultCrashChaosOptions returns the 20-epoch seeded chaos schedule
+// used by the crash-replay guard.
+func DefaultCrashChaosOptions() CrashChaosOptions { return experiments.DefaultCrashChaos() }

@@ -54,6 +54,20 @@ const (
 	// rack crashes and the ToR uplink is cut, all as one event. This is
 	// the failure anti-affinity (§ failure resilience) defends against.
 	KindRackFault
+	// KindSolveStraggler is a control-plane gray failure: the scheduler
+	// itself runs slow (GC pause, noisy co-tenant on the control node) and
+	// the epoch's modeled solve cost is multiplied by Fraction (> 1). The
+	// deadline-budgeted degradation ladder is what defends against it.
+	KindSolveStraggler
+	// KindMigrationFlake makes migration transfers flaky for the outage
+	// window: each transfer attempt fails independently with probability
+	// Fraction. The seeded retry/backoff policy is what rides it out.
+	KindMigrationFlake
+	// KindSchedulerCrash kills the control plane at a point in the epoch
+	// loop: the harness stops after the epoch At falls in, mid-commit
+	// after journal record Record (-1 = at the epoch boundary). The
+	// injector only logs it — the crash/resume harness interprets it.
+	KindSchedulerCrash
 )
 
 // String names the kind.
@@ -71,6 +85,12 @@ func (k Kind) String() string {
 		return "straggler"
 	case KindRackFault:
 		return "rack-fault"
+	case KindSolveStraggler:
+		return "solve-straggler"
+	case KindMigrationFlake:
+		return "migration-flake"
+	case KindSchedulerCrash:
+		return "scheduler-crash"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -89,8 +109,15 @@ type Fault struct {
 	Node int
 	// Fraction is kind-specific: for KindLinkDegrade the share of
 	// capacity *lost* (0,1]; for KindStraggler the share of capacity the
-	// server *retains* (0,1).
+	// server *retains* (0,1); for KindSolveStraggler the modeled solve
+	// cost multiplier (> 1); for KindMigrationFlake the per-attempt
+	// transfer failure probability (0,1].
 	Fraction float64
+	// Record scopes KindSchedulerCrash within its epoch: the crash lands
+	// after the epoch's journal record with this index has been written
+	// (-1 = crash at the epoch boundary, before any record). Ignored by
+	// every other kind.
+	Record int
 }
 
 // end returns when the fault recovers; ok=false for permanent faults.
@@ -164,6 +191,18 @@ func (s *Schedule) Validate(tp *topology.Topology) error {
 			if n.Level != topology.LevelRack {
 				return fmt.Errorf("chaos: fault %d targets node %d at level %v, want rack", i, f.Node, n.Level)
 			}
+		case KindSolveStraggler:
+			if f.Fraction <= 1 {
+				return fmt.Errorf("chaos: fault %d solve-straggler multiplier %v must exceed 1", i, f.Fraction)
+			}
+		case KindMigrationFlake:
+			if f.Fraction <= 0 || f.Fraction > 1 {
+				return fmt.Errorf("chaos: fault %d migration-flake probability %v outside (0, 1]", i, f.Fraction)
+			}
+		case KindSchedulerCrash:
+			if f.Record < -1 {
+				return fmt.Errorf("chaos: fault %d scheduler-crash record %d < -1", i, f.Record)
+			}
 		default:
 			return fmt.Errorf("chaos: fault %d has unknown kind %d", i, int(f.Kind))
 		}
@@ -197,6 +236,14 @@ type GenConfig struct {
 	// LinkFaultFraction is the probability a failure event hits the
 	// fabric (uplink cut or degrade) rather than a server.
 	LinkFaultFraction float64
+	// SolveStragglerFraction is the probability a failure event is a
+	// control-plane gray failure: the scheduler's modeled solve cost is
+	// inflated for the outage window, exercising the degradation ladder.
+	SolveStragglerFraction float64
+	// MigrationFlakeFraction is the probability a failure event makes
+	// migration transfers flaky for the outage window, exercising the
+	// retry/backoff policy.
+	MigrationFlakeFraction float64
 }
 
 // Validate rejects configs the generator cannot honor.
@@ -213,10 +260,12 @@ func (c GenConfig) Validate() error {
 	if c.BurstSize < 1 {
 		return fmt.Errorf("chaos: burst size %d < 1", c.BurstSize)
 	}
-	if c.RackFaultFraction < 0 || c.StragglerFraction < 0 || c.LinkFaultFraction < 0 {
+	if c.RackFaultFraction < 0 || c.StragglerFraction < 0 || c.LinkFaultFraction < 0 ||
+		c.SolveStragglerFraction < 0 || c.MigrationFlakeFraction < 0 {
 		return fmt.Errorf("chaos: negative fault-mix fraction")
 	}
-	if s := c.RackFaultFraction + c.StragglerFraction + c.LinkFaultFraction; s > 1 {
+	if s := c.RackFaultFraction + c.StragglerFraction + c.LinkFaultFraction +
+		c.SolveStragglerFraction + c.MigrationFlakeFraction; s > 1 {
 		return fmt.Errorf("chaos: fault-mix fractions sum to %v > 1", s)
 	}
 	return nil
@@ -276,6 +325,20 @@ func Generate(tp *topology.Topology, cfg GenConfig) (Schedule, error) {
 					Fraction: 0.25 + 0.5*rng.Float64(), // lose 25–75%
 				})
 			}
+		case u < cfg.RackFaultFraction+cfg.StragglerFraction+cfg.LinkFaultFraction+cfg.SolveStragglerFraction:
+			// Control-plane gray failure: the scheduler runs 2–6× slow.
+			s.Faults = append(s.Faults, Fault{
+				Kind: KindSolveStraggler, At: t, Duration: dur,
+				Server: -1, Node: -1,
+				Fraction: 2 + 4*rng.Float64(),
+			})
+		case u < cfg.RackFaultFraction+cfg.StragglerFraction+cfg.LinkFaultFraction+cfg.SolveStragglerFraction+cfg.MigrationFlakeFraction:
+			// Flaky transfer window: each attempt fails with 10–60% odds.
+			s.Faults = append(s.Faults, Fault{
+				Kind: KindMigrationFlake, At: t, Duration: dur,
+				Server: -1, Node: -1,
+				Fraction: 0.1 + 0.5*rng.Float64(),
+			})
 		default:
 			// Independent crash burst: BurstSize distinct servers, all at
 			// once, sharing one repair clock (a maintenance batch).

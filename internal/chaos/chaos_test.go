@@ -355,3 +355,127 @@ func TestKindString(t *testing.T) {
 		t.Fatal("unknown kind must still render")
 	}
 }
+
+func TestValidateControlPlaneFaults(t *testing.T) {
+	tp := testTopology(t)
+	bad := []Fault{
+		{Kind: KindSolveStraggler, At: 0, Server: -1, Node: -1, Fraction: 1},
+		{Kind: KindSolveStraggler, At: 0, Server: -1, Node: -1, Fraction: 0.5},
+		{Kind: KindMigrationFlake, At: 0, Server: -1, Node: -1, Fraction: 0},
+		{Kind: KindMigrationFlake, At: 0, Server: -1, Node: -1, Fraction: 1.2},
+		{Kind: KindSchedulerCrash, At: 0, Server: -1, Node: -1, Record: -2},
+	}
+	for i, f := range bad {
+		s := Schedule{Faults: []Fault{f}}
+		if err := s.Validate(tp); err == nil {
+			t.Errorf("bad control-plane fault %d accepted: %+v", i, f)
+		}
+	}
+	good := Schedule{Faults: []Fault{
+		{Kind: KindSolveStraggler, At: 0, Duration: time.Hour, Server: -1, Node: -1, Fraction: 3},
+		{Kind: KindMigrationFlake, At: 0, Duration: time.Hour, Server: -1, Node: -1, Fraction: 0.25},
+		{Kind: KindSchedulerCrash, At: time.Hour, Server: -1, Node: -1, Record: 2},
+		{Kind: KindSchedulerCrash, At: 2 * time.Hour, Server: -1, Node: -1, Record: -1},
+	}}
+	if err := good.Validate(tp); err != nil {
+		t.Fatalf("valid control-plane schedule rejected: %v", err)
+	}
+}
+
+func TestInjectorControlPlaneWindows(t *testing.T) {
+	tp := testTopology(t)
+	pristine := tp.Clone()
+	s := Schedule{Faults: []Fault{
+		{Kind: KindSolveStraggler, At: time.Hour, Duration: 2 * time.Hour, Server: -1, Node: -1, Fraction: 2},
+		{Kind: KindSolveStraggler, At: 2 * time.Hour, Duration: 2 * time.Hour, Server: -1, Node: -1, Fraction: 3},
+		{Kind: KindMigrationFlake, At: time.Hour, Duration: time.Hour, Server: -1, Node: -1, Fraction: 0.2},
+		{Kind: KindMigrationFlake, At: 90 * time.Minute, Duration: time.Hour, Server: -1, Node: -1, Fraction: 0.5},
+		{Kind: KindSchedulerCrash, At: 3 * time.Hour, Server: -1, Node: -1, Record: 1},
+	}}
+	inj := driveTo(t, tp, s)
+
+	if got := inj.SolveInflation(); got != 1 {
+		t.Fatalf("idle SolveInflation = %v, want 1", got)
+	}
+	if got := inj.MigrationFlakeProb(); got != 0 {
+		t.Fatalf("idle MigrationFlakeProb = %v, want 0", got)
+	}
+
+	inj.AdvanceTo(time.Hour + time.Minute)
+	if got := inj.SolveInflation(); got != 2 {
+		t.Fatalf("t=1h SolveInflation = %v, want 2", got)
+	}
+	if got := inj.MigrationFlakeProb(); got != 0.2 {
+		t.Fatalf("t=1h MigrationFlakeProb = %v, want 0.2", got)
+	}
+
+	// Overlap: stragglers compound, flakes take the worst.
+	inj.AdvanceTo(2*time.Hour + time.Minute)
+	if got := inj.SolveInflation(); got != 6 {
+		t.Fatalf("overlap SolveInflation = %v, want 6", got)
+	}
+	if got := inj.MigrationFlakeProb(); got != 0.5 {
+		t.Fatalf("overlap MigrationFlakeProb = %v, want 0.5", got)
+	}
+
+	// All windows closed; scheduler-crash fired and was logged only.
+	inj.AdvanceTo(5 * time.Hour)
+	if got := inj.SolveInflation(); got != 1 {
+		t.Fatalf("recovered SolveInflation = %v, want 1", got)
+	}
+	if got := inj.MigrationFlakeProb(); got != 0 {
+		t.Fatalf("recovered MigrationFlakeProb = %v, want 0", got)
+	}
+	sameCapacities(t, tp, pristine)
+	var sawCrash bool
+	for _, rec := range inj.Log() {
+		if rec.Fault.Kind == KindSchedulerCrash && !rec.Recovered {
+			sawCrash = true
+			if rec.Fault.Record != 1 {
+				t.Fatalf("crash record index = %d, want 1", rec.Fault.Record)
+			}
+		}
+	}
+	if !sawCrash {
+		t.Fatal("scheduler-crash never reached the audit log")
+	}
+}
+
+func TestGenerateControlPlaneKinds(t *testing.T) {
+	tp := testTopology(t)
+	cfg := genConfig(11)
+	cfg.Horizon = 30 * 24 * time.Hour
+	cfg.SolveStragglerFraction = 0.15
+	cfg.MigrationFlakeFraction = 0.15
+	s, err := Generate(tp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(tp); err != nil {
+		t.Fatalf("generated schedule fails validation: %v", err)
+	}
+	seen := make(map[Kind]bool)
+	for _, f := range s.Faults {
+		seen[f.Kind] = true
+	}
+	if !seen[KindSolveStraggler] || !seen[KindMigrationFlake] {
+		t.Fatalf("30-day schedule missing control-plane kinds: %v", seen)
+	}
+}
+
+// TestGenerateLegacyPrefixStable pins that turning the new control-plane
+// fractions on only *adds* kinds — a schedule generated with them at zero
+// draws the same legacy fault sequence as before they existed.
+func TestGenerateLegacyPrefixStable(t *testing.T) {
+	tp := testTopology(t)
+	a, err := Generate(tp, genConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range a.Faults {
+		switch f.Kind {
+		case KindSolveStraggler, KindMigrationFlake, KindSchedulerCrash:
+			t.Fatalf("zero-fraction config generated control-plane fault %v", f.Kind)
+		}
+	}
+}

@@ -60,6 +60,12 @@ type Injector struct {
 	servers map[int]*serverState // keyed by server id; never iterated
 	links   map[int]*linkState   // keyed by node ID; never iterated
 
+	// Control-plane fault state. These do not mutate the topology — the
+	// cluster loop polls the accessors at each epoch boundary and feeds
+	// them into the epoch input (solve-cost factor, flake probability).
+	solveInflations []float64 // active solve-cost multipliers
+	flakeProbs      []float64 // active per-attempt transfer failure probs
+
 	log  []Record
 	sess *telemetry.Session
 }
@@ -137,6 +143,30 @@ func (inj *Injector) Log() []Record { return inj.log }
 // Pending reports how many schedule events have not fired yet.
 func (inj *Injector) Pending() int { return inj.eng.Pending() }
 
+// SolveInflation returns the current modeled-solve-cost multiplier: the
+// product of all active solve-straggler faults, 1 when none are live.
+// Overlapping stragglers compound — two 2× pauses cost 4×.
+func (inj *Injector) SolveInflation() float64 {
+	m := 1.0
+	for _, f := range inj.solveInflations {
+		m *= f
+	}
+	return m
+}
+
+// MigrationFlakeProb returns the current per-attempt transfer failure
+// probability: the worst (highest) active migration-flake fault, 0 when
+// none are live.
+func (inj *Injector) MigrationFlakeProb() float64 {
+	p := 0.0
+	for _, f := range inj.flakeProbs {
+		if f > p {
+			p = f
+		}
+	}
+	return p
+}
+
 func (inj *Injector) server(id int) *serverState {
 	st := inj.servers[id]
 	if st == nil {
@@ -179,6 +209,12 @@ func (inj *Injector) apply(f Fault) {
 		for _, id := range inj.topo.NodeByID(f.Node).ServerIDs {
 			inj.crashServer(id)
 		}
+	case KindSolveStraggler:
+		inj.solveInflations = append(inj.solveInflations, f.Fraction)
+	case KindMigrationFlake:
+		inj.flakeProbs = append(inj.flakeProbs, f.Fraction)
+	case KindSchedulerCrash:
+		// Audit-trail only: the crash/resume harness interprets it.
 	}
 	inj.record(Record{At: inj.eng.Now(), Fault: f})
 }
@@ -208,6 +244,12 @@ func (inj *Injector) revert(f Fault) {
 		for _, id := range inj.topo.NodeByID(f.Node).ServerIDs {
 			inj.uncrashServer(id)
 		}
+	case KindSolveStraggler:
+		removeFirst(&inj.solveInflations, f.Fraction)
+	case KindMigrationFlake:
+		removeFirst(&inj.flakeProbs, f.Fraction)
+	case KindSchedulerCrash:
+		// Nothing to undo.
 	}
 	inj.record(Record{At: inj.eng.Now(), Fault: f, Recovered: true})
 }

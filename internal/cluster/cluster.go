@@ -20,7 +20,9 @@ import (
 	rtrace "runtime/trace"
 	"time"
 
+	"goldilocks/internal/journal"
 	"goldilocks/internal/metrics"
+	"goldilocks/internal/migrate"
 	"goldilocks/internal/resources"
 	"goldilocks/internal/scheduler"
 	"goldilocks/internal/telemetry"
@@ -60,6 +62,32 @@ type Options struct {
 	// behind goldilocks-sim -explain. Nil disables observability at zero
 	// cost.
 	Telemetry *telemetry.Session
+
+	// Control-plane robustness knobs (see DESIGN.md §5.1.8).
+
+	// SolveDeadline, when positive, budgets each epoch's *modeled* solve
+	// cost: if the configured policy's modeled cost exceeds it, the runner
+	// walks the degradation ladder — warm-start repair, then greedy
+	// first-fit — until a rung fits (greedy is the floor and always runs).
+	// The cost model is deterministic (a function of workload size, never
+	// wall clock), so the ladder choice replays identically after a crash.
+	SolveDeadline time.Duration
+	// MigrateRetry is the retry-policy template for migration transfers.
+	// Its Seed is mixed with the epoch number so every epoch draws a fresh
+	// but reproducible failure/jitter stream. The zero value disables
+	// transfer simulation (legacy diff-only migration accounting).
+	MigrateRetry migrate.RetryPolicy
+	// Journal, when non-nil, write-ahead journals every epoch: intent
+	// records (epoch-begin, placement, migration waves) go to disk before
+	// their effects are applied, and a commit record seals the epoch with
+	// the post-epoch runner state. See RecoverJournal for the resume side.
+	Journal *journal.Writer
+	// CrashAfterRecords, when positive, simulates a control-plane kill:
+	// once that many journal records have been appended by this runner,
+	// RunEpoch aborts with ErrSimulatedCrash immediately after the record
+	// reaches disk — the knob the chaos scheduler-crash fault and the
+	// crash-replay guard drive to tear an epoch at any record boundary.
+	CrashAfterRecords int
 }
 
 // DefaultOptions matches the testbed experiments.
@@ -88,6 +116,14 @@ type EpochInput struct {
 	// (Burst > 1) is exactly the scenario PEE headroom protects against:
 	// 95%-packed servers saturate while 70%-packed servers absorb it.
 	Burst float64
+	// SolveCostFactor multiplies this epoch's modeled solve cost (≤ 0
+	// means 1). The chaos injector's solve-straggler fault feeds it: a
+	// slow control plane pushes the epoch down the degradation ladder.
+	SolveCostFactor float64
+	// MigrationFlakeProb, when positive, overrides the retry policy's
+	// per-attempt transfer failure probability for this epoch — the chaos
+	// migration-flake window.
+	MigrationFlakeProb float64
 }
 
 // EpochReport is the simulator's output for one epoch: the four axes of
@@ -150,6 +186,24 @@ type EpochReport struct {
 	// (Result.TargetUtil): 0.70 at the PEE knee; above it the degradation
 	// ladder spilled and the cubic DVFS penalty applies.
 	SpillTarget float64
+
+	// Control-plane robustness axes (see Options.SolveDeadline and
+	// Options.MigrateRetry).
+
+	// LadderRung is the solve-degradation rung this epoch ran at:
+	// 0 = configured policy, 1 = warm-start repair, 2 = greedy first-fit.
+	LadderRung int
+	// ModeledSolveMS is the deterministic modeled solve cost of the rung
+	// that ran, after the epoch's SolveCostFactor.
+	ModeledSolveMS float64
+	// MigrationRetries counts failed transfer attempts that were retried
+	// (or exhausted) this epoch.
+	MigrationRetries int
+	// DroppedMigrations counts migrations whose every transfer attempt
+	// failed: the container stays on its source server (or cold-restarts
+	// at the destination when the source is dead) instead of migrating,
+	// and the move is excluded from Migrations/MigrationMB.
+	DroppedMigrations int
 }
 
 // Runner drives one policy across epochs on one topology.
@@ -169,6 +223,11 @@ type Runner struct {
 	// hLinkUtil is resolved once so the per-link observation loop never
 	// touches the registry map.
 	hLinkUtil *telemetry.Histogram
+
+	// recordsWritten counts journal appends by this runner instance (not
+	// carried across restarts) — the clock Options.CrashAfterRecords
+	// crashes against.
+	recordsWritten int
 }
 
 // NewRunner builds a runner. The topology is not mutated.
@@ -211,30 +270,70 @@ func (r *Runner) RunEpoch(in EpochInput) (EpochReport, error) {
 	}
 	region := rtrace.StartRegion(context.Background(), "cluster.epoch")
 
+	fail := func(err error) (EpochReport, error) {
+		espan.End()
+		region.End()
+		return EpochReport{}, fmt.Errorf("cluster: epoch %d: %w", r.epoch, err)
+	}
+
 	fspan := espan.Child("snapshot-failures")
 	snap := r.snapshotFailures(in.Spec)
 	fspan.SetInt("failed_servers", snap.failedServers)
 	fspan.SetInt("displaced", len(snap.displaced))
 	fspan.End()
 
+	// Degradation ladder: budget the modeled solve cost before placing.
+	rung, modeledMS := r.chooseRung(len(in.Spec.Containers), in.SolveCostFactor)
+	pol := r.rungPolicy(rung)
+	if rung != RungFull {
+		sess.Counter("cluster_ladder_downgrades_total").Inc()
+		if sess.Auditing() {
+			sess.Decide(telemetry.Decision{
+				Policy: r.policy.Name(), Container: -1, Group: -1,
+				Action: telemetry.ActionDegraded, Server: -1, From: -1,
+				Detail: fmt.Sprintf("modeled solve cost exceeds %v budget; running rung %d (%s) at %.1f ms",
+					r.opts.SolveDeadline, rung, rungName(rung), modeledMS),
+			})
+		}
+	}
+
+	if err := r.journalEpochBegin(rung, modeledMS); err != nil {
+		return fail(err)
+	}
+
 	pspan := espan.Child("place")
+	pspan.SetInt("ladder_rung", rung)
 	pregion := rtrace.StartRegion(context.Background(), "cluster.place")
-	res, rejected, err := r.placeWithAdmissionControl(in.Spec, pspan)
+	res, rejected, err := r.placeWithAdmissionControl(in.Spec, pol, pspan)
 	pregion.End()
 	if err != nil {
 		pspan.SetStr("error", err.Error())
 		pspan.End()
-		espan.End()
-		region.End()
-		return EpochReport{}, fmt.Errorf("cluster: epoch %d: %w", r.epoch, err)
+		return fail(err)
 	}
 	pspan.SetFloat("target_util", res.TargetUtil)
 	pspan.SetInt("shed", len(rejected))
 	pspan.End()
 
+	if err := r.journalPlacement(res, rejected); err != nil {
+		return fail(err)
+	}
+
+	// Execute the migration transfers (journaling each wave first). A
+	// transfer that exhausts its retries reverts the container in
+	// res.Placement, so the accounting below sees the effective placement.
+	retries, dropped, err := r.executeMigrations(in, &res, espan)
+	if err != nil {
+		return fail(err)
+	}
+
 	aspan := espan.Child("account")
 	rep := r.account(in, res)
 	aspan.End()
+	rep.LadderRung = rung
+	rep.ModeledSolveMS = modeledMS
+	rep.MigrationRetries = retries
+	rep.DroppedMigrations = dropped
 
 	rspan := espan.Child("recovery")
 	r.accountRecovery(&rep, in.Spec, res, snap, rejected)
@@ -245,6 +344,9 @@ func (r *Runner) RunEpoch(in EpochInput) (EpochReport, error) {
 	espan.End()
 	region.End()
 	r.epoch++
+	if err := r.journalCommit(rep); err != nil {
+		return rep, fmt.Errorf("cluster: epoch %d: %w", rep.Epoch, err)
+	}
 	return rep, nil
 }
 

@@ -88,9 +88,9 @@ func (r *Runner) snapshotFailures(spec *workload.Spec) failureSnapshot {
 // fits. Shed containers get placement −1. The empty workload always
 // places, so exhaustion of the ladder is impossible; non-capacity errors
 // propagate.
-func (r *Runner) placeWithAdmissionControl(spec *workload.Spec, span *telemetry.Span) (scheduler.Result, []int, error) {
+func (r *Runner) placeWithAdmissionControl(spec *workload.Spec, pol scheduler.Policy, span *telemetry.Span) (scheduler.Result, []int, error) {
 	sess := r.opts.Telemetry
-	res, err := r.policy.Place(scheduler.Request{Spec: spec, Topo: r.topo, Telemetry: sess, Span: span})
+	res, err := pol.Place(scheduler.Request{Spec: spec, Topo: r.topo, Telemetry: sess, Span: span})
 	if err == nil {
 		return res, nil, nil
 	}
@@ -114,7 +114,7 @@ func (r *Runner) placeWithAdmissionControl(spec *workload.Spec, span *telemetry.
 			drop[i] = true
 		}
 		sub, kept := subSpec(spec, drop)
-		subRes, err := r.policy.Place(scheduler.Request{Spec: sub, Topo: r.topo, Telemetry: sess, Span: sspan})
+		subRes, err := pol.Place(scheduler.Request{Spec: sub, Topo: r.topo, Telemetry: sess, Span: sspan})
 		if err != nil {
 			if errors.Is(err, scheduler.ErrNoCapacity) {
 				sspan.SetStr("outcome", "no-fit")

@@ -1,0 +1,407 @@
+// The cluster side of the write-ahead journal: what goes inside each
+// record kind, and how a restart recovers from the log.
+//
+// internal/journal owns the framing and the codec; this file owns the
+// payload schemas, because only the cluster package knows what an epoch
+// is. The per-epoch record sequence is
+//
+//	epoch-begin   epoch number, pre-epoch state hash, ladder rung
+//	placement     the decision (placement, rejections, spill target)
+//	wave × W      one per migration wave, before its transfers run
+//	commit        the full EpochReport + the post-epoch runner state
+//
+// Recovery rolls back to the last commit and re-executes: everything the
+// runner carries across epochs is in the committed state, and every input
+// is deterministic, so recomputation reproduces the uninterrupted run
+// byte for byte. The uncommitted tail records are not discarded silently —
+// Reconcile classifies them (orphaned placement, half-applied waves) into
+// the audit log before re-execution overwrites them.
+package cluster
+
+import (
+	"fmt"
+
+	"goldilocks/internal/journal"
+	"goldilocks/internal/metrics"
+	"goldilocks/internal/migrate"
+	"goldilocks/internal/resources"
+	"goldilocks/internal/scheduler"
+	"goldilocks/internal/telemetry"
+	"goldilocks/internal/workload"
+)
+
+// journalAppend frames and appends one record, then fires the simulated
+// crash if Options.CrashAfterRecords says this record was the last one
+// the control plane lived to write.
+func (r *Runner) journalAppend(kind journal.Kind, body []byte) error {
+	if r.opts.Journal == nil {
+		return nil
+	}
+	if err := r.opts.Journal.Append(kind, body); err != nil {
+		return err
+	}
+	r.recordsWritten++
+	if r.opts.CrashAfterRecords > 0 && r.recordsWritten >= r.opts.CrashAfterRecords {
+		return ErrSimulatedCrash
+	}
+	return nil
+}
+
+// journalEpochBegin declares the intent to execute the current epoch.
+func (r *Runner) journalEpochBegin(rung int, modeledMS float64) error {
+	if r.opts.Journal == nil {
+		return nil
+	}
+	var e journal.Enc
+	e.Int(r.epoch)
+	e.U64(r.Snapshot().Hash())
+	e.Int(rung)
+	e.F64(modeledMS)
+	return r.journalAppend(journal.KindEpochBegin, e.Bytes())
+}
+
+// journalPlacement records the placement decision before it is applied.
+func (r *Runner) journalPlacement(res scheduler.Result, rejected []int) error {
+	if r.opts.Journal == nil {
+		return nil
+	}
+	var e journal.Enc
+	e.F64(res.TargetUtil)
+	if res.AllServersOn {
+		e.Int(1)
+	} else {
+		e.Int(0)
+	}
+	e.Ints(res.Placement)
+	e.Ints(rejected)
+	return r.journalAppend(journal.KindPlacement, e.Bytes())
+}
+
+// journalWave records one migration wave (the containers it transfers)
+// before the transfers run — the boundary mid-commit crashes tear at.
+func (r *Runner) journalWave(wi int, plan *migrate.Plan, wave []int) error {
+	if r.opts.Journal == nil {
+		return nil
+	}
+	containers := make([]int, 0, len(wave))
+	for _, mi := range wave {
+		containers = append(containers, plan.Moves[mi].Container)
+	}
+	var e journal.Enc
+	e.Int(wi)
+	e.Ints(containers)
+	return r.journalAppend(journal.KindWave, e.Bytes())
+}
+
+// journalCommit seals the epoch: the full report plus the post-epoch
+// state (whose Epoch field already points at the next epoch to run).
+func (r *Runner) journalCommit(rep EpochReport) error {
+	if r.opts.Journal == nil {
+		return nil
+	}
+	var e journal.Enc
+	encodeReport(&e, rep)
+	r.Snapshot().Encode(&e)
+	return r.journalAppend(journal.KindCommit, e.Bytes())
+}
+
+// WriteCheckpoint opens a fresh journal's record stream: the run
+// configuration hash (so a resume refuses to continue a different run)
+// plus the initial runner state.
+func WriteCheckpoint(w *journal.Writer, cfgHash uint64, st journal.RunnerState) error {
+	var e journal.Enc
+	e.U64(cfgHash)
+	st.Encode(&e)
+	return w.Append(journal.KindCheckpoint, e.Bytes())
+}
+
+// encodeReport writes every EpochReport field in declaration order. The
+// encoding is part of the journal format: append new fields at the end.
+func encodeReport(e *journal.Enc, rep EpochReport) {
+	e.Int(rep.Epoch)
+	e.Dur(rep.Time)
+	e.Str(rep.Policy)
+	e.Int(rep.ActiveServers)
+	e.F64(rep.ServerPowerW)
+	e.F64(rep.NetworkPowerW)
+	e.F64(rep.TotalPowerW)
+	e.F64(rep.TCT.MeanMS)
+	e.F64(rep.TCT.P50MS)
+	e.F64(rep.TCT.P95MS)
+	e.F64(rep.TCT.P99MS)
+	e.Int(rep.TCT.Count)
+	e.F64(rep.MeanTCTMS)
+	e.F64(rep.Requests)
+	e.F64(rep.EnergyJ)
+	e.F64(rep.EnergyPerRequestJ)
+	e.Int(rep.Migrations)
+	e.F64(rep.MigrationMB)
+	e.F64(rep.MeanServerUtil)
+	e.F64(rep.SLAViolations)
+	e.Int(rep.FailedServers)
+	e.Int(rep.DisplacedContainers)
+	encodeVector(e, rep.DisplacedDemand)
+	e.Int(rep.GroupsDown)
+	e.Int(rep.RecoveryMigrations)
+	e.F64(rep.RecoveryTimeS)
+	e.F64(rep.Availability)
+	e.Int(rep.AdmissionRejected)
+	encodeVector(e, rep.RejectedDemand)
+	e.F64(rep.SpillTarget)
+	e.Int(rep.LadderRung)
+	e.F64(rep.ModeledSolveMS)
+	e.Int(rep.MigrationRetries)
+	e.Int(rep.DroppedMigrations)
+}
+
+// decodeReport reads a report written by encodeReport.
+func decodeReport(d *journal.Dec) (EpochReport, error) {
+	var rep EpochReport
+	rep.Epoch = d.Int()
+	rep.Time = d.Dur()
+	rep.Policy = d.Str()
+	rep.ActiveServers = d.Int()
+	rep.ServerPowerW = d.F64()
+	rep.NetworkPowerW = d.F64()
+	rep.TotalPowerW = d.F64()
+	rep.TCT = metrics.TCTStats{
+		MeanMS: d.F64(),
+		P50MS:  d.F64(),
+		P95MS:  d.F64(),
+		P99MS:  d.F64(),
+		Count:  d.Int(),
+	}
+	rep.MeanTCTMS = d.F64()
+	rep.Requests = d.F64()
+	rep.EnergyJ = d.F64()
+	rep.EnergyPerRequestJ = d.F64()
+	rep.Migrations = d.Int()
+	rep.MigrationMB = d.F64()
+	rep.MeanServerUtil = d.F64()
+	rep.SLAViolations = d.F64()
+	rep.FailedServers = d.Int()
+	rep.DisplacedContainers = d.Int()
+	rep.DisplacedDemand = decodeVector(d)
+	rep.GroupsDown = d.Int()
+	rep.RecoveryMigrations = d.Int()
+	rep.RecoveryTimeS = d.F64()
+	rep.Availability = d.F64()
+	rep.AdmissionRejected = d.Int()
+	rep.RejectedDemand = decodeVector(d)
+	rep.SpillTarget = d.F64()
+	rep.LadderRung = d.Int()
+	rep.ModeledSolveMS = d.F64()
+	rep.MigrationRetries = d.Int()
+	rep.DroppedMigrations = d.Int()
+	return rep, d.Err()
+}
+
+func encodeVector(e *journal.Enc, v resources.Vector) {
+	for i := 0; i < int(resources.NumDims); i++ {
+		e.F64(v[i])
+	}
+}
+
+func decodeVector(d *journal.Dec) resources.Vector {
+	var v resources.Vector
+	for i := 0; i < int(resources.NumDims); i++ {
+		v[i] = d.F64()
+	}
+	return v
+}
+
+// RecoverOutcome is what RecoverJournal found on disk.
+type RecoverOutcome struct {
+	// State is the last committed runner state; its Epoch is the next
+	// epoch to execute. The initial checkpoint counts — a journal with no
+	// epoch commits recovers to the checkpointed start state.
+	State journal.RunnerState
+	// Reports holds every committed epoch's report, in order, decoded
+	// from the commit records. A resume reprints these instead of
+	// re-running their epochs: the journal, not the dead process's
+	// stdout, is the authoritative report stream.
+	Reports []EpochReport
+	// Orphans are the records after the last commit — the partially
+	// journaled epoch a crash tore. Pass them to Reconcile.
+	Orphans []journal.Raw
+	// Torn reports that the file ended in a torn (CRC-failing) tail,
+	// which Resume truncated away.
+	Torn bool
+}
+
+// RecoverJournal reopens a journal for append and rolls state back to the
+// last commit. cfgHash must match the hash stamped by WriteCheckpoint —
+// resuming a journal from a different run configuration is refused, since
+// re-execution would diverge from the journaled intents.
+func RecoverJournal(path string, cfgHash uint64, sess *telemetry.Session) (*journal.Writer, RecoverOutcome, error) {
+	w, recs, err := journal.Resume(path, sess)
+	if err != nil {
+		return nil, RecoverOutcome{}, err
+	}
+	span := sess.Root("journal-replay", 0)
+	defer span.End()
+	span.SetInt("records", len(recs))
+
+	if len(recs) == 0 || recs[0].Kind != journal.KindCheckpoint {
+		w.Close()
+		return nil, RecoverOutcome{}, fmt.Errorf("cluster: journal %s has no checkpoint record", path)
+	}
+	d := journal.NewDec(recs[0].Body)
+	gotHash := d.U64()
+	st, err := journal.DecodeRunnerState(d)
+	if err != nil {
+		w.Close()
+		return nil, RecoverOutcome{}, fmt.Errorf("cluster: journal checkpoint: %w", err)
+	}
+	if gotHash != cfgHash {
+		w.Close()
+		return nil, RecoverOutcome{}, fmt.Errorf("cluster: journal %s was written by a different run configuration (hash %016x, want %016x)", path, gotHash, cfgHash)
+	}
+
+	out := RecoverOutcome{State: st}
+	lastCommit := 0
+	for i, rec := range recs[1:] {
+		if rec.Kind != journal.KindCommit {
+			continue
+		}
+		cd := journal.NewDec(rec.Body)
+		rep, err := decodeReport(cd)
+		if err != nil {
+			w.Close()
+			return nil, RecoverOutcome{}, fmt.Errorf("cluster: commit record %d: %w", i+1, err)
+		}
+		cst, err := journal.DecodeRunnerState(cd)
+		if err != nil {
+			w.Close()
+			return nil, RecoverOutcome{}, fmt.Errorf("cluster: commit record %d state: %w", i+1, err)
+		}
+		out.Reports = append(out.Reports, rep)
+		out.State = cst
+		lastCommit = i + 1
+	}
+	out.Orphans = recs[lastCommit+1:]
+	span.SetInt("committed_epochs", len(out.Reports))
+	span.SetInt("orphan_records", len(out.Orphans))
+	return w, out, nil
+}
+
+// ReconcileReport classifies the uncommitted tail of a recovered journal.
+type ReconcileReport struct {
+	// UncommittedEpoch is the epoch the crash interrupted (-1 when the
+	// crash fell exactly on an epoch boundary and there is nothing to
+	// reconcile).
+	UncommittedEpoch int
+	// Rung is the interrupted epoch's journaled ladder rung.
+	Rung int
+	// OrphanWaves counts migration waves that were journaled (and so may
+	// have partially run) before the crash.
+	OrphanWaves int
+	// RolledBack counts containers in those waves rolled back to their
+	// live source server; re-execution re-decides their moves.
+	RolledBack int
+	// Replaced counts containers that cannot roll back — dead source, or
+	// a fresh arrival with no source — and will be re-placed from
+	// scratch by the re-executed epoch.
+	Replaced int
+}
+
+// Reconcile audits the orphaned records of a torn epoch against the
+// restored state. It mutates nothing: recovery is rollback-and-reexecute,
+// so the restored checkpoint already *is* the truth. What Reconcile adds
+// is the audit trail — which placement was discarded, which half-applied
+// migration waves rolled back to their journaled sources (classified
+// through migrate.Replan, the same machinery live stuck-transfer handling
+// uses) — so an operator can see exactly what the crash interrupted.
+// Call it after Restore(out.State), with the interrupted epoch's spec.
+func (r *Runner) Reconcile(spec *workload.Spec, orphans []journal.Raw) (ReconcileReport, error) {
+	rec := ReconcileReport{UncommittedEpoch: -1}
+	if len(orphans) == 0 {
+		return rec, nil
+	}
+	sess := r.opts.Telemetry
+	span := sess.Root("journal-reconcile", 0)
+	defer span.End()
+
+	var placement []int
+	waveContainers := make(map[int]bool)
+	for _, o := range orphans {
+		d := journal.NewDec(o.Body)
+		switch o.Kind {
+		case journal.KindEpochBegin:
+			rec.UncommittedEpoch = d.Int()
+			_ = d.U64() // state hash
+			rec.Rung = d.Int()
+		case journal.KindPlacement:
+			_ = d.F64() // target util
+			_ = d.Int() // all-servers-on
+			placement = d.Ints()
+		case journal.KindWave:
+			_ = d.Int() // wave index
+			rec.OrphanWaves++
+			for _, c := range d.Ints() {
+				waveContainers[c] = true
+			}
+		case journal.KindCommit, journal.KindCheckpoint:
+			return rec, fmt.Errorf("cluster: %s record in the uncommitted tail", o.Kind)
+		}
+		if err := d.Err(); err != nil {
+			return rec, fmt.Errorf("cluster: orphan %s record: %w", o.Kind, err)
+		}
+	}
+	span.SetInt("epoch", rec.UncommittedEpoch)
+	span.SetInt("orphan_waves", rec.OrphanWaves)
+	if placement == nil || len(waveContainers) == 0 {
+		return rec, nil // no waves started: nothing was half-applied
+	}
+	if len(placement) != len(spec.Containers) {
+		return rec, fmt.Errorf("cluster: journaled placement covers %d containers, spec has %d — wrong workload for this journal", len(placement), len(spec.Containers))
+	}
+
+	// Rebuild the interrupted transfer plan from the journaled intent,
+	// mark the journaled waves' moves as interrupted, and let Replan
+	// classify the rollback: live sources take their container back
+	// (dst == source → restart-in-place bucket), dead or absent sources
+	// leave the container to the re-executed epoch (dropped bucket).
+	oldPlace := make([]int, len(spec.Containers))
+	rollback := make([]int, len(spec.Containers))
+	for i, c := range spec.Containers {
+		oldPlace[i] = -1
+		rollback[i] = -1
+		if s, ok := r.prevPlace[c.ID]; ok {
+			oldPlace[i] = s
+			if s >= 0 && !r.topo.ServerFailed(s) {
+				rollback[i] = s
+			}
+		}
+	}
+	moves, err := migrate.PlanMoves(spec, oldPlace, placement)
+	if err != nil {
+		return rec, err
+	}
+	plan := migrate.Schedule(moves)
+	var interrupted []int
+	for i, m := range plan.Moves {
+		if waveContainers[m.Container] {
+			interrupted = append(interrupted, i)
+		}
+	}
+	_, restarts, replaced, err := migrate.Replan(r.topo, plan, interrupted, rollback)
+	if err != nil {
+		return rec, err
+	}
+	rec.RolledBack = len(restarts)
+	rec.Replaced = len(replaced)
+	span.SetInt("rolled_back", rec.RolledBack)
+	span.SetInt("replaced", rec.Replaced)
+	sess.Counter("journal_reconcile_rollbacks_total").Add(int64(rec.RolledBack))
+	if sess.Auditing() {
+		for _, m := range restarts {
+			sess.Decide(telemetry.Decision{
+				Policy: r.policy.Name(), Container: spec.Containers[m.Container].ID, Group: -1,
+				Action: telemetry.ActionRolledBack, Server: m.To, From: m.From,
+				Detail: fmt.Sprintf("crash tore epoch %d mid-commit; half-applied transfer rolled back to server %d", rec.UncommittedEpoch, m.To),
+			})
+		}
+	}
+	return rec, nil
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"goldilocks/internal/journal"
+)
+
+// ccTestOpts is the shared cell: small enough to sweep every record
+// boundary, chaotic enough that rack faults, solve stragglers, and
+// migration flakes all fire within the horizon.
+func ccTestOpts() CrashChaosOptions {
+	return DefaultCrashChaos()
+}
+
+// TestCrashChaosDeterministic: same options, same output — reports and
+// final hash — with and without a journal attached (journaling must
+// observe the run, never perturb it).
+func TestCrashChaosDeterministic(t *testing.T) {
+	a, err := CrashChaos(ccTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ccTestOpts()
+	opts.JournalPath = filepath.Join(t.TempDir(), "j.wal")
+	b, err := CrashChaos(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Reports, b.Reports) {
+		t.Fatal("journaled run reports differ from unjournaled run")
+	}
+	if a.FinalHash != b.FinalHash || a.FinalHash == 0 {
+		t.Fatalf("final hash: unjournaled %016x, journaled %016x", a.FinalHash, b.FinalHash)
+	}
+}
+
+// TestCrashChaosParallelismInvariant: the report stream is bit-identical
+// at partitioner parallelism 1, 4, and 8 — retries, the ladder, and the
+// journal must not leak worker-count nondeterminism into the cell.
+func TestCrashChaosParallelismInvariant(t *testing.T) {
+	var base *CrashChaosResult
+	for _, p := range []int{1, 4, 8} {
+		opts := ccTestOpts()
+		opts.Parallelism = p
+		res, err := CrashChaos(opts)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(base.Reports, res.Reports) {
+			t.Fatalf("p=%d reports differ from p=1", p)
+		}
+		if base.FinalHash != res.FinalHash {
+			t.Fatalf("p=%d final hash %016x, p=1 %016x", p, res.FinalHash, base.FinalHash)
+		}
+	}
+}
+
+// epochRecordCounts replays a completed journal and counts the records
+// each epoch wrote (epoch-begin through commit inclusive), so the crash
+// sweep below knows every record boundary that exists.
+func epochRecordCounts(t *testing.T, path string) []int {
+	t.Helper()
+	recs, _, torn, err := journal.ReadFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn {
+		t.Fatal("completed run left a torn journal")
+	}
+	var counts []int
+	cur := -1
+	for _, rec := range recs {
+		switch rec.Kind {
+		case journal.KindCheckpoint:
+			continue
+		case journal.KindEpochBegin:
+			counts = append(counts, 1)
+			cur = len(counts) - 1
+		default:
+			counts[cur]++
+		}
+	}
+	return counts
+}
+
+// TestCrashChaosResumeByteIdenticalEveryBoundary is the experiment-level
+// crash-recovery property: kill the journaled 20-epoch chaos run at EVERY
+// record boundary of every epoch (plus the before-any-record boundary),
+// resume from the journal, and require the resumed run's report stream
+// and final state hash to equal the uninterrupted run's exactly.
+//
+// The full sweep is ~140 crash+resume pairs (~30 s), so the regular test
+// run samples every 7th boundary; `make crash-replay-guard` sets
+// GOLDILOCKS_CRASH_SWEEP=full to cover them all under the race detector.
+func TestCrashChaosResumeByteIdenticalEveryBoundary(t *testing.T) {
+	full, err := CrashChaos(ccTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := ccTestOpts()
+	probe.JournalPath = filepath.Join(t.TempDir(), "probe.wal")
+	if _, err := CrashChaos(probe); err != nil {
+		t.Fatal(err)
+	}
+	counts := epochRecordCounts(t, probe.JournalPath)
+	if len(counts) != probe.Epochs {
+		t.Fatalf("probe journal has %d epochs, want %d", len(counts), probe.Epochs)
+	}
+
+	stride := 7
+	if os.Getenv("GOLDILOCKS_CRASH_SWEEP") == "full" {
+		stride = 1
+	} else if testing.Short() {
+		stride = 16
+	}
+	dir := t.TempDir()
+	boundary := 0
+	for e, n := range counts {
+		for rec := -1; rec < n; rec++ {
+			boundary++
+			if boundary%stride != 0 {
+				continue
+			}
+			path := filepath.Join(dir, "crash.wal")
+
+			opts := ccTestOpts()
+			opts.JournalPath = path
+			opts.CrashAtEpoch = e
+			opts.CrashAtRecord = rec
+			crashed, err := CrashChaos(opts)
+			if err != nil {
+				t.Fatalf("epoch %d record %d: crash run: %v", e, rec, err)
+			}
+			if !crashed.Crashed || crashed.CrashEpoch != e {
+				t.Fatalf("epoch %d record %d: crash did not land (crashed=%v at %d)", e, rec, crashed.Crashed, crashed.CrashEpoch)
+			}
+
+			opts = ccTestOpts()
+			opts.JournalPath = path
+			opts.Resume = true
+			opts.CrashAtEpoch = e
+			opts.CrashAtRecord = rec
+			resumed, err := CrashChaos(opts)
+			if err != nil {
+				t.Fatalf("epoch %d record %d: resume: %v", e, rec, err)
+			}
+			if !resumed.Resumed || resumed.Crashed {
+				t.Fatalf("epoch %d record %d: resume state (resumed=%v crashed=%v)", e, rec, resumed.Resumed, resumed.Crashed)
+			}
+			if !reflect.DeepEqual(full.Reports, resumed.Reports) {
+				for i := range full.Reports {
+					if i < len(resumed.Reports) && !reflect.DeepEqual(full.Reports[i], resumed.Reports[i]) {
+						t.Fatalf("epoch %d record %d: report %d diverged:\nfull:    %+v\nresumed: %+v",
+							e, rec, i, full.Reports[i], resumed.Reports[i])
+					}
+				}
+				t.Fatalf("epoch %d record %d: report count %d, want %d", e, rec, len(resumed.Reports), len(full.Reports))
+			}
+			if resumed.FinalHash != full.FinalHash {
+				t.Fatalf("epoch %d record %d: final hash %016x, want %016x", e, rec, resumed.FinalHash, full.FinalHash)
+			}
+		}
+	}
+	if boundary < probe.Epochs*2 {
+		t.Fatalf("only %d boundaries found — journaling looks broken", boundary)
+	}
+}
+
+// TestCrashChaosPrintSurfaces: the epoch/final lines are identical between
+// the full run and a crash+resume pair (the crash-replay guard's diff),
+// and the recovery metadata lines are present and filterable.
+func TestCrashChaosPrintSurfaces(t *testing.T) {
+	full, err := CrashChaos(ccTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "j.wal")
+	opts := ccTestOpts()
+	opts.JournalPath = path
+	opts.CrashAtEpoch = ccTestOpts().Epochs / 2
+	opts.CrashAtRecord = 2
+	crashed, err := CrashChaos(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cbuf bytes.Buffer
+	crashed.Print(&cbuf)
+	if !strings.Contains(cbuf.String(), "crash: simulated control-plane kill") {
+		t.Fatalf("crash run output missing crash line:\n%s", cbuf.String())
+	}
+
+	opts.Resume = true
+	resumed, err := CrashChaos(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fbuf, rbuf bytes.Buffer
+	full.Print(&fbuf)
+	resumed.Print(&rbuf)
+	keep := func(s string) string {
+		var out []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "epoch ") || strings.HasPrefix(line, "final:") {
+				out = append(out, line)
+			}
+		}
+		return strings.Join(out, "\n")
+	}
+	if keep(fbuf.String()) != keep(rbuf.String()) {
+		t.Fatalf("epoch/final lines differ:\nfull:\n%s\nresumed:\n%s", keep(fbuf.String()), keep(rbuf.String()))
+	}
+	if !strings.Contains(rbuf.String(), "recovered: ") {
+		t.Fatalf("resumed output missing recovery banner:\n%s", rbuf.String())
+	}
+}
+
+// TestCrashChaosRejectsForeignJournal: resuming under different execution
+// parameters must be refused — re-execution would diverge from the
+// journaled intents.
+func TestCrashChaosRejectsForeignJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	opts := ccTestOpts()
+	opts.JournalPath = path
+	opts.CrashAtEpoch = 3
+	opts.CrashAtRecord = 0
+	if _, err := CrashChaos(opts); err != nil {
+		t.Fatal(err)
+	}
+	opts.Resume = true
+	opts.Seed++
+	if _, err := CrashChaos(opts); err == nil || !strings.Contains(err.Error(), "different run configuration") {
+		t.Fatalf("resume with changed seed: err=%v, want config-hash refusal", err)
+	}
+}

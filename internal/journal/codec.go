@@ -1,0 +1,157 @@
+// The deterministic byte codec record payloads are built from: varint
+// ints, fixed-width float64 bits, length-prefixed strings. Enc never
+// fails; Dec accumulates a sticky error instead of panicking, so decoding
+// adversarial bytes (the fuzz target, a torn or bit-flipped journal) is
+// always safe and the caller checks once at the end.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Enc builds a record body. The zero value is ready; Bytes returns the
+// accumulated encoding. Reset keeps the backing array so a steady-state
+// writer allocates nothing per record.
+type Enc struct {
+	buf []byte
+}
+
+// Reset truncates the buffer, retaining capacity.
+func (e *Enc) Reset() { e.buf = e.buf[:0] }
+
+// Bytes returns the encoded body. The slice aliases the encoder's buffer;
+// it is valid until the next Reset.
+func (e *Enc) Bytes() []byte { return e.buf }
+
+// Int appends a zig-zag varint.
+func (e *Enc) Int(v int) { e.buf = binary.AppendVarint(e.buf, int64(v)) }
+
+// F64 appends the 8 little-endian bytes of the float's IEEE-754 bits —
+// bit-exact, so report floats survive the round trip unchanged.
+func (e *Enc) F64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// U64 appends 8 little-endian bytes.
+func (e *Enc) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(s string) {
+	e.Int(len(s))
+	e.buf = append(e.buf, s...)
+}
+
+// Dur appends a duration as nanoseconds.
+func (e *Enc) Dur(d time.Duration) { e.Int(int(d)) }
+
+// Ints appends a length-prefixed int slice.
+func (e *Enc) Ints(vs []int) {
+	e.Int(len(vs))
+	for _, v := range vs {
+		e.Int(v)
+	}
+}
+
+// errTruncated is the sticky error a Dec reports when the body ends
+// before the value it was asked for.
+var errTruncated = errors.New("journal: truncated record body")
+
+// Dec reads a record body produced by Enc. All reads after the first
+// failure return zero values; check Err once when done.
+type Dec struct {
+	buf []byte
+	err error
+}
+
+// NewDec wraps a record body for decoding.
+func NewDec(body []byte) *Dec { return &Dec{buf: body} }
+
+// Err returns the first decode failure, or nil.
+func (d *Dec) Err() error { return d.err }
+
+// Len returns the number of unread bytes.
+func (d *Dec) Len() int { return len(d.buf) }
+
+// Int reads a zig-zag varint.
+func (d *Dec) Int() int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.err = errTruncated
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return int(v)
+}
+
+// F64 reads 8 bytes of IEEE-754 bits.
+func (d *Dec) F64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.err = errTruncated
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf))
+	d.buf = d.buf[8:]
+	return v
+}
+
+// U64 reads 8 little-endian bytes.
+func (d *Dec) U64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.err = errTruncated
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
+}
+
+// Str reads a length-prefixed string.
+func (d *Dec) Str() string {
+	n := d.Int()
+	if d.err != nil {
+		return ""
+	}
+	if n < 0 || n > len(d.buf) {
+		d.err = errTruncated
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+// Dur reads a duration written by Enc.Dur.
+func (d *Dec) Dur() time.Duration { return time.Duration(d.Int()) }
+
+// Ints reads a length-prefixed int slice; nil when empty.
+func (d *Dec) Ints() []int {
+	n := d.Int()
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.buf) { // each element costs ≥1 byte
+		d.err = fmt.Errorf("journal: slice length %d exceeds body", n)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.Int())
+	}
+	return out
+}

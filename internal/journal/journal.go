@@ -1,0 +1,228 @@
+// Package journal is the write-ahead journal the cluster epoch loop
+// commits through: an append-only, CRC-framed record log plus the
+// checkpoint state that makes the control plane itself crash-recoverable.
+// The scheduler is treated as just another failable component — every
+// epoch's intents (snapshot hash, placement, migration waves) are durably
+// journaled *before* they are applied, and a commit record seals the epoch
+// with the post-epoch runner state. On restart the log is scanned, a torn
+// tail (a record cut mid-write by the crash) is detected by CRC and
+// truncated, the latest committed checkpoint is restored, and the
+// uncommitted tail epoch is rolled back and deterministically re-executed
+// — yielding a byte-identical report stream versus an uninterrupted run.
+//
+// The package is deliberately schema-agnostic: it owns the framing, the
+// deterministic byte codec, and the generic checkpoint state
+// (RunnerState); the cluster package defines what goes inside each record
+// kind. That split keeps the file format tiny and lets the fuzz target
+// exercise the full decode surface (Scan must never panic, any bit flip
+// or truncation must be detected as a torn tail, and the valid prefix
+// must round-trip exactly).
+//
+// journal is bound by the scheduling-determinism contract
+// (internal/lint): encoding is a pure function of the record values — no
+// maps, no wall clock, no global randomness — so the journal bytes of a
+// run are identical across processes and partitioner parallelism levels.
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Kind tags a record's payload schema. The values are part of the on-disk
+// format; never renumber them.
+type Kind uint8
+
+const (
+	// KindCheckpoint opens a journal: run configuration hash plus the
+	// initial runner state, so a resume can verify it is replaying the
+	// same run it is continuing.
+	KindCheckpoint Kind = 1
+	// KindEpochBegin declares the intent to execute an epoch: epoch
+	// number, cluster snapshot hash, and the degradation-ladder rung the
+	// deadline budget selected.
+	KindEpochBegin Kind = 2
+	// KindPlacement records the placement decision (and the admission
+	// rejections) before it is applied.
+	KindPlacement Kind = 3
+	// KindWave records one scheduled migration wave before its transfers
+	// run — the unit mid-commit crashes tear between.
+	KindWave Kind = 4
+	// KindCommit seals an epoch: the full epoch report plus the
+	// post-epoch runner state (the rolling checkpoint a resume loads).
+	KindCommit Kind = 5
+)
+
+// String names the kind for logs and telemetry.
+func (k Kind) String() string {
+	switch k {
+	case KindCheckpoint:
+		return "checkpoint"
+	case KindEpochBegin:
+		return "epoch-begin"
+	case KindPlacement:
+		return "placement"
+	case KindWave:
+		return "wave"
+	case KindCommit:
+		return "commit"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Raw is one framed record as scanned from the log: the kind byte plus
+// the undecoded payload body.
+type Raw struct {
+	Kind Kind
+	Body []byte
+}
+
+// Framing: the file opens with a 4-byte magic, then records. Each record
+// is  uint32 length | uint32 crc32(payload) | payload , little-endian,
+// where payload = kind byte + body. A record whose length field, CRC, or
+// bytes are cut or corrupted ends the valid prefix — everything after it
+// is a torn tail.
+const (
+	magic = "GLWJ"
+	// headerLen is the per-record frame overhead.
+	headerLen = 8
+	// maxPayload bounds a single record so a corrupted length field
+	// cannot demand a giant allocation during Scan.
+	maxPayload = 1 << 26
+)
+
+// Magic returns the file header bytes a journal must start with.
+func Magic() []byte { return []byte(magic) }
+
+// AppendRecord frames one record onto dst and returns the extended slice.
+// The frame is a pure function of (kind, body).
+func AppendRecord(dst []byte, kind Kind, body []byte) []byte {
+	payloadLen := 1 + len(body)
+	base := len(dst)
+	var hdr [headerLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payloadLen))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, byte(kind))
+	dst = append(dst, body...)
+	// Checksum the payload in place — no digest object, no allocation.
+	crc := crc32.ChecksumIEEE(dst[base+headerLen:])
+	binary.LittleEndian.PutUint32(dst[base+4:base+8], crc)
+	return dst
+}
+
+// Scan decodes the journal image in data: the leading magic plus as many
+// whole, CRC-valid records as the bytes contain. validLen is the byte
+// length of the decodable prefix (including the magic); torn reports that
+// bytes beyond validLen exist but do not form a valid record — the torn
+// tail a crash mid-append leaves behind. A missing or wrong magic is an
+// error (the file is not a journal, not a truncated one). Scan never
+// panics, whatever the input.
+func Scan(data []byte) (recs []Raw, validLen int, torn bool, err error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, 0, false, fmt.Errorf("journal: bad magic (not a journal file)")
+	}
+	off := len(magic)
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return recs, off, false, nil
+		}
+		if len(rest) < headerLen {
+			return recs, off, true, nil
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(rest[0:4]))
+		if payloadLen < 1 || payloadLen > maxPayload || len(rest) < headerLen+payloadLen {
+			return recs, off, true, nil
+		}
+		wantCRC := binary.LittleEndian.Uint32(rest[4:8])
+		payload := rest[headerLen : headerLen+payloadLen]
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return recs, off, true, nil
+		}
+		recs = append(recs, Raw{Kind: Kind(payload[0]), Body: payload[1:]})
+		off += headerLen + payloadLen
+	}
+}
+
+// RunnerState is the generic rolling checkpoint: everything the epoch
+// runner carries across epochs. Epoch is the *next* epoch to execute —
+// the state embedded in epoch k's commit record has Epoch k+1, so a
+// resume starts exactly where the crash interrupted.
+type RunnerState struct {
+	Epoch        int
+	TotalEnergyJ float64
+	TotalReqs    float64
+	// Place is the carried placement (container ID → server), ascending
+	// by container ID so the encoding is canonical.
+	Place []Assignment
+}
+
+// Assignment is one carried container→server binding.
+type Assignment struct {
+	Container int
+	Server    int
+}
+
+// Hash folds the state into one 64-bit FNV-1a digest — the "final cluster
+// state" fingerprint the kill/resume guard diffs.
+func (st RunnerState) Hash() uint64 {
+	h := uint64(fnvOffset)
+	mix := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		for _, x := range b {
+			h ^= uint64(x)
+			h *= fnvPrime
+		}
+	}
+	mix(uint64(st.Epoch))
+	mix(math.Float64bits(st.TotalEnergyJ))
+	mix(math.Float64bits(st.TotalReqs))
+	for _, a := range st.Place {
+		mix(uint64(a.Container))
+		mix(uint64(uint32(int32(a.Server))))
+	}
+	return h
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Encode appends the canonical encoding of the state.
+func (st RunnerState) Encode(e *Enc) {
+	e.Int(st.Epoch)
+	e.F64(st.TotalEnergyJ)
+	e.F64(st.TotalReqs)
+	e.Int(len(st.Place))
+	for _, a := range st.Place {
+		e.Int(a.Container)
+		e.Int(a.Server)
+	}
+}
+
+// DecodeRunnerState reads a state written by Encode.
+func DecodeRunnerState(d *Dec) (RunnerState, error) {
+	var st RunnerState
+	st.Epoch = d.Int()
+	st.TotalEnergyJ = d.F64()
+	st.TotalReqs = d.F64()
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return RunnerState{}, err
+	}
+	if n < 0 || n > maxPayload {
+		return RunnerState{}, fmt.Errorf("journal: state carries %d assignments", n)
+	}
+	st.Place = make([]Assignment, 0, n)
+	for i := 0; i < n; i++ {
+		c := d.Int()
+		s := d.Int()
+		st.Place = append(st.Place, Assignment{Container: c, Server: s})
+	}
+	return st, d.Err()
+}

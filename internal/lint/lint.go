@@ -74,6 +74,7 @@ var DeterministicPackages = []string{
 	"internal/migrate",
 	"internal/chaos",
 	"internal/telemetry",
+	"internal/journal",
 }
 
 // IsDeterministicPackage reports whether the import path is bound by the

@@ -51,6 +51,10 @@ type Options struct {
 	// stuck moves against the surviving topology — they must never be
 	// silently dropped.
 	TolerateStuck bool
+	// Retry configures seeded transient-failure retries with exponential
+	// backoff. The zero value is byte-identical to the legacy
+	// single-attempt path.
+	Retry RetryPolicy
 	// Trace, when non-nil, is the parent span Simulate hangs its per-wave
 	// spans under (each wave's netsim run nests beneath it). The pointer
 	// keeps Options comparable; nil costs nothing.
@@ -90,6 +94,18 @@ type Report struct {
 	// Options.TolerateStuck — otherwise a stuck transfer is an error.
 	Stuck      int
 	StuckMoves []int
+	// Retries counts failed transfer attempts across the plan (each one
+	// either triggered a backoff-and-retry or, on the last allowed
+	// attempt, exhaustion). Zero unless Options.Retry is enabled.
+	Retries int
+	// Exhausted counts transfers whose every attempt failed;
+	// ExhaustedMoves holds their indices into Plan.Moves, ascending.
+	// Exhausted transfers never enter the network simulation and their
+	// images do not count toward TotalImageMB — the caller must account
+	// them (the cluster loop reverts the container to its source server
+	// and reports it as a dropped migration).
+	Exhausted      int
+	ExhaustedMoves []int
 }
 
 // PlanMoves diffs two placements over the same spec and returns the moves.
@@ -176,12 +192,23 @@ func Simulate(topo *topology.Topology, plan *Plan, opts Options) (Report, error)
 		nsOpts.Trace = wspan
 		sim := netsim.New(topo, nsOpts)
 		ids := make(map[netsim.FlowID]int, len(wave))
+		waveRetries := 0
 		for _, mi := range wave {
 			m := plan.Moves[mi]
+			// Resolve the retry ladder: failed attempts delay the
+			// injection by their accumulated backoff; a transfer that
+			// exhausts every attempt never reaches the network.
+			start, failed, ok := opts.Retry.planAttempts(m.Container)
+			waveRetries += failed
+			if !ok {
+				rep.ExhaustedMoves = append(rep.ExhaustedMoves, mi)
+				continue
+			}
 			rep.TotalImageMB += m.ImageMB
-			id := sim.Inject(0, m.From, m.To, m.ImageMB*1e6)
+			id := sim.Inject(start, m.From, m.To, m.ImageMB*1e6)
 			ids[id] = mi
 		}
+		rep.Retries += waveRetries
 		done, stuck := sim.Run()
 		if len(stuck) > 0 {
 			if !opts.TolerateStuck {
@@ -213,11 +240,14 @@ func Simulate(topo *topology.Topology, plan *Plan, opts Options) (Report, error)
 		clock += waveEnd
 		wspan.SetDuration("wave_duration", waveEnd)
 		wspan.SetInt("stuck", len(stuck))
+		wspan.SetInt("retries", waveRetries)
 		wspan.End()
 	}
 	rep.Duration = clock
 	sort.Ints(rep.StuckMoves)
 	rep.Stuck = len(rep.StuckMoves)
+	sort.Ints(rep.ExhaustedMoves)
+	rep.Exhausted = len(rep.ExhaustedMoves)
 	if rep.NumMoves > 0 {
 		rep.MeanFreeze = totalFreeze / time.Duration(rep.NumMoves)
 	}

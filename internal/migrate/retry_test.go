@@ -1,0 +1,150 @@
+package migrate
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"goldilocks/internal/topology"
+)
+
+func retryPolicy(seed uint64, flake float64) RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: 2 * time.Second,
+		MaxBackoff:  30 * time.Second,
+		FlakeProb:   flake,
+		Seed:        seed,
+	}
+}
+
+// TestRetryZeroValueIsLegacy pins the compatibility contract: the
+// zero-value policy produces a report identical to one simulated before
+// the retry machinery existed.
+func TestRetryZeroValueIsLegacy(t *testing.T) {
+	topo := topology.NewTestbed()
+	moves := []Move{
+		{Container: 0, From: 0, To: 1, ImageMB: 1250},
+		{Container: 1, From: 2, To: 3, ImageMB: 625},
+	}
+	base, err := Simulate(topo, Schedule(moves), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Retry = RetryPolicy{} // zero value
+	withPolicy, err := Simulate(topology.NewTestbed(), Schedule(moves), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, withPolicy) {
+		t.Fatalf("zero-value policy changed the report:\n got %+v\nwant %+v", withPolicy, base)
+	}
+	if base.Retries != 0 || base.Exhausted != 0 {
+		t.Fatalf("retry axes nonzero without a policy: %+v", base)
+	}
+}
+
+// TestRetryDeterministic pins that the same seed replays the same
+// attempt outcomes and the same backoff delays, and that a different
+// seed (eventually) draws a different ladder.
+func TestRetryDeterministic(t *testing.T) {
+	p := retryPolicy(42, 0.5)
+	s1, f1, ok1 := p.planAttempts(7)
+	s2, f2, ok2 := p.planAttempts(7)
+	if s1 != s2 || f1 != f2 || ok1 != ok2 {
+		t.Fatalf("same policy, same container, different ladder: (%v,%d,%v) vs (%v,%d,%v)",
+			s1, f1, ok1, s2, f2, ok2)
+	}
+	differs := false
+	for c := 0; c < 64 && !differs; c++ {
+		a, fa, oka := retryPolicy(1, 0.5).planAttempts(c)
+		b, fb, okb := retryPolicy(2, 0.5).planAttempts(c)
+		if a != b || fa != fb || oka != okb {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("seed never influences the retry ladder")
+	}
+}
+
+// TestRetryBackoffGrowsAndCaps checks the exponential-with-jitter shape:
+// each retry's delay is within [0.5, 1)× of min(base·2^(k−1), cap).
+func TestRetryBackoffGrowsAndCaps(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 8, BaseBackoff: time.Second, MaxBackoff: 5 * time.Second, FlakeProb: 1, Seed: 9}
+	for attempt := 1; attempt <= 7; attempt++ {
+		d := p.backoff(3, attempt)
+		want := time.Second << (attempt - 1)
+		if want > p.MaxBackoff {
+			want = p.MaxBackoff
+		}
+		if d < want/2 || d >= want {
+			t.Fatalf("attempt %d backoff %v outside [%v, %v)", attempt, d, want/2, want)
+		}
+	}
+}
+
+// TestRetryDelaysInjection verifies failed attempts push the transfer's
+// network injection (and thus the wave end) out by the backoff sum.
+func TestRetryDelaysInjection(t *testing.T) {
+	moves := []Move{{Container: 0, From: 0, To: 1, ImageMB: 1250}}
+	// Find a seed whose first attempt fails and second succeeds.
+	var p RetryPolicy
+	found := false
+	for seed := uint64(0); seed < 512 && !found; seed++ {
+		p = retryPolicy(seed, 0.5)
+		if _, failed, ok := p.planAttempts(0); ok && failed >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no seed with a fail-then-succeed ladder in 512 tries")
+	}
+	opts := DefaultOptions()
+	opts.Retry = p
+	rep, err := Simulate(topology.NewTestbed(), Schedule(moves), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Simulate(topology.NewTestbed(), Schedule(moves), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retries < 1 {
+		t.Fatalf("retries = %d, want ≥ 1", rep.Retries)
+	}
+	// The backoff is at least half the base (jitter floor), so the wave
+	// must end measurably later than the retry-free run.
+	if rep.Duration < base.Duration+p.BaseBackoff/2 {
+		t.Fatalf("duration %v not delayed past %v by backoff", rep.Duration, base.Duration)
+	}
+}
+
+// TestRetryExhaustionSurfaces is the silent-loss regression: a wave whose
+// every transfer exhausts its attempts must report each move in
+// ExhaustedMoves — not vanish from the accounting.
+func TestRetryExhaustionSurfaces(t *testing.T) {
+	moves := []Move{
+		{Container: 0, From: 0, To: 1, ImageMB: 1250},
+		{Container: 1, From: 2, To: 3, ImageMB: 625},
+	}
+	opts := DefaultOptions()
+	opts.Retry = RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Second, FlakeProb: 1, Seed: 5}
+	rep, err := Simulate(topology.NewTestbed(), Schedule(moves), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exhausted != 2 || !reflect.DeepEqual(rep.ExhaustedMoves, []int{0, 1}) {
+		t.Fatalf("exhaustion not surfaced: %+v", rep)
+	}
+	if rep.Retries != 6 {
+		t.Fatalf("retries = %d, want 6 (3 failed attempts × 2 transfers)", rep.Retries)
+	}
+	if rep.TotalImageMB != 0 {
+		t.Fatalf("exhausted transfers counted %v MB of traffic", rep.TotalImageMB)
+	}
+	if rep.Duration != 0 {
+		t.Fatalf("no transfer ran, yet duration = %v", rep.Duration)
+	}
+}

@@ -34,6 +34,19 @@ type IncrementalGoldilocks struct {
 // Name implements Policy.
 func (*IncrementalGoldilocks) Name() string { return "Goldilocks-incremental" }
 
+// Prime seeds the carried placement ahead of the first Place call, as if
+// the previous epoch had produced it. The cluster runner's degradation
+// ladder uses this to warm-start a *fresh* instance from the journaled
+// placement each epoch: the warm rung stays a pure function of
+// checkpointed state, which is what makes crash-resume re-execution
+// byte-identical.
+func (p *IncrementalGoldilocks) Prime(prev map[int]int) {
+	p.prev = make(map[int]int, len(prev))
+	for _, id := range det.SortedKeys(prev) {
+		p.prev[id] = prev[id]
+	}
+}
+
 // Place implements Policy.
 func (p *IncrementalGoldilocks) Place(req Request) (Result, error) {
 	if err := validate(req); err != nil {

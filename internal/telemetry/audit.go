@@ -30,6 +30,15 @@ const (
 	ActionDisplaced Action = "displaced"
 	// ActionRecovered: a displaced container was re-placed.
 	ActionRecovered Action = "recovered"
+	// ActionDegraded: the solve-deadline budget forced the epoch down the
+	// degradation ladder (container/server are -1; Detail names the rung).
+	ActionDegraded Action = "ladder-degraded"
+	// ActionMigrationDropped: a migration transfer exhausted its retry
+	// budget; the container stays (or restarts) per Detail.
+	ActionMigrationDropped Action = "migration-dropped"
+	// ActionRolledBack: crash recovery rolled a half-applied migration
+	// back to its journaled source placement.
+	ActionRolledBack Action = "rolled-back"
 )
 
 // Candidate records one alternative weighed while making a decision — for
