@@ -34,7 +34,7 @@ SCALING_COUNT ?= 2
 # shaped amortization breaking down).
 ALLOCS_CEILING_100K ?= 200000
 
-.PHONY: all build test race bench bench-json telemetry-overhead allocs-guard scaling-bench scaling-guard crash-replay-guard fmt fmt-check vet lint fuzz-smoke ci
+.PHONY: all build test race bench bench-json telemetry-overhead allocs-guard scaling-bench scaling-guard crash-replay-guard inspect-guard fmt fmt-check vet lint fuzz-smoke ci
 
 all: build test
 
@@ -53,12 +53,12 @@ bench:
 	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -run '^$$' -count=$(BENCH_COUNT) ./... | tee bench.txt
 
 # Machine-readable benchmark summary: collapse bench.txt (rerunning the
-# benchmarks if it is absent) to per-benchmark medians in BENCH_PR5.json.
+# benchmarks if it is absent) to per-benchmark medians in BENCH_PR9.json.
 # CI uploads the file as an artifact next to the raw bench.txt.
 bench-json:
 	@[ -f bench.txt ] || $(MAKE) bench
-	$(GO) run ./cmd/benchjson -o BENCH_PR6.json bench.txt
-	@echo "wrote BENCH_PR6.json"
+	$(GO) run ./cmd/benchjson -o BENCH_PR9.json bench.txt
+	@echo "wrote BENCH_PR9.json"
 
 # The in-level scaling sweep: data-center-sized graphs (opt-in via
 # GOLDILOCKS_SCALING_SIZES because a 500k cell costs minutes per
@@ -120,6 +120,14 @@ allocs-guard:
 # scripts/crash_replay_guard.sh and DESIGN.md §5.1.8.
 crash-replay-guard:
 	sh scripts/crash_replay_guard.sh
+
+# Observability contract (blocking in CI): two same-seed runs must inspect
+# byte-identically (critical-path, slo, diff exit 0) and a different-seed
+# pair must diff to exit 1 naming the first diverging epoch, plus the
+# p=1/4/8 parallelism byte-identity regression in internal/obs. See
+# scripts/inspect_guard.sh and DESIGN.md §5.1.9.
+inspect-guard:
+	sh scripts/inspect_guard.sh
 
 fmt:
 	gofmt -l -w .

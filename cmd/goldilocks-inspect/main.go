@@ -1,0 +1,228 @@
+// Command goldilocks-inspect is the offline analysis plane over the
+// artifacts a run emits (internal/obs): critical-path profiling, run
+// diffing, and SLO burn tracking, all byte-deterministic for same-seed
+// runs.
+//
+// Usage:
+//
+//	goldilocks-inspect critical-path [-json] <run-dir | trace.json>
+//	goldilocks-inspect diff [-json] <run-dir-a> <run-dir-b>
+//	goldilocks-inspect slo [-json] [-window N] [-availability F]
+//	                       [-recovery-s F] [-solve-ms F] [-solve-budget F]
+//	                       <run-dir | journal.wal>
+//
+// A run directory holds whichever artifacts the run wrote: trace.json
+// (goldilocks-sim -trace-out), metrics.prom (-metrics-out), audit.txt
+// (-audit-out) and a *.wal journal (-journal) — so a crashchaos -journal
+// directory is already a run directory.
+//
+// diff exits 0 when the runs are identical, 1 when they differ, and 2 on
+// errors — inspect-guard asserts 0 on two same-seed runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"goldilocks/internal/cluster"
+	"goldilocks/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process plumbing, so tests drive the CLI
+// in-process and assert on exit codes and byte-exact output.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "critical-path":
+		return runCriticalPath(rest, stdout, stderr)
+	case "diff":
+		return runDiff(rest, stdout, stderr)
+	case "slo":
+		return runSLO(rest, stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "goldilocks-inspect: unknown command %q\n", cmd)
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  goldilocks-inspect critical-path [-json] <run-dir | trace.json>
+  goldilocks-inspect diff [-json] <run-dir-a> <run-dir-b>
+  goldilocks-inspect slo [-json] [-window N] [-availability F] [-recovery-s F] [-solve-ms F] [-solve-budget F] <run-dir | journal.wal>
+`)
+}
+
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintf(stderr, "goldilocks-inspect: %v\n", err)
+	return 2
+}
+
+// loadTrace accepts either a run directory (containing trace.json) or a
+// trace file path directly.
+func loadTrace(path string) (*obs.Trace, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if info.IsDir() {
+		runDir, err := obs.LoadRun(path)
+		if err != nil {
+			return nil, err
+		}
+		if runDir.TraceData == nil {
+			return nil, fmt.Errorf("%s has no %s (run goldilocks-sim with -trace-out)", path, obs.TraceFile)
+		}
+		return runDir.Trace()
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return obs.ParseChromeTrace(data)
+}
+
+func runCriticalPath(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("critical-path", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "goldilocks-inspect critical-path: need exactly one run directory or trace file")
+		return 2
+	}
+	tr, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	rep := obs.CriticalPath(tr)
+	if *asJSON {
+		err = rep.WriteJSON(stdout)
+	} else {
+		err = rep.WriteText(stdout)
+	}
+	if err != nil {
+		return fail(stderr, err)
+	}
+	return 0
+}
+
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of markdown")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "goldilocks-inspect diff: need exactly two run directories")
+		return 2
+	}
+	runA, err := obs.LoadRun(fs.Arg(0))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	runB, err := obs.LoadRun(fs.Arg(1))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	rep := obs.Diff(runA, runB)
+	if *asJSON {
+		err = rep.WriteJSON(stdout)
+	} else {
+		err = rep.WriteMarkdown(stdout)
+	}
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if !rep.Identical {
+		return 1
+	}
+	return 0
+}
+
+// loadReports accepts either a run directory (containing a *.wal) or a
+// journal file path directly and returns its committed report stream.
+func loadReports(path string) ([]cluster.EpochReport, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if info.IsDir() {
+		runDir, err := obs.LoadRun(path)
+		if err != nil {
+			return nil, err
+		}
+		if runDir.View == nil {
+			return nil, fmt.Errorf("%s has no *.wal journal (run goldilocks-sim -experiment crashchaos with -journal)", path)
+		}
+		return runDir.View.Reports, nil
+	}
+	if !strings.HasSuffix(path, ".wal") {
+		return nil, fmt.Errorf("%s: slo needs a run directory or a .wal journal", path)
+	}
+	view, err := cluster.ReadJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	return view.Reports, nil
+}
+
+func runSLO(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	def := obs.DefaultSLOConfig()
+	var (
+		asJSON       = fs.Bool("json", false, "emit machine-readable JSON instead of text")
+		window       = fs.Int("window", def.Window, "rolling window length in epochs")
+		availability = fs.Float64("availability", def.Availability, "availability objective (0..1)")
+		recoveryS    = fs.Float64("recovery-s", def.RecoveryTimeS, "per-epoch recovery-time objective, seconds")
+		solveMS      = fs.Float64("solve-ms", def.SolveDeadlineMS, "modeled-solve deadline, milliseconds")
+		solveBudget  = fs.Float64("solve-budget", def.SolveBudget, "tolerated fraction of epochs over the solve deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "goldilocks-inspect slo: need exactly one run directory or .wal journal")
+		return 2
+	}
+	reports, err := loadReports(fs.Arg(0))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	cfg := obs.SLOConfig{
+		Window:          *window,
+		Availability:    *availability,
+		RecoveryTimeS:   *recoveryS,
+		SolveDeadlineMS: *solveMS,
+		SolveBudget:     *solveBudget,
+	}
+	rep := obs.TrackSLO(reports, cfg)
+	if *asJSON {
+		err = rep.WriteJSON(stdout)
+	} else {
+		err = rep.WriteText(stdout)
+	}
+	if err != nil {
+		return fail(stderr, err)
+	}
+	return 0
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"goldilocks/internal/experiments"
+	"goldilocks/internal/obs"
+	"goldilocks/internal/telemetry"
+)
+
+// writeRun produces a full run directory (trace, metrics, audit, journal)
+// from one crashchaos execution.
+func writeRun(t *testing.T, seed int64) string {
+	t.Helper()
+	dir := t.TempDir()
+	sess := telemetry.NewSession()
+	opts := experiments.DefaultCrashChaos()
+	opts.Epochs = 5
+	opts.Seed = seed
+	opts.Telemetry = sess
+	opts.JournalPath = filepath.Join(dir, "crashchaos.wal")
+	if _, err := experiments.CrashChaos(opts); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sess.Tracer.WriteChromeTrace(&buf, telemetry.ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, obs.TraceFile), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := sess.Metrics.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, obs.MetricsFile), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := sess.Audit.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, obs.AuditFile), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// inspect drives the CLI in-process.
+func inspect(args ...string) (int, string, string) {
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestInspectUsageAndErrors(t *testing.T) {
+	if code, _, stderr := inspect(); code != 2 || !strings.Contains(stderr, "usage:") {
+		t.Fatalf("no args: code=%d stderr=%q", code, stderr)
+	}
+	if code, _, stderr := inspect("frobnicate"); code != 2 || !strings.Contains(stderr, "unknown command") {
+		t.Fatalf("unknown command: code=%d stderr=%q", code, stderr)
+	}
+	if code, stdout, _ := inspect("help"); code != 0 || !strings.Contains(stdout, "critical-path") {
+		t.Fatalf("help: code=%d stdout=%q", code, stdout)
+	}
+	if code, _, _ := inspect("critical-path", "/nonexistent/run"); code != 2 {
+		t.Fatalf("missing path: code=%d, want 2", code)
+	}
+	if code, _, _ := inspect("diff", "only-one-arg"); code != 2 {
+		t.Fatalf("diff arity: code=%d, want 2", code)
+	}
+}
+
+// TestInspectCriticalPathDeterministic pins exit code 0, sane content,
+// and byte-identical output across repeated invocations on the same run.
+func TestInspectCriticalPathDeterministic(t *testing.T) {
+	dir := writeRun(t, 31)
+	code, text1, stderr := inspect("critical-path", dir)
+	if code != 0 {
+		t.Fatalf("critical-path: code=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(text1, "dominant critical path") || !strings.Contains(text1, "epoch 000") {
+		t.Fatalf("unexpected critical-path output:\n%s", text1)
+	}
+	code, text2, _ := inspect("critical-path", dir)
+	if code != 0 || text1 != text2 {
+		t.Fatal("critical-path output not byte-identical across invocations")
+	}
+	code, js, stderr := inspect("critical-path", "-json", dir)
+	if code != 0 {
+		t.Fatalf("critical-path -json: code=%d stderr=%q", code, stderr)
+	}
+	var rep obs.CritPathReport
+	if err := json.Unmarshal([]byte(js), &rep); err != nil {
+		t.Fatalf("critical-path -json not valid JSON: %v\n%s", err, js)
+	}
+	if rep.Epochs == 0 || len(rep.Stages) == 0 {
+		t.Fatalf("empty JSON report: %+v", rep)
+	}
+	// The trace file directly (not via the run dir) parses to the same report.
+	code, viaFile, _ := inspect("critical-path", filepath.Join(dir, obs.TraceFile))
+	if code != 0 || viaFile != text1 {
+		t.Fatal("trace-file invocation differs from run-dir invocation")
+	}
+}
+
+// TestInspectDiffExitCodes pins the 0/1/2 contract and that a real
+// divergence names the first diverging epoch in both renderings.
+func TestInspectDiffExitCodes(t *testing.T) {
+	a := writeRun(t, 31)
+	b := writeRun(t, 77)
+
+	code, out, stderr := inspect("diff", a, a)
+	if code != 0 {
+		t.Fatalf("self diff: code=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(out, "identical") {
+		t.Fatalf("self diff verdict missing:\n%s", out)
+	}
+
+	code, out, stderr = inspect("diff", a, b)
+	if code != 1 {
+		t.Fatalf("divergent diff: code=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(out, "first diverging epoch") {
+		t.Fatalf("divergent diff does not name the first diverging epoch:\n%s", out)
+	}
+
+	code, js, _ := inspect("diff", "-json", a, b)
+	if code != 1 {
+		t.Fatalf("divergent -json diff: code=%d", code)
+	}
+	var rep obs.DiffReport
+	if err := json.Unmarshal([]byte(js), &rep); err != nil {
+		t.Fatalf("diff -json not valid JSON: %v", err)
+	}
+	if rep.Identical || rep.FirstDivergingEpoch < 0 {
+		t.Fatalf("diff JSON verdict wrong: identical=%v first=%d", rep.Identical, rep.FirstDivergingEpoch)
+	}
+}
+
+// TestInspectSLO pins the slo command on a run directory and on the
+// journal file directly, with objective overrides.
+func TestInspectSLO(t *testing.T) {
+	dir := writeRun(t, 31)
+	code, out, stderr := inspect("slo", dir)
+	if code != 0 {
+		t.Fatalf("slo: code=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(out, "epoch 000") || !strings.Contains(out, "avail-burn") {
+		t.Fatalf("unexpected slo output:\n%s", out)
+	}
+	code, js, _ := inspect("slo", "-json", "-window", "3", "-availability", "0.99", dir)
+	if code != 0 {
+		t.Fatalf("slo -json: code=%d", code)
+	}
+	var rep obs.SLOReport
+	if err := json.Unmarshal([]byte(js), &rep); err != nil {
+		t.Fatalf("slo -json not valid JSON: %v", err)
+	}
+	if rep.Config.Window != 3 || rep.Config.Availability != 0.99 {
+		t.Fatalf("slo overrides not applied: %+v", rep.Config)
+	}
+	if len(rep.Epochs) != 5 {
+		t.Fatalf("slo tracked %d epochs, want 5", len(rep.Epochs))
+	}
+	code, viaWal, _ := inspect("slo", filepath.Join(dir, "crashchaos.wal"))
+	if code != 0 || viaWal != out {
+		t.Fatal("journal-file invocation differs from run-dir invocation")
+	}
+}

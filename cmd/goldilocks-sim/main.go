@@ -33,6 +33,18 @@
 //	goldilocks-sim -experiment fig9 -explain 17            # why container 17 landed where it did
 //	goldilocks-sim -experiment fig9 -pprof :6060           # live net/http/pprof
 //	goldilocks-sim -experiment fig9 -runtime-trace rt.out  # go tool trace input
+//	goldilocks-sim -experiment fig9 -serve :8080           # live ops endpoint
+//
+// -serve exposes read-only ops views for the run's duration: /metrics
+// (Prometheus text), /healthz, and /epochz (the sealed epoch reports as
+// NDJSON) — see internal/obs. The deterministic core is untouched: the
+// endpoint observes report copies and registry snapshots.
+//
+// A journal is also an offline audit source: with -journal and -explain
+// but no -experiment, the committed audit records are replayed from the
+// WAL and the rationale printed without re-running any epochs:
+//
+//	goldilocks-sim -journal j/ -explain 17
 //
 // Deterministic exports (-trace-out, -trace-tree, -metrics-out, -audit-out,
 // -explain) are byte-identical across same-seed runs; -trace-wall switches
@@ -51,7 +63,9 @@ import (
 	"strconv"
 	"strings"
 
+	"goldilocks/internal/cluster"
 	"goldilocks/internal/experiments"
+	"goldilocks/internal/obs"
 	"goldilocks/internal/telemetry"
 	"goldilocks/internal/trace"
 )
@@ -115,19 +129,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 		explain    = fs.Int("explain", -1, "print the audit rationale for one container ID and exit")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) for the run's duration")
 		rtraceOut  = fs.String("runtime-trace", "", "write a runtime/trace file (inspect with go tool trace)")
+		serveAddr  = fs.String("serve", "", "serve the live ops endpoint (/metrics, /healthz, /epochz) on this address for the run's duration")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	expSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "experiment" {
+			expSet = true
+		}
+	})
+
+	// Journal-only explain: -journal + -explain without an explicit
+	// -experiment answers from the WAL's committed audit records instead
+	// of re-running anything.
+	if *explain >= 0 && *journalDir != "" && !expSet {
+		return explainFromJournal(filepath.Join(*journalDir, "crashchaos.wal"), *explain, stdout, stderr)
 	}
 
 	// One telemetry session is shared by every experiment the invocation
 	// runs; its deterministic exports are written after the last one.
 	var sess *telemetry.Session
-	if *traceOut != "" || *traceTree != "" || *metricsOut != "" || *auditOut != "" || *explain >= 0 {
+	if *traceOut != "" || *traceTree != "" || *metricsOut != "" || *auditOut != "" || *explain >= 0 || *serveAddr != "" {
 		sess = telemetry.NewSession()
 		if *auditOut == "" && *explain < 0 {
 			sess.Audit = nil // tracing/metrics only: skip decision recording
 		}
+	}
+	if *serveAddr != "" {
+		ops := obs.NewOps(sess)
+		srv := &http.Server{Addr: *serveAddr, Handler: ops.Handler()}
+		go func() { _ = srv.ListenAndServe() }()
+		defer srv.Close()
+		fmt.Fprintf(stderr, "goldilocks-sim: ops endpoint on http://%s/ (/metrics /healthz /epochz)\n", *serveAddr)
 	}
 	if *pprofAddr != "" {
 		srv := &http.Server{Addr: *pprofAddr}
@@ -333,6 +368,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	return writeTelemetry(sess, stdout, stderr,
 		*traceOut, *traceTree, *metricsOut, *auditOut, *traceWall, *explain)
+}
+
+// explainFromJournal replays the committed audit records of a journal
+// into a fresh audit log and prints the container's rationale — no epochs
+// are re-run; the WAL is the source of truth.
+func explainFromJournal(path string, container int, stdout, stderr io.Writer) int {
+	view, err := cluster.ReadJournal(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "goldilocks-sim: -explain from journal: %v\n", err)
+		return 1
+	}
+	if len(view.Audit) == 0 {
+		fmt.Fprintf(stderr, "goldilocks-sim: journal %s carries no audit records (run with -audit-out or -explain to enable auditing)\n", path)
+		return 1
+	}
+	audit := telemetry.NewAudit()
+	for _, d := range view.Audit {
+		audit.Record(d)
+	}
+	if err := audit.Explain(stdout, container); err != nil {
+		fmt.Fprintf(stderr, "goldilocks-sim: -explain from journal: %v\n", err)
+		return 1
+	}
+	return 0
 }
 
 // writeTelemetry flushes the session's deterministic exports after the

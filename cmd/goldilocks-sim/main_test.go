@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -120,5 +121,91 @@ func TestCrashChaosResumeWithoutJournalFails(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "need -journal") {
 		t.Fatalf("stderr = %q, want a need-journal error", stderr.String())
+	}
+}
+
+// TestExplainFromJournalReplaysAuditLog pins the journal-only explain
+// path: an audited crashchaos run commits its decisions to the WAL, and a
+// later `-journal dir -explain N` invocation (no -experiment, nothing
+// re-run) answers from those records.
+func TestExplainFromJournalReplaysAuditLog(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-experiment", "crashchaos", "-journal", dir,
+		"-audit-out", filepath.Join(dir, "audit.txt"),
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("audited run: exit %d, stderr:\n%s", code, stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-journal", dir, "-explain", "0"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("journal explain: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "placed") {
+		t.Fatalf("journal explain carries no placement rationale:\n%s", stdout.String())
+	}
+	if strings.Contains(stdout.String(), "epoch 000 ") && strings.Contains(stderr.String(), "recovered") {
+		t.Fatalf("journal explain appears to have re-run epochs:\n%s", stderr.String())
+	}
+}
+
+// TestExplainFromJournalWithoutAuditRecords pins the hint when the WAL
+// was written with auditing off.
+func TestExplainFromJournalWithoutAuditRecords(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-experiment", "crashchaos", "-journal", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("silent run: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-journal", dir, "-explain", "0"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "no audit records") {
+		t.Fatalf("stderr = %q, want a no-audit-records hint", stderr.String())
+	}
+}
+
+// TestExplainFromMissingJournalFails: a bad -journal path is a clean
+// one-line failure, not a traceback.
+func TestExplainFromMissingJournalFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-journal", t.TempDir(), "-explain", "0"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "-explain from journal") {
+		t.Fatalf("stderr = %q", stderr.String())
+	}
+}
+
+// TestServeOpsEndpointDuringRun boots -serve on a loopback port, runs a
+// short experiment, and asserts the deterministic outputs are unaffected
+// while the endpoint serves valid Prometheus text and NDJSON.
+func TestServeOpsEndpointDuringRun(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skip("no loopback listener available")
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	var plain, served, stderr bytes.Buffer
+	if code := run([]string{"-experiment", "fig9", "-epochs", "2"}, &plain, &stderr); code != 0 {
+		t.Fatalf("plain run: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"-experiment", "fig9", "-epochs", "2", "-serve", addr}, &served, &stderr); code != 0 {
+		t.Fatalf("served run: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if plain.String() != served.String() {
+		t.Fatalf("-serve changed the deterministic experiment output:\nplain:\n%s\nserved:\n%s", plain.String(), served.String())
+	}
+	if !strings.Contains(stderr.String(), "ops endpoint") {
+		t.Fatalf("stderr missing the ops endpoint notice: %q", stderr.String())
 	}
 }

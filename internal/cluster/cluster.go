@@ -228,6 +228,9 @@ type Runner struct {
 	// carried across restarts) — the clock Options.CrashAfterRecords
 	// crashes against.
 	recordsWritten int
+	// auditJournaled is the cursor into the session audit log marking the
+	// decisions already journaled; journalAudit writes the slice beyond it.
+	auditJournaled int
 }
 
 // NewRunner builds a runner. The topology is not mutated.
@@ -343,9 +346,15 @@ func (r *Runner) RunEpoch(in EpochInput) (EpochReport, error) {
 	r.recordEpochMetrics(espan, rep)
 	espan.End()
 	region.End()
+	if err := r.journalAudit(); err != nil {
+		return rep, fmt.Errorf("cluster: epoch %d: %w", rep.Epoch, err)
+	}
 	r.epoch++
 	if err := r.journalCommit(rep); err != nil {
 		return rep, fmt.Errorf("cluster: epoch %d: %w", rep.Epoch, err)
+	}
+	if sess != nil && sess.ReportSink != nil {
+		sess.ReportSink(rep)
 	}
 	return rep, nil
 }

@@ -105,6 +105,114 @@ func (r *Runner) journalCommit(rep EpochReport) error {
 	return r.journalAppend(journal.KindCommit, e.Bytes())
 }
 
+// journalAudit journals the audit decisions recorded since the last call
+// (the current epoch's slice of the session log) so `-explain` can answer
+// from the journal alone. Written just before the commit record: a
+// decision is authoritative only once the epoch that made it commits, and
+// recovery replays exactly the audit records whose epochs sealed.
+func (r *Runner) journalAudit() error {
+	sess := r.opts.Telemetry
+	if r.opts.Journal == nil || !sess.Auditing() {
+		return nil
+	}
+	recs := sess.Audit.Records()
+	fresh := recs[r.auditJournaled:]
+	r.auditJournaled = len(recs)
+	if len(fresh) == 0 {
+		return nil
+	}
+	var e journal.Enc
+	e.Int(len(fresh))
+	for _, d := range fresh {
+		encodeDecision(&e, d)
+	}
+	return r.journalAppend(journal.KindAudit, e.Bytes())
+}
+
+// SyncAuditCursor marks every decision currently in the session audit log
+// as already journaled. A resume calls it after replaying the committed
+// audit records back into the session, so the resumed runner does not
+// re-journal history it just replayed. Records added *after* the sync
+// (e.g. Reconcile's rollback decisions) are fresh and ride the next
+// epoch's audit record.
+func (r *Runner) SyncAuditCursor() {
+	sess := r.opts.Telemetry
+	if sess.Auditing() {
+		r.auditJournaled = sess.Audit.Len()
+	}
+}
+
+// encodeDecision writes one audit decision in field-declaration order.
+// Like encodeReport, the order is part of the journal format: append new
+// fields at the end only.
+func encodeDecision(e *journal.Enc, d telemetry.Decision) {
+	e.Int(d.Epoch)
+	e.Dur(d.SimAt)
+	e.Str(d.Policy)
+	e.Int(d.Container)
+	e.Int(d.Group)
+	e.Str(string(d.Action))
+	e.Int(d.Server)
+	e.Int(d.From)
+	e.F64(d.Headroom)
+	e.Str(d.Detail)
+	e.Int(len(d.Candidates))
+	for _, c := range d.Candidates {
+		e.Str(c.Subtree)
+		e.Str(c.Outcome)
+	}
+}
+
+// decodeDecision reads a decision written by encodeDecision.
+func decodeDecision(d *journal.Dec) (telemetry.Decision, error) {
+	var dec telemetry.Decision
+	dec.Epoch = d.Int()
+	dec.SimAt = d.Dur()
+	dec.Policy = d.Str()
+	dec.Container = d.Int()
+	dec.Group = d.Int()
+	dec.Action = telemetry.Action(d.Str())
+	dec.Server = d.Int()
+	dec.From = d.Int()
+	dec.Headroom = d.F64()
+	dec.Detail = d.Str()
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return telemetry.Decision{}, err
+	}
+	if n < 0 || n > 1<<20 {
+		return telemetry.Decision{}, fmt.Errorf("cluster: audit decision carries %d candidates", n)
+	}
+	for i := 0; i < n; i++ {
+		sub := d.Str()
+		out := d.Str()
+		dec.Candidates = append(dec.Candidates, telemetry.Candidate{Subtree: sub, Outcome: out})
+	}
+	return dec, d.Err()
+}
+
+// decodeAuditRecord reads one KindAudit record body: the decisions the
+// committing epoch appended.
+func decodeAuditRecord(body []byte) ([]telemetry.Decision, error) {
+	d := journal.NewDec(body)
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > 1<<22 {
+		return nil, fmt.Errorf("cluster: audit record carries %d decisions", n)
+	}
+	decs := make([]telemetry.Decision, 0, n)
+	for i := 0; i < n; i++ {
+		dec, err := decodeDecision(d)
+		if err != nil {
+			return nil, err
+		}
+		decs = append(decs, dec)
+	}
+	return decs, nil
+}
+
 // WriteCheckpoint opens a fresh journal's record stream: the run
 // configuration hash (so a resume refuses to continue a different run)
 // plus the initial runner state.
@@ -221,6 +329,10 @@ type RecoverOutcome struct {
 	// re-running their epochs: the journal, not the dead process's
 	// stdout, is the authoritative report stream.
 	Reports []EpochReport
+	// Audit holds every *committed* audit decision, in record order: the
+	// KindAudit payloads whose epochs sealed. A resume replays them into
+	// the live session so -explain answers span the pre-crash history.
+	Audit []telemetry.Decision
 	// Orphans are the records after the last commit — the partially
 	// journaled epoch a crash tore. Pass them to Reconcile.
 	Orphans []journal.Raw
@@ -260,8 +372,19 @@ func RecoverJournal(path string, cfgHash uint64, sess *telemetry.Session) (*jour
 
 	out := RecoverOutcome{State: st}
 	lastCommit := 0
+	var pendingAudit []telemetry.Decision
 	for i, rec := range recs[1:] {
-		if rec.Kind != journal.KindCommit {
+		switch rec.Kind {
+		case journal.KindAudit:
+			decs, err := decodeAuditRecord(rec.Body)
+			if err != nil {
+				w.Close()
+				return nil, RecoverOutcome{}, fmt.Errorf("cluster: audit record %d: %w", i+1, err)
+			}
+			pendingAudit = append(pendingAudit, decs...)
+			continue
+		case journal.KindCommit:
+		default:
 			continue
 		}
 		cd := journal.NewDec(rec.Body)
@@ -277,12 +400,91 @@ func RecoverJournal(path string, cfgHash uint64, sess *telemetry.Session) (*jour
 		}
 		out.Reports = append(out.Reports, rep)
 		out.State = cst
+		// The commit seals every audit decision journaled since the prior
+		// commit; audit records in the orphan tail stay uncommitted.
+		out.Audit = append(out.Audit, pendingAudit...)
+		pendingAudit = nil
 		lastCommit = i + 1
 	}
 	out.Orphans = recs[lastCommit+1:]
 	span.SetInt("committed_epochs", len(out.Reports))
 	span.SetInt("orphan_records", len(out.Orphans))
 	return w, out, nil
+}
+
+// JournalView is a read-only decode of a journal file: what an analysis
+// tool (goldilocks-inspect, journal-only -explain) can see without
+// reopening the log for append and without knowing the run configuration.
+type JournalView struct {
+	// CfgHash is the run-configuration hash stamped by WriteCheckpoint.
+	CfgHash uint64
+	// State is the last committed runner state (its Epoch is the next
+	// epoch an uninterrupted run would execute).
+	State journal.RunnerState
+	// Reports holds every committed epoch's report, in order.
+	Reports []EpochReport
+	// Audit holds every committed audit decision, in record order.
+	Audit []telemetry.Decision
+	// Records is the total number of valid records scanned (including the
+	// checkpoint and any orphan tail records).
+	Records int
+	// Orphans counts the records after the last commit.
+	Orphans int
+	// Torn reports a CRC-failing tail after the valid prefix.
+	Torn bool
+}
+
+// ReadJournal decodes the journal at path without opening it for append
+// and without a configuration check — analysis is read-only and must work
+// on logs from runs whose configuration the inspector does not know.
+func ReadJournal(path string) (JournalView, error) {
+	recs, _, torn, err := journal.ReadFile(path, nil)
+	if err != nil {
+		return JournalView{}, err
+	}
+	if len(recs) == 0 || recs[0].Kind != journal.KindCheckpoint {
+		return JournalView{}, fmt.Errorf("cluster: journal %s has no checkpoint record", path)
+	}
+	view := JournalView{Records: len(recs), Torn: torn}
+	d := journal.NewDec(recs[0].Body)
+	view.CfgHash = d.U64()
+	st, err := journal.DecodeRunnerState(d)
+	if err != nil {
+		return JournalView{}, fmt.Errorf("cluster: journal checkpoint: %w", err)
+	}
+	view.State = st
+	lastCommit := 0
+	var pendingAudit []telemetry.Decision
+	for i, rec := range recs[1:] {
+		switch rec.Kind {
+		case journal.KindAudit:
+			decs, err := decodeAuditRecord(rec.Body)
+			if err != nil {
+				return JournalView{}, fmt.Errorf("cluster: audit record %d: %w", i+1, err)
+			}
+			pendingAudit = append(pendingAudit, decs...)
+			continue
+		case journal.KindCommit:
+		default:
+			continue
+		}
+		cd := journal.NewDec(rec.Body)
+		rep, err := decodeReport(cd)
+		if err != nil {
+			return JournalView{}, fmt.Errorf("cluster: commit record %d: %w", i+1, err)
+		}
+		cst, err := journal.DecodeRunnerState(cd)
+		if err != nil {
+			return JournalView{}, fmt.Errorf("cluster: commit record %d state: %w", i+1, err)
+		}
+		view.Reports = append(view.Reports, rep)
+		view.State = cst
+		view.Audit = append(view.Audit, pendingAudit...)
+		pendingAudit = nil
+		lastCommit = i + 1
+	}
+	view.Orphans = len(recs) - 1 - lastCommit
+	return view, nil
 }
 
 // ReconcileReport classifies the uncommitted tail of a recovered journal.

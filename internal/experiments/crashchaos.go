@@ -233,6 +233,15 @@ func CrashChaos(opts CrashChaosOptions) (*CrashChaosResult, error) {
 	runner := cluster.NewRunner(topo, policy, copts)
 	if recovered != nil {
 		runner.Restore(recovered.State)
+		// Replay the committed audit history into the live session (the
+		// records carry their original epoch stamps, so they bypass Decide)
+		// and sync the runner's cursor so they are not re-journaled.
+		if sess.Auditing() {
+			for _, d := range recovered.Audit {
+				sess.Audit.Record(d)
+			}
+		}
+		runner.SyncAuditCursor()
 		// Replay the fault schedule up to the interrupted epoch's boundary
 		// so the topology carries exactly the failure state the crashed run
 		// saw, then audit what the crash tore.

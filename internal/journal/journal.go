@@ -53,6 +53,11 @@ const (
 	// KindCommit seals an epoch: the full epoch report plus the
 	// post-epoch runner state (the rolling checkpoint a resume loads).
 	KindCommit Kind = 5
+	// KindAudit carries the epoch's decision-audit records (written just
+	// before the commit that seals them, and only when auditing is on).
+	// Replay feeds them back into a telemetry.Audit so `-explain` answers
+	// from the journal without re-running the epochs.
+	KindAudit Kind = 6
 )
 
 // String names the kind for logs and telemetry.
@@ -68,6 +73,8 @@ func (k Kind) String() string {
 		return "wave"
 	case KindCommit:
 		return "commit"
+	case KindAudit:
+		return "audit"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

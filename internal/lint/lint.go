@@ -75,6 +75,7 @@ var DeterministicPackages = []string{
 	"internal/chaos",
 	"internal/telemetry",
 	"internal/journal",
+	"internal/obs",
 }
 
 // IsDeterministicPackage reports whether the import path is bound by the

@@ -65,6 +65,11 @@ func (s *Series) Min() float64 {
 	return m
 }
 
+// Percentile returns the p-th percentile of the values (0 ≤ p ≤ 100) by
+// linear interpolation between closest ranks; see the package-level
+// Percentile. Empty series return 0.
+func (s *Series) Percentile(p float64) float64 { return Percentile(s.Values, p) }
+
 // TimeWeightedMean integrates the (right-continuous step) series over its
 // span and divides by the span; it equals Mean for uniform sampling.
 func (s *Series) TimeWeightedMean() float64 {

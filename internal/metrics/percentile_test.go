@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// refPercentile is an independent reference for linear interpolation
+// between closest ranks (the "exclusive of extrapolation" definition
+// numpy calls 'linear'): rank = p/100·(n−1), then interpolate between
+// floor and ceil of the rank. Written from the definition, not from the
+// production code, so a shared bug cannot hide.
+func refPercentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// TestPercentilePropertyRandomized drives Percentile against the
+// reference on randomized inputs: sizes 1..100, values spanning signs and
+// magnitudes, percentiles across [0, 100] including the exact rank points.
+func TestPercentilePropertyRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260809))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			switch rng.Intn(3) {
+			case 0:
+				xs[i] = rng.NormFloat64() * 1e3
+			case 1:
+				xs[i] = rng.Float64()
+			default:
+				xs[i] = float64(rng.Intn(10)) // ties are common in TCT data
+			}
+		}
+		ps := []float64{0, 1, 25, 50, 75, 90, 95, 99, 100, rng.Float64() * 100}
+		// Exact rank points: p where rank = i exactly, no interpolation.
+		if n > 1 {
+			i := rng.Intn(n)
+			ps = append(ps, float64(i)/float64(n-1)*100)
+		}
+		for _, p := range ps {
+			got := Percentile(xs, p)
+			want := refPercentile(xs, p)
+			if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Fatalf("trial %d: Percentile(n=%d, p=%g) = %g, reference %g", trial, n, p, got, want)
+			}
+		}
+	}
+}
+
+// TestPercentileSingleSample: every percentile of a single sample is the
+// sample.
+func TestPercentileSingleSample(t *testing.T) {
+	for _, p := range []float64{0, 0.1, 50, 99.9, 100} {
+		if got := Percentile([]float64{42.5}, p); got != 42.5 {
+			t.Fatalf("Percentile([42.5], %g) = %g, want 42.5", p, got)
+		}
+	}
+}
+
+// TestPercentileAllEqual: interpolation between equal neighbors must not
+// drift off the common value.
+func TestPercentileAllEqual(t *testing.T) {
+	xs := []float64{7, 7, 7, 7, 7, 7}
+	for _, p := range []float64{0, 10, 33.3, 50, 66.7, 90, 100} {
+		if got := Percentile(xs, p); got != 7 {
+			t.Fatalf("Percentile(all-equal, %g) = %g, want 7", p, got)
+		}
+	}
+}
+
+// TestPercentileBoundsClamped: out-of-range p clamps to min/max.
+func TestPercentileBoundsClamped(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if got := Percentile(xs, -5); got != 1 {
+		t.Fatalf("Percentile(p<0) = %g, want 1", got)
+	}
+	if got := Percentile(xs, 150); got != 3 {
+		t.Fatalf("Percentile(p>100) = %g, want 3", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("Percentile(empty) = %g, want 0", got)
+	}
+}
+
+// TestSeriesPercentileMatchesPackageFunction pins the Series method to
+// the package function on its Values.
+func TestSeriesPercentileMatchesPackageFunction(t *testing.T) {
+	var s Series
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		s.Append(time.Duration(i)*time.Second, rng.NormFloat64())
+	}
+	for _, p := range []float64{0, 50, 95, 99, 100} {
+		if got, want := s.Percentile(p), Percentile(s.Values, p); got != want {
+			t.Fatalf("Series.Percentile(%g) = %g, want %g", p, got, want)
+		}
+	}
+	var empty Series
+	if got := empty.Percentile(50); got != 0 {
+		t.Fatalf("empty Series.Percentile = %g, want 0", got)
+	}
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"goldilocks/internal/det"
+)
+
+// StageStat is one row of the critical-path rollup: how much of the run's
+// timeline a phase owns directly (self, excluding children) and how much
+// of it sits on epoch critical paths.
+type StageStat struct {
+	Stage string `json:"stage"`
+	// SelfDur is the stage's total self width across every span.
+	SelfDur int64 `json:"self_dur"`
+	// SelfShare is SelfDur over the forest's total width.
+	SelfShare float64 `json:"self_share"`
+	// Spans counts the stage's spans.
+	Spans int `json:"spans"`
+	// PathDur is the stage's total self width restricted to spans on an
+	// epoch critical path — the part of the stage that gates epoch
+	// completion, the number the sharding decision weighs.
+	PathDur int64 `json:"path_dur"`
+}
+
+// EpochPath is the critical path of one epoch: the heaviest-descent chain
+// from the epoch root to a leaf.
+type EpochPath struct {
+	Epoch  int    `json:"epoch"`
+	Policy string `json:"policy"`
+	// Dur is the epoch root's width.
+	Dur int64 `json:"dur"`
+	// Stages is the chain of stage names from the root (exclusive) down
+	// to the leaf: the phases that gate this epoch.
+	Stages []string `json:"stages"`
+}
+
+// CritPathReport is the critical-path profile of one trace.
+type CritPathReport struct {
+	// Epochs counts per-epoch roots; Roots counts all roots (epoch roots
+	// plus journal-replay / netsim-run style one-offs).
+	Epochs   int   `json:"epochs"`
+	Roots    int   `json:"roots"`
+	Spans    int   `json:"spans"`
+	TotalDur int64 `json:"total_dur"`
+	// Stages is the rollup, heaviest self width first.
+	Stages []StageStat `json:"stages"`
+	// Paths is one critical path per epoch root, in root order.
+	Paths []EpochPath `json:"paths"`
+	// DominantPath is the most frequent epoch path signature, and
+	// DominantCount how many epochs share it.
+	DominantPath  string `json:"dominant_path"`
+	DominantCount int    `json:"dominant_count"`
+}
+
+// CriticalPath profiles the trace: self-width rollups per stage and the
+// heaviest-descent critical path of every epoch. Output is a pure
+// function of the trace, so same-seed runs profile byte-identically.
+func CriticalPath(tr *Trace) *CritPathReport {
+	rep := &CritPathReport{Roots: len(tr.Roots), Spans: tr.Spans}
+	stats := make(map[string]*StageStat)
+	stat := func(name string) *StageStat {
+		st := stats[Stage(name)]
+		if st == nil {
+			st = &StageStat{Stage: Stage(name)}
+			stats[Stage(name)] = st
+		}
+		return st
+	}
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		st := stat(s.Name)
+		st.SelfDur += s.SelfDur()
+		st.Spans++
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	pathCount := make(map[string]int)
+	var pathKeys []string
+	for _, root := range tr.Roots {
+		rep.TotalDur += root.Dur
+		walk(root)
+		epoch, policy, ok := EpochRoot(root)
+		if !ok {
+			continue
+		}
+		rep.Epochs++
+		p := EpochPath{Epoch: epoch, Policy: policy, Dur: root.Dur}
+		// Heaviest-descent: from the root, follow the widest child (ties
+		// break to the earlier sibling, which is deterministic because
+		// sibling order is creation order). Every span on the chain
+		// charges its self width to the stage's PathDur.
+		for s := root; ; {
+			stat(s.Name).PathDur += s.SelfDur()
+			var next *Span
+			for _, c := range s.Children {
+				if next == nil || c.Dur > next.Dur {
+					next = c
+				}
+			}
+			if next == nil {
+				break
+			}
+			s = next
+			p.Stages = append(p.Stages, Stage(s.Name))
+		}
+		sig := pathSignature(p.Stages)
+		if pathCount[sig] == 0 {
+			pathKeys = append(pathKeys, sig)
+		}
+		pathCount[sig]++
+		rep.Paths = append(rep.Paths, p)
+	}
+	// Dominant path: highest count, ties to first appearance.
+	for _, sig := range pathKeys {
+		if pathCount[sig] > rep.DominantCount {
+			rep.DominantPath, rep.DominantCount = sig, pathCount[sig]
+		}
+	}
+	for _, name := range det.SortedKeys(stats) {
+		st := stats[name]
+		if rep.TotalDur > 0 {
+			st.SelfShare = float64(st.SelfDur) / float64(rep.TotalDur)
+		}
+		rep.Stages = append(rep.Stages, *st)
+	}
+	sort.SliceStable(rep.Stages, func(i, j int) bool { return rep.Stages[i].SelfDur > rep.Stages[j].SelfDur })
+	return rep
+}
+
+func pathSignature(stages []string) string {
+	var b bytes.Buffer
+	for i, s := range stages {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		b.WriteString(s)
+	}
+	return b.String()
+}
+
+// WriteText renders the profile as the human-facing report.
+func (r *CritPathReport) WriteText(w io.Writer) error {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "critical-path: %d epochs, %d roots, %d spans, %d ticks on the timeline\n",
+		r.Epochs, r.Roots, r.Spans, r.TotalDur)
+	fmt.Fprintf(&buf, "\nstage rollup (self width, heaviest first):\n")
+	for _, st := range r.Stages {
+		fmt.Fprintf(&buf, "  %-24s %8d  %5.1f%%  spans=%d  on-path=%d\n",
+			st.Stage, st.SelfDur, st.SelfShare*100, st.Spans, st.PathDur)
+	}
+	if r.Epochs > 0 {
+		fmt.Fprintf(&buf, "\ndominant critical path (%d/%d epochs):\n  epoch -> %s\n",
+			r.DominantCount, r.Epochs, r.DominantPath)
+		fmt.Fprintf(&buf, "\nper-epoch critical path:\n")
+		for _, p := range r.Paths {
+			fmt.Fprintf(&buf, "  epoch %03d [%s] %d ticks: %s\n", p.Epoch, p.Policy, p.Dur, pathSignature(p.Stages))
+		}
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// WriteJSON renders the profile machine-readably (indented, stable field
+// order, trailing newline).
+func (r *CritPathReport) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

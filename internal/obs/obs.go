@@ -1,0 +1,27 @@
+// Package obs is the offline analysis plane over the artifacts a run
+// already emits — Chrome-trace span JSON, Prometheus-text metrics, the
+// decision audit log, and the epoch write-ahead journal. Nothing here
+// feeds back into scheduling: obs consumes the flight-recorder outputs
+// after (or, for the ops endpoint, beside) the deterministic core, so the
+// placement path is untouched by analysis.
+//
+// Four capabilities, surfaced by cmd/goldilocks-inspect:
+//
+//   - critical-path: reconstruct the phase-span tree per epoch from a
+//     deterministic Chrome trace, roll up self-time by stage, and walk the
+//     heaviest-descent critical path through partition levels, FM rounds,
+//     VC search and migration waves — the evidence behind the sharding
+//     decision (ROADMAP open item 1).
+//   - diff: compare two runs artifact-by-artifact (byte identity with
+//     first-divergence pinpointing) and epoch-by-epoch over the journaled
+//     EpochReport streams (power, TCT, migrations, solve, recovery).
+//   - slo: rolling-window availability / recovery-time / solve-deadline
+//     burn rates over the journaled EpochReport stream.
+//   - ops: a read-only live endpoint (goldilocks-sim -serve) exposing
+//     /metrics, /healthz and /epochz snapshots of a running session.
+//
+// obs is bound by the scheduling-determinism contract (internal/lint):
+// every analysis output is a pure function of its input artifacts — no
+// wall clock, no map-order dependence, no goroutines — so inspect output
+// for a same-seed run is byte-identical at every parallelism level.
+package obs

@@ -1,0 +1,349 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"goldilocks/internal/cluster"
+	"goldilocks/internal/experiments"
+	"goldilocks/internal/journal"
+	"goldilocks/internal/scheduler"
+	"goldilocks/internal/telemetry"
+	"goldilocks/internal/topology"
+	"goldilocks/internal/workload"
+)
+
+// TestParseChromeTraceRebuildsTree round-trips a hand-built span tree
+// through the Chrome exporter and the obs parser.
+func TestParseChromeTraceRebuildsTree(t *testing.T) {
+	tr := telemetry.NewTracer()
+	root := tr.Root("epoch 000 goldilocks", 0)
+	place := root.Child("place")
+	attempt := place.Child("attempt")
+	attempt.Event("spill")
+	attempt.End()
+	place.End()
+	acct := root.Child("account")
+	acct.End()
+	root.End()
+	root2 := tr.Root("epoch 001 goldilocks", time.Minute)
+	root2.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, telemetry.ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Roots) != 2 {
+		t.Fatalf("roots = %d, want 2", len(parsed.Roots))
+	}
+	r := parsed.Roots[0]
+	if r.Name != "epoch 000 goldilocks" || len(r.Children) != 2 {
+		t.Fatalf("root %q has %d children, want 2", r.Name, len(r.Children))
+	}
+	p := r.Children[0]
+	if p.Name != "place" || len(p.Children) != 1 || p.Children[0].Name != "attempt" {
+		t.Fatalf("place subtree mangled: %+v", p)
+	}
+	// Deterministic widths: attempt = 1 span + 1 event = 2; place = 1 + 2.
+	if p.Children[0].Dur != 2 || p.Dur != 3 {
+		t.Fatalf("ticks: attempt=%d (want 2), place=%d (want 3)", p.Children[0].Dur, p.Dur)
+	}
+	if p.Children[0].Events != 1 {
+		t.Fatalf("attempt events = %d, want 1", p.Children[0].Events)
+	}
+	// Self width: place owns 1 tick (itself) beyond its child.
+	if p.SelfDur() != 1 {
+		t.Fatalf("place self = %d, want 1", p.SelfDur())
+	}
+	epoch, policy, ok := EpochRoot(r)
+	if !ok || epoch != 0 || policy != "goldilocks" {
+		t.Fatalf("EpochRoot = (%d, %q, %v)", epoch, policy, ok)
+	}
+}
+
+// TestCriticalPathProfile pins the profiler's rollup and path walk on a
+// known tree: the heaviest-descent chain must follow the widest child.
+func TestCriticalPathProfile(t *testing.T) {
+	tr := telemetry.NewTracer()
+	root := tr.Root("epoch 000 goldilocks", 0)
+	place := root.Child("place")
+	heavy := place.Child("partition")
+	for i := 0; i < 5; i++ {
+		heavy.Event("level")
+	}
+	heavy.End()
+	light := place.Child("migrate")
+	light.End()
+	place.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, telemetry.ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := CriticalPath(parsed)
+	if rep.Epochs != 1 || len(rep.Paths) != 1 {
+		t.Fatalf("epochs=%d paths=%d, want 1/1", rep.Epochs, len(rep.Paths))
+	}
+	want := []string{"place", "partition"}
+	got := rep.Paths[0].Stages
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("critical path = %v, want %v", got, want)
+	}
+	if rep.DominantPath != "place -> partition" || rep.DominantCount != 1 {
+		t.Fatalf("dominant = %q x%d", rep.DominantPath, rep.DominantCount)
+	}
+	// partition self width = 1 + 5 events = 6, all of it on-path.
+	for _, st := range rep.Stages {
+		if st.Stage == "partition" {
+			if st.SelfDur != 6 || st.PathDur != 6 {
+				t.Fatalf("partition self=%d on-path=%d, want 6/6", st.SelfDur, st.PathDur)
+			}
+		}
+	}
+}
+
+// writeRunDir executes the crashchaos cell at the given parallelism and
+// seed, writing the full artifact set (trace.json, metrics.prom,
+// audit.txt, crashchaos.wal) into a fresh run directory.
+func writeRunDir(t *testing.T, parallelism int, seed int64) string {
+	t.Helper()
+	dir := t.TempDir()
+	sess := telemetry.NewSession()
+	opts := experiments.DefaultCrashChaos()
+	opts.Epochs = 6
+	opts.Seed = seed
+	opts.Parallelism = parallelism
+	opts.Telemetry = sess
+	opts.JournalPath = filepath.Join(dir, "crashchaos.wal")
+	if _, err := experiments.CrashChaos(opts); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, fn func(w *bytes.Buffer) error) {
+		var buf bytes.Buffer
+		if err := fn(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(TraceFile, func(w *bytes.Buffer) error { return sess.Tracer.WriteChromeTrace(w, telemetry.ExportOptions{}) })
+	write(MetricsFile, func(w *bytes.Buffer) error { return sess.Metrics.WritePrometheus(w) })
+	write(AuditFile, func(w *bytes.Buffer) error { return sess.Audit.WriteText(w) })
+	return dir
+}
+
+func inspectOutputs(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	run, err := LoadRun(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := run.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string)
+	capture := func(name string, fn func(w *bytes.Buffer) error) {
+		var buf bytes.Buffer
+		if err := fn(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out[name] = buf.String()
+	}
+	cp := CriticalPath(tr)
+	capture("critical-path.txt", func(w *bytes.Buffer) error { return cp.WriteText(w) })
+	capture("critical-path.json", func(w *bytes.Buffer) error { return cp.WriteJSON(w) })
+	slo := TrackSLO(run.Reports(), SLOConfig{})
+	capture("slo.txt", func(w *bytes.Buffer) error { return slo.WriteText(w) })
+	capture("slo.json", func(w *bytes.Buffer) error { return slo.WriteJSON(w) })
+	return out
+}
+
+// TestInspectOutputsByteIdenticalAcrossParallelism is the acceptance
+// regression: every inspect surface over a same-seed run is byte-identical
+// at partitioner parallelism 1, 4 and 8, and `diff` between any pair of
+// the runs is clean.
+func TestInspectOutputsByteIdenticalAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-parallelism crashchaos sweep")
+	}
+	dirs := map[int]string{}
+	outs := map[int]map[string]string{}
+	for _, p := range []int{1, 4, 8} {
+		dirs[p] = writeRunDir(t, p, 31)
+		outs[p] = inspectOutputs(t, dirs[p])
+	}
+	for _, p := range []int{4, 8} {
+		for name, want := range outs[1] {
+			if got := outs[p][name]; got != want {
+				t.Errorf("p=%d %s differs from p=1", p, name)
+			}
+		}
+		runA, err := LoadRun(dirs[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		runB, err := LoadRun(dirs[p])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := Diff(runA, runB)
+		if !rep.Identical {
+			var buf bytes.Buffer
+			_ = rep.WriteMarkdown(&buf)
+			t.Errorf("diff p=1 vs p=%d not identical:\n%s", p, buf.String())
+		}
+	}
+}
+
+// TestDiffNamesFirstDivergence pins the determinism-triage contract: two
+// runs that differ must name the first diverging epoch and the first
+// diverging journal record.
+func TestDiffNamesFirstDivergence(t *testing.T) {
+	dirA := writeRunDir(t, 1, 31)
+	dirB := writeRunDir(t, 1, 77)
+	runA, err := LoadRun(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runB, err := LoadRun(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Diff(runA, runB)
+	if rep.Identical {
+		t.Fatal("different-seed runs reported identical")
+	}
+	if rep.FirstDivergingEpoch < 0 {
+		t.Fatal("no first diverging epoch named")
+	}
+	found := false
+	for _, ad := range rep.Artifacts {
+		if ad.Artifact == "journal" {
+			if ad.Identical || ad.FirstDivergence == "" {
+				t.Fatalf("journal divergence not named: %+v", ad)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no journal artifact in the diff")
+	}
+	if len(rep.Epochs) == 0 || len(rep.Epochs[0].Fields) == 0 {
+		t.Fatal("no per-epoch field deltas")
+	}
+	var md, js bytes.Buffer
+	if err := rep.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(md.Bytes(), []byte("Runs differ")) {
+		t.Fatalf("markdown missing verdict:\n%s", md.String())
+	}
+	if !bytes.Contains(js.Bytes(), []byte(`"first_diverging_epoch"`)) {
+		t.Fatalf("json missing first_diverging_epoch:\n%s", js.String())
+	}
+}
+
+// TestDiffIdenticalRun pins the inspect-guard contract: a run diffed
+// against itself is identical on every artifact.
+func TestDiffIdenticalRun(t *testing.T) {
+	dir := writeRunDir(t, 1, 31)
+	runA, err := LoadRun(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runB, err := LoadRun(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Diff(runA, runB)
+	if !rep.Identical {
+		var buf bytes.Buffer
+		_ = rep.WriteMarkdown(&buf)
+		t.Fatalf("self-diff not identical:\n%s", buf.String())
+	}
+	if rep.FirstDivergingEpoch != -1 {
+		t.Fatalf("self-diff names diverging epoch %d", rep.FirstDivergingEpoch)
+	}
+}
+
+// journaledPolicyRun journals a short run of the given scheduling policy
+// and returns a run directory holding only the WAL — diff degrades
+// gracefully when the other artifacts were not written.
+func journaledPolicyRun(t *testing.T, policy scheduler.Policy) string {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := journal.Create(filepath.Join(dir, "run.wal"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	r := cluster.NewRunner(topology.NewTestbed(), policy, func() cluster.Options {
+		o := cluster.DefaultOptions()
+		o.Journal = w
+		return o
+	}())
+	if err := cluster.WriteCheckpoint(w, 1, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.TwitterWorkload(60, 1)
+	inputs := []cluster.EpochInput{{Spec: spec, RPS: 1000}, {Spec: spec.Scaled(0.5), RPS: 1000}, {Spec: spec.Scaled(0.8), RPS: 1000}}
+	if _, err := r.RunSeries(inputs); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestDiffAcrossPoliciesNamesPolicyAndEpoch pins the policy-A/B use
+// case: diffing a Goldilocks run against a Borg run over the same
+// workload names the first diverging epoch and carries both policy names
+// in the per-epoch deltas.
+func TestDiffAcrossPoliciesNamesPolicyAndEpoch(t *testing.T) {
+	dirA := journaledPolicyRun(t, scheduler.Goldilocks{})
+	dirB := journaledPolicyRun(t, scheduler.Borg{})
+	runA, err := LoadRun(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runB, err := LoadRun(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Diff(runA, runB)
+	if rep.Identical {
+		t.Fatal("different-policy runs reported identical")
+	}
+	if rep.FirstDivergingEpoch != 0 {
+		t.Fatalf("first diverging epoch = %d, want 0 (policies differ from the first report)", rep.FirstDivergingEpoch)
+	}
+	if len(rep.Epochs) == 0 {
+		t.Fatal("no per-epoch deltas")
+	}
+	d := rep.Epochs[0]
+	if d.PolicyA == d.PolicyB {
+		t.Fatalf("policy names not distinguished: %q vs %q", d.PolicyA, d.PolicyB)
+	}
+	var md bytes.Buffer
+	if err := rep.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(md.Bytes(), []byte(d.PolicyA)) || !bytes.Contains(md.Bytes(), []byte(d.PolicyB)) {
+		t.Fatalf("markdown report does not carry both policy names:\n%s", md.String())
+	}
+}

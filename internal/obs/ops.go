@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"goldilocks/internal/cluster"
+	"goldilocks/internal/telemetry"
+)
+
+// Ops is the live ops endpoint behind goldilocks-sim -serve: read-only
+// HTTP views over a running session. It observes the deterministic core
+// without touching it — the epoch loop publishes each sealed report
+// through Session.ReportSink (value copies; EpochReport has no reference
+// fields), and /metrics snapshots the registry, which is already safe for
+// concurrent reads.
+//
+// Ops itself starts no goroutines (the caller owns the http.Server and
+// its listener), which keeps this package inside the determinism lint
+// set: the handlers are pure reads over mutex-guarded snapshots.
+type Ops struct {
+	sess *telemetry.Session
+
+	mu      sync.Mutex
+	reports []cluster.EpochReport
+}
+
+// NewOps wires an Ops onto the session: its ReportSink is installed so
+// every sealed epoch report lands in the /epochz stream. Install before
+// the run starts (the epoch loop reads ReportSink unlocked).
+func NewOps(sess *telemetry.Session) *Ops {
+	o := &Ops{sess: sess}
+	if sess != nil {
+		sess.ReportSink = o.sink
+	}
+	return o
+}
+
+// sink receives one sealed epoch report from the cluster runner.
+func (o *Ops) sink(rep any) {
+	r, ok := rep.(cluster.EpochReport)
+	if !ok {
+		return
+	}
+	o.mu.Lock()
+	o.reports = append(o.reports, r)
+	o.mu.Unlock()
+}
+
+// Reports returns a copy of the epoch reports received so far.
+func (o *Ops) Reports() []cluster.EpochReport {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]cluster.EpochReport(nil), o.reports...)
+}
+
+// Handler returns the ops mux:
+//
+//	/healthz  liveness plus the epoch count, text/plain
+//	/metrics  the session registry, Prometheus text format
+//	/epochz   the sealed epoch reports, one JSON object per line (NDJSON)
+func (o *Ops) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		o.mu.Lock()
+		n := len(o.reports)
+		o.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok epochs=%d\n", n)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var reg *telemetry.Registry
+		if o.sess != nil {
+			reg = o.sess.Metrics
+		}
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/epochz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, rep := range o.Reports() {
+			if err := enc.Encode(rep); err != nil {
+				return
+			}
+		}
+	})
+	return mux
+}

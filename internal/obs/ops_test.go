@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"goldilocks/internal/cluster"
+	"goldilocks/internal/telemetry"
+)
+
+// get fetches a path from the test server and returns status, content
+// type and body.
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), body
+}
+
+// TestOpsEndpoints exercises the three ops views while a writer publishes
+// epoch reports through the session sink — run under -race this pins the
+// snapshot discipline of the handlers.
+func TestOpsEndpoints(t *testing.T) {
+	sess := telemetry.NewSession()
+	sess.Metrics.Counter("epochs_total").Add(3)
+	sess.Metrics.Counter(telemetry.LabeledName("power_w", telemetry.Label{Key: "policy", Val: "goldilocks"})).Add(41)
+	ops := NewOps(sess)
+	srv := httptest.NewServer(ops.Handler())
+	defer srv.Close()
+
+	const epochs = 50
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < epochs; i++ {
+			sess.ReportSink(cluster.EpochReport{Epoch: i, Policy: "goldilocks", ActiveServers: 4 + i%3})
+		}
+	}()
+	// Hammer the endpoints concurrently with the publisher.
+	for i := 0; i < 20; i++ {
+		status, _, _ := get(t, srv, "/healthz")
+		if status != http.StatusOK {
+			t.Fatalf("/healthz status = %d", status)
+		}
+		status, _, _ = get(t, srv, "/epochz")
+		if status != http.StatusOK {
+			t.Fatalf("/epochz status = %d", status)
+		}
+		status, _, _ = get(t, srv, "/metrics")
+		if status != http.StatusOK {
+			t.Fatalf("/metrics status = %d", status)
+		}
+	}
+	wg.Wait()
+
+	// /healthz reflects the final count.
+	_, ctype, body := get(t, srv, "/healthz")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/healthz content type = %q", ctype)
+	}
+	if got := string(body); got != "ok epochs=50\n" {
+		t.Fatalf("/healthz body = %q", got)
+	}
+
+	// /metrics is valid Prometheus text: versioned content type, one TYPE
+	// header per family, every non-comment line "name[{labels}] value".
+	_, ctype, body = get(t, srv, "/metrics")
+	if ctype != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("/metrics content type = %q", ctype)
+	}
+	types := map[string]int{}
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			types[fields[2]]++
+			continue
+		}
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		if i := strings.LastIndexByte(line, ' '); i <= 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+	for fam, n := range types {
+		if n != 1 {
+			t.Fatalf("family %q has %d TYPE lines", fam, n)
+		}
+	}
+	if types["epochs_total"] != 1 || types["power_w"] != 1 {
+		t.Fatalf("expected families missing from /metrics:\n%s", body)
+	}
+
+	// /epochz is valid NDJSON: one report per line, all 50 present, in
+	// publication order.
+	_, ctype, body = get(t, srv, "/epochz")
+	if ctype != "application/x-ndjson" {
+		t.Fatalf("/epochz content type = %q", ctype)
+	}
+	var got []cluster.EpochReport
+	sc = bufio.NewScanner(bytes.NewReader(body))
+	for sc.Scan() {
+		var rep cluster.EpochReport
+		if err := json.Unmarshal(sc.Bytes(), &rep); err != nil {
+			t.Fatalf("invalid NDJSON line %q: %v", sc.Text(), err)
+		}
+		got = append(got, rep)
+	}
+	if len(got) != epochs {
+		t.Fatalf("/epochz returned %d reports, want %d", len(got), epochs)
+	}
+	for i, rep := range got {
+		if rep.Epoch != i || rep.Policy != "goldilocks" {
+			t.Fatalf("report %d out of order: %+v", i, rep)
+		}
+	}
+}
+
+// TestOpsIgnoresForeignSinkPayloads pins that the sink drops values that
+// are not epoch reports instead of panicking.
+func TestOpsIgnoresForeignSinkPayloads(t *testing.T) {
+	sess := telemetry.NewSession()
+	ops := NewOps(sess)
+	sess.ReportSink("not a report")
+	sess.ReportSink(nil)
+	sess.ReportSink(cluster.EpochReport{Epoch: 7})
+	reps := ops.Reports()
+	if len(reps) != 1 || reps[0].Epoch != 7 {
+		t.Fatalf("Reports() = %+v, want the single real report", reps)
+	}
+}
+
+// TestNewOpsNilSession: a nil session must not panic and /healthz and
+// /epochz still serve (there is no registry to export, so /metrics is not
+// part of this contract).
+func TestNewOpsNilSession(t *testing.T) {
+	ops := NewOps(nil)
+	srv := httptest.NewServer(ops.Handler())
+	defer srv.Close()
+	status, _, body := get(t, srv, "/healthz")
+	if status != http.StatusOK || string(body) != "ok epochs=0\n" {
+		t.Fatalf("/healthz = %d %q", status, body)
+	}
+	status, _, _ = get(t, srv, "/epochz")
+	if status != http.StatusOK {
+		t.Fatalf("/epochz status = %d", status)
+	}
+}

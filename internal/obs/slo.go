@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"goldilocks/internal/cluster"
+)
+
+// SLOConfig sets the objectives the burn tracker holds the epoch stream
+// to. The zero value is replaced field-by-field with DefaultSLOConfig.
+type SLOConfig struct {
+	// Window is the rolling-window length in epochs.
+	Window int `json:"window"`
+	// Availability is the availability objective (e.g. 0.999): each
+	// epoch's error budget is 1 - Availability, and an epoch burns
+	// (1 - report availability) of it.
+	Availability float64 `json:"availability"`
+	// RecoveryTimeS is the per-epoch recovery-time objective in seconds:
+	// an epoch burns RecoveryTimeS_report / RecoveryTimeS of budget.
+	RecoveryTimeS float64 `json:"recovery_time_s"`
+	// SolveDeadlineMS is the modeled-solve deadline; SolveBudget is the
+	// tolerated fraction of epochs over it (e.g. 0.05). An epoch over the
+	// deadline burns 1/SolveBudget of the solve budget.
+	SolveDeadlineMS float64 `json:"solve_deadline_ms"`
+	SolveBudget     float64 `json:"solve_budget"`
+}
+
+// DefaultSLOConfig matches the crashchaos cell: a three-nines
+// availability target, 30 s of tolerated recovery per epoch, and at most
+// 5% of epochs over the 40 ms solve deadline.
+func DefaultSLOConfig() SLOConfig {
+	return SLOConfig{
+		Window:          5,
+		Availability:    0.999,
+		RecoveryTimeS:   30,
+		SolveDeadlineMS: 40,
+		SolveBudget:     0.05,
+	}
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	def := DefaultSLOConfig()
+	if c.Window <= 0 {
+		c.Window = def.Window
+	}
+	if c.Availability <= 0 || c.Availability >= 1 {
+		c.Availability = def.Availability
+	}
+	if c.RecoveryTimeS <= 0 {
+		c.RecoveryTimeS = def.RecoveryTimeS
+	}
+	if c.SolveDeadlineMS <= 0 {
+		c.SolveDeadlineMS = def.SolveDeadlineMS
+	}
+	if c.SolveBudget <= 0 || c.SolveBudget > 1 {
+		c.SolveBudget = def.SolveBudget
+	}
+	return c
+}
+
+// SLOEpoch is one epoch's burn accounting: each burn rate is budget
+// consumed over budget allowed, averaged over the trailing window — 1.0
+// means the window exactly exhausts its error budget, above it the
+// objective is being missed.
+type SLOEpoch struct {
+	Epoch        int     `json:"epoch"`
+	AvailBurn    float64 `json:"avail_burn"`
+	RecoveryBurn float64 `json:"recovery_burn"`
+	SolveBurn    float64 `json:"solve_burn"`
+	// Breach marks a window whose worst burn rate exceeds 1.
+	Breach bool `json:"breach"`
+}
+
+// SLOReport is the burn-tracker output over one EpochReport stream.
+type SLOReport struct {
+	Config SLOConfig  `json:"config"`
+	Epochs []SLOEpoch `json:"epochs"`
+	// Peak burns across all windows, and the epochs they occurred at.
+	PeakAvailBurn     float64 `json:"peak_avail_burn"`
+	PeakAvailEpoch    int     `json:"peak_avail_epoch"`
+	PeakRecoveryBurn  float64 `json:"peak_recovery_burn"`
+	PeakRecoveryEpoch int     `json:"peak_recovery_epoch"`
+	PeakSolveBurn     float64 `json:"peak_solve_burn"`
+	PeakSolveEpoch    int     `json:"peak_solve_epoch"`
+	// Breaches counts epochs whose window breached any objective.
+	Breaches int `json:"breaches"`
+}
+
+// TrackSLO computes rolling-window burn rates over the journaled epoch
+// stream. Deterministic: a pure function of (reports, config).
+func TrackSLO(reports []cluster.EpochReport, cfg SLOConfig) *SLOReport {
+	cfg = cfg.withDefaults()
+	rep := &SLOReport{Config: cfg, PeakAvailEpoch: -1, PeakRecoveryEpoch: -1, PeakSolveEpoch: -1}
+	availBudget := 1 - cfg.Availability
+	// Per-epoch instantaneous burns; window burn is their trailing mean.
+	avail := make([]float64, len(reports))
+	recov := make([]float64, len(reports))
+	solve := make([]float64, len(reports))
+	for i, r := range reports {
+		avail[i] = (1 - r.Availability) / availBudget
+		recov[i] = r.RecoveryTimeS / cfg.RecoveryTimeS
+		if r.ModeledSolveMS > cfg.SolveDeadlineMS {
+			solve[i] = 1 / cfg.SolveBudget
+		}
+	}
+	mean := func(xs []float64, lo, hi int) float64 {
+		s := 0.0
+		for _, x := range xs[lo:hi] {
+			s += x
+		}
+		return s / float64(hi-lo)
+	}
+	for i, r := range reports {
+		lo := i + 1 - cfg.Window
+		if lo < 0 {
+			lo = 0
+		}
+		e := SLOEpoch{
+			Epoch:        r.Epoch,
+			AvailBurn:    mean(avail, lo, i+1),
+			RecoveryBurn: mean(recov, lo, i+1),
+			SolveBurn:    mean(solve, lo, i+1),
+		}
+		e.Breach = e.AvailBurn > 1 || e.RecoveryBurn > 1 || e.SolveBurn > 1
+		if e.Breach {
+			rep.Breaches++
+		}
+		if e.AvailBurn > rep.PeakAvailBurn {
+			rep.PeakAvailBurn, rep.PeakAvailEpoch = e.AvailBurn, e.Epoch
+		}
+		if e.RecoveryBurn > rep.PeakRecoveryBurn {
+			rep.PeakRecoveryBurn, rep.PeakRecoveryEpoch = e.RecoveryBurn, e.Epoch
+		}
+		if e.SolveBurn > rep.PeakSolveBurn {
+			rep.PeakSolveBurn, rep.PeakSolveEpoch = e.SolveBurn, e.Epoch
+		}
+		rep.Epochs = append(rep.Epochs, e)
+	}
+	return rep
+}
+
+// WriteText renders the burn report.
+func (r *SLOReport) WriteText(w io.Writer) error {
+	var buf bytes.Buffer
+	c := r.Config
+	fmt.Fprintf(&buf, "slo: %d epochs, window=%d, objectives: availability=%.4f recovery<=%.0fs solve<=%.0fms (budget %.0f%%)\n",
+		len(r.Epochs), c.Window, c.Availability, c.RecoveryTimeS, c.SolveDeadlineMS, c.SolveBudget*100)
+	for _, e := range r.Epochs {
+		mark := ""
+		if e.Breach {
+			mark = "  BREACH"
+		}
+		fmt.Fprintf(&buf, "epoch %03d avail-burn=%.3f recovery-burn=%.3f solve-burn=%.3f%s\n",
+			e.Epoch, e.AvailBurn, e.RecoveryBurn, e.SolveBurn, mark)
+	}
+	fmt.Fprintf(&buf, "peak: avail=%.3f@%d recovery=%.3f@%d solve=%.3f@%d; breached windows: %d/%d\n",
+		r.PeakAvailBurn, r.PeakAvailEpoch, r.PeakRecoveryBurn, r.PeakRecoveryEpoch,
+		r.PeakSolveBurn, r.PeakSolveEpoch, r.Breaches, len(r.Epochs))
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// WriteJSON renders the burn report machine-readably.
+func (r *SLOReport) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Span is one reconstructed phase span from a Chrome trace: a complete
+// ("X") event plus the instant events and child spans its interval
+// contains. On the deterministic timeline Dur is the span's tree width in
+// ticks (1 + events + Σ children), not a latency — see telemetry's
+// WriteChromeTrace.
+type Span struct {
+	Name     string
+	Start    int64 // timeline µs (deterministic: ticks)
+	Dur      int64
+	SimAt    string
+	Events   int
+	Children []*Span
+}
+
+// End returns the first tick after the span's interval.
+func (s *Span) End() int64 { return s.Start + s.Dur }
+
+// SelfDur returns the span's own width: its duration minus its children's
+// — on the deterministic timeline, 1 tick for the span plus 1 per instant
+// event, and for wall traces the time not attributed to any child phase.
+func (s *Span) SelfDur() int64 {
+	d := s.Dur
+	for _, c := range s.Children {
+		d -= c.Dur
+	}
+	if d < 0 {
+		d = 0 // overlapping wall-clock children can oversubscribe the parent
+	}
+	return d
+}
+
+// Trace is the reconstructed span forest of one run.
+type Trace struct {
+	Roots []*Span
+	// Spans counts every reconstructed span (the forest's size).
+	Spans int
+}
+
+// chromeEvent is the subset of the trace_event schema the exporter emits.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`
+	Dur  int64             `json:"dur"`
+	Args map[string]string `json:"args"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// ParseChromeTrace rebuilds the span forest from Chrome trace_event JSON
+// (the format telemetry.WriteChromeTrace emits). Nesting is recovered
+// from interval containment: events arrive in pre-order, so a span whose
+// interval lies inside the open span on top of the stack is its child.
+// Instant ("i") events increment the enclosing span's Events count.
+func ParseChromeTrace(data []byte) (*Trace, error) {
+	var file chromeFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil, fmt.Errorf("obs: parse trace: %w", err)
+	}
+	tr := &Trace{}
+	var stack []*Span
+	top := func() *Span {
+		if len(stack) == 0 {
+			return nil
+		}
+		return stack[len(stack)-1]
+	}
+	for _, ev := range file.TraceEvents {
+		// Close finished spans: anything whose interval ended at or
+		// before this event's timestamp.
+		for t := top(); t != nil && ev.TS >= t.End(); t = top() {
+			stack = stack[:len(stack)-1]
+		}
+		switch ev.Ph {
+		case "X":
+			s := &Span{Name: ev.Name, Start: ev.TS, Dur: ev.Dur, SimAt: ev.Args["sim_at"]}
+			if p := top(); p != nil {
+				p.Children = append(p.Children, s)
+			} else {
+				tr.Roots = append(tr.Roots, s)
+			}
+			stack = append(stack, s)
+			tr.Spans++
+		case "i":
+			if p := top(); p != nil {
+				p.Events++
+			}
+		}
+	}
+	return tr, nil
+}
+
+// Stage normalizes a span name to its phase: per-epoch roots like
+// "epoch 003 goldilocks" collapse to "epoch" so rollups aggregate across
+// epochs and policies; every other span name is already a fixed phase
+// word ("partition", "wave", "vc-place", ...).
+func Stage(name string) string {
+	if strings.HasPrefix(name, "epoch ") {
+		return "epoch"
+	}
+	return name
+}
+
+// EpochRoot reports whether the span is a per-epoch root and, if so, its
+// epoch number and policy (parsed from the "epoch %03d %s" name).
+func EpochRoot(s *Span) (epoch int, policy string, ok bool) {
+	var n int
+	if _, err := fmt.Sscanf(s.Name, "epoch %d %s", &n, &policy); err != nil {
+		return 0, "", false
+	}
+	return n, policy, true
+}

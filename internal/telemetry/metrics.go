@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -26,6 +27,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	help       map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -34,7 +36,97 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		help:       make(map[string]string),
 	}
+}
+
+// Label is one metric label; Val is the raw (unescaped) value.
+type Label struct{ Key, Val string }
+
+// labelEscaper renders a label value for the Prometheus text format:
+// backslash, double-quote, and newline must be escaped or the exposition
+// line is unparseable (§ "Text format details").
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// EscapeLabelValue escapes a raw label value for embedding between the
+// quotes of a `name{key="value"}` sample name.
+func EscapeLabelValue(v string) string { return labelEscaper.Replace(v) }
+
+// helpEscaper renders HELP text: only backslash and newline are escaped
+// there (quotes are legal in help strings).
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// LabeledName builds the canonical `family{k1="v1",k2="v2"}` instrument
+// name with label values escaped. Use it instead of hand-concatenating
+// label strings so adversarial values (paths with backslashes, multi-line
+// detail strings) cannot corrupt the exposition format. Labels are
+// emitted in the order given; pass them in a fixed order so the name is
+// deterministic.
+func LabeledName(family string, labels ...Label) string {
+	if len(labels) == 0 {
+		return family
+	}
+	var b strings.Builder
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(l.Val))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// metricFamily strips the label set from a sample name: the TYPE and HELP
+// lines of the text format name the family, never an individual sample.
+func metricFamily(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// suffixedName appends a suffix (e.g. "_sum") and optionally merges an
+// extra label into a possibly-labeled name:
+//
+//	suffixedName(`h`, "_bucket", `le="1"`)          → h_bucket{le="1"}
+//	suffixedName(`h{app="x"}`, "_bucket", `le="1"`) → h_bucket{app="x",le="1"}
+//	suffixedName(`h{app="x"}`, "_sum", "")          → h_sum{app="x"}
+//
+// so labeled histograms expand into valid exposition lines (the suffix
+// belongs to the family name, not after the label set).
+func suffixedName(name, suffix, extraLabel string) string {
+	fam := metricFamily(name)
+	labels := ""
+	if len(fam) < len(name) {
+		labels = name[len(fam)+1 : len(name)-1] // inside the braces
+	}
+	if extraLabel != "" {
+		if labels != "" {
+			labels += ","
+		}
+		labels += extraLabel
+	}
+	if labels == "" {
+		return fam + suffix
+	}
+	return fam + suffix + "{" + labels + "}"
+}
+
+// SetHelp registers the HELP text for a metric family, emitted once per
+// family by WritePrometheus. Nil-safe.
+func (r *Registry) SetHelp(family, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[family] = text
+	r.mu.Unlock()
 }
 
 // Counter is a monotonically increasing int64. Nil-safe, lock-free.
@@ -197,11 +289,11 @@ func (r *Registry) Snapshot() Snapshot {
 		var cum int64
 		for i, b := range h.bounds {
 			cum += atomic.LoadInt64(&h.counts[i])
-			s = append(s, SnapshotEntry{name + "_bucket{le=\"" + FormatFloat(b) + "\"}", float64(cum)})
+			s = append(s, SnapshotEntry{suffixedName(name, "_bucket", `le="`+FormatFloat(b)+`"`), float64(cum)})
 		}
-		s = append(s, SnapshotEntry{name + "_bucket{le=\"+Inf\"}", float64(h.Count())})
-		s = append(s, SnapshotEntry{name + "_sum", h.Sum()})
-		s = append(s, SnapshotEntry{name + "_count", float64(h.Count())})
+		s = append(s, SnapshotEntry{suffixedName(name, "_bucket", `le="+Inf"`), float64(h.Count())})
+		s = append(s, SnapshotEntry{suffixedName(name, "_sum", ""), h.Sum()})
+		s = append(s, SnapshotEntry{suffixedName(name, "_count", ""), float64(h.Count())})
 	}
 	sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
 	return s
@@ -235,35 +327,66 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	return err
 }
 
+// promFamily groups every sample of one metric family so TYPE and HELP
+// headers are emitted exactly once per family, with the family's samples
+// contiguous below them — labeled variants (`hits{app="x"}`) sort after
+// the bare name under a plain byte sort ('_' < '{' breaks adjacency for
+// sibling families like hits_err), so grouping cannot be left to sorting
+// the flat sample list.
+type promFamily struct {
+	typ   string
+	lines []string
+}
+
 // WritePrometheus renders the registry in the Prometheus text exposition
-// format (version 0.0.4): TYPE headers plus the same flattened samples as
-// Snapshot, in sorted order so output is byte-deterministic.
+// format (version 0.0.4): one `# HELP` (when registered via SetHelp) and
+// one `# TYPE` line per metric family, followed by all of that family's
+// samples, families in sorted order so output is byte-deterministic.
+// Labeled instruments created through LabeledName collapse into their
+// family: `hits{app="a"}` and `hits{app="b"}` share a single TYPE header.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var buf bytes.Buffer
+	fams := make(map[string]*promFamily)
+	add := func(name, typ, line string) {
+		fam := metricFamily(name)
+		f := fams[fam]
+		if f == nil {
+			f = &promFamily{typ: typ}
+			fams[fam] = f
+		}
+		f.lines = append(f.lines, line)
+	}
 	for _, name := range det.SortedKeys(r.counters) {
-		buf.WriteString("# TYPE " + name + " counter\n")
-		buf.WriteString(name + " " + strconv.FormatInt(r.counters[name].Value(), 10) + "\n")
+		add(name, "counter", name+" "+strconv.FormatInt(r.counters[name].Value(), 10))
 	}
 	for _, name := range det.SortedKeys(r.gauges) {
-		buf.WriteString("# TYPE " + name + " gauge\n")
-		buf.WriteString(name + " " + FormatFloat(r.gauges[name].Value()) + "\n")
+		add(name, "gauge", name+" "+FormatFloat(r.gauges[name].Value()))
 	}
 	for _, name := range det.SortedKeys(r.histograms) {
 		h := r.histograms[name]
-		buf.WriteString("# TYPE " + name + " histogram\n")
 		var cum int64
 		for i, b := range h.bounds {
 			cum += atomic.LoadInt64(&h.counts[i])
-			buf.WriteString(name + "_bucket{le=\"" + FormatFloat(b) + "\"} " + strconv.FormatInt(cum, 10) + "\n")
+			add(name, "histogram", suffixedName(name, "_bucket", `le="`+FormatFloat(b)+`"`)+" "+strconv.FormatInt(cum, 10))
 		}
-		buf.WriteString(name + "_bucket{le=\"+Inf\"} " + strconv.FormatInt(h.Count(), 10) + "\n")
-		buf.WriteString(name + "_sum " + FormatFloat(h.Sum()) + "\n")
-		buf.WriteString(name + "_count " + strconv.FormatInt(h.Count(), 10) + "\n")
+		add(name, "histogram", suffixedName(name, "_bucket", `le="+Inf"`)+" "+strconv.FormatInt(h.Count(), 10))
+		add(name, "histogram", suffixedName(name, "_sum", "")+" "+FormatFloat(h.Sum()))
+		add(name, "histogram", suffixedName(name, "_count", "")+" "+strconv.FormatInt(h.Count(), 10))
+	}
+	var buf bytes.Buffer
+	for _, fam := range det.SortedKeys(fams) {
+		f := fams[fam]
+		if help, ok := r.help[fam]; ok {
+			buf.WriteString("# HELP " + fam + " " + helpEscaper.Replace(help) + "\n")
+		}
+		buf.WriteString("# TYPE " + fam + " " + f.typ + "\n")
+		for _, line := range f.lines {
+			buf.WriteString(line + "\n")
+		}
 	}
 	_, err := w.Write(buf.Bytes())
 	return err

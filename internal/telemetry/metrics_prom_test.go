@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"plain", "twitter", "twitter"},
+		{"backslash", `C:\temp`, `C:\\temp`},
+		{"quote", `say "hi"`, `say \"hi\"`},
+		{"newline", "line1\nline2", `line1\nline2`},
+		{"all three", "a\\\"b\"\nc", `a\\\"b\"\nc`},
+		{"empty", "", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := EscapeLabelValue(tc.in); got != tc.want {
+				t.Fatalf("EscapeLabelValue(%q) = %q, want %q", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestLabeledName(t *testing.T) {
+	cases := []struct {
+		name   string
+		family string
+		labels []Label
+		want   string
+	}{
+		{"no labels", "hits", nil, "hits"},
+		{"one label", "hits", []Label{{"app", "twitter"}}, `hits{app="twitter"}`},
+		{"two labels keep order", "hits", []Label{{"app", "x"}, {"zone", "a"}}, `hits{app="x",zone="a"}`},
+		{"escaped value", "hits", []Label{{"path", `a\b"c` + "\n"}}, `hits{path="a\\b\"c\n"}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := LabeledName(tc.family, tc.labels...); got != tc.want {
+				t.Fatalf("LabeledName = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestPrometheusTypeOncePerFamily pins the family-grouping contract:
+// labeled variants share one TYPE header, HELP appears once when set, and
+// a sibling family whose name sorts between a family's bare and labeled
+// sample names ('_' < '{') does not split the group.
+func TestPrometheusTypeOncePerFamily(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(LabeledName("hits", Label{"app", "a"})).Add(1)
+	r.Counter(LabeledName("hits", Label{"app", "b"})).Add(2)
+	r.Counter("hits_err").Add(3) // sorts between hits and hits{...}
+	r.SetHelp("hits", "requests served")
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "# TYPE hits counter\n"); got != 1 {
+		t.Fatalf("TYPE hits lines = %d, want 1:\n%s", got, out)
+	}
+	if got := strings.Count(out, "# HELP hits requests served\n"); got != 1 {
+		t.Fatalf("HELP hits lines = %d, want 1:\n%s", got, out)
+	}
+	// The two labeled samples must be contiguous under their header.
+	want := "# HELP hits requests served\n# TYPE hits counter\nhits{app=\"a\"} 1\nhits{app=\"b\"} 2\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("hits family not grouped:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE hits_err counter\nhits_err 3\n") {
+		t.Fatalf("hits_err family missing its own header:\n%s", out)
+	}
+}
+
+// TestPrometheusLabeledHistogram pins the suffix expansion of a labeled
+// histogram: the _bucket/_sum/_count suffixes attach to the family name,
+// with le merged into the existing label set.
+func TestPrometheusLabeledHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(LabeledName("lat", Label{"app", "x"}), 1, 10)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE lat histogram\n",
+		`lat_bucket{app="x",le="1"} 1` + "\n",
+		`lat_bucket{app="x",le="10"} 2` + "\n",
+		`lat_bucket{app="x",le="+Inf"} 2` + "\n",
+		`lat_sum{app="x"} 5.5` + "\n",
+		`lat_count{app="x"} 2` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "}_") {
+		t.Fatalf("malformed suffix after label set:\n%s", out)
+	}
+}
+
+// TestPrometheusEscapedLabelLines pins that adversarial label values
+// survive export as parseable lines.
+func TestPrometheusEscapedLabelLines(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(LabeledName("c", Label{"path", "a\\b\"\nc"})).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `c{path="a\\b\"\nc"} 1` + "\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("output missing %q:\n%s", want, buf.String())
+	}
+	// A raw newline leaking through the escaper would split the sample
+	// across lines: this registry must export exactly TYPE + one sample.
+	if lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n"); len(lines) != 2 {
+		t.Fatalf("export has %d lines, want 2 (raw newline leaked):\n%s", len(lines), buf.String())
+	}
+}
+
+// TestPrometheusHelpEscaping pins HELP text escaping (backslash and
+// newline only; quotes are legal there).
+func TestPrometheusHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.SetHelp("c", "a \\ b\nsecond \"quoted\"")
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP c a \\ b\nsecond "quoted"` + "\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("output missing %q:\n%s", want, buf.String())
+	}
+}
+
+// TestSnapshotLabeledHistogramNames pins that Snapshot expands labeled
+// histograms into valid sample names too.
+func TestSnapshotLabeledHistogramNames(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram(LabeledName("lat", Label{"app", "x"}), 1).Observe(0.5)
+	for _, e := range r.Snapshot() {
+		if strings.Contains(e.Name, "}_") {
+			t.Fatalf("snapshot entry %q has a suffix outside the label set", e.Name)
+		}
+	}
+}

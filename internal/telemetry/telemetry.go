@@ -48,6 +48,15 @@ type Session struct {
 	Metrics *Registry
 	Audit   *Audit
 
+	// ReportSink, when non-nil, receives a copy of every sealed epoch
+	// report from the cluster runner, typed as `any` so telemetry stays
+	// free of higher-layer imports (the value is a cluster.EpochReport).
+	// Set it before the run starts and never mutate it mid-run: the epoch
+	// loop reads the field without locking. Sinks are observers only —
+	// the live ops endpoint (/epochz) feeds from here — and nothing
+	// deterministic ever reads back through them.
+	ReportSink func(report any)
+
 	mu    sync.Mutex
 	epoch int
 	simAt time.Duration

@@ -1,0 +1,98 @@
+#!/bin/sh
+# inspect-guard: the blocking observability contract.
+#
+# The analysis plane (goldilocks-inspect) is only trustworthy if its
+# outputs are a pure function of the run: two same-seed runs must inspect
+# byte-identically, and `inspect diff` across them must report zero
+# divergence. A diff here means nondeterminism leaked into an artifact —
+# the exact class of bug the flight recorder exists to catch, caught by
+# its own tooling.
+#
+# Three layers:
+#
+#  1. Same-seed identity: two goldilocks-sim crashchaos runs with the full
+#     artifact set (trace.json, metrics.prom, audit.txt, crashchaos.wal);
+#     `inspect diff` must exit 0 and `inspect critical-path`/`slo` must
+#     produce byte-identical output across the two run directories.
+#
+#  2. Divergence detection: a third run with a different seed; `inspect
+#     diff` must exit 1 (not 0, not 2) and name the first diverging epoch.
+#
+#  3. The in-process regression: the p=1/4/8 byte-identity test in
+#     internal/obs, which sweeps partitioner parallelism.
+#
+# Run via `make inspect-guard`.
+set -eu
+
+GO="${GO:-go}"
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== inspect-guard: build =="
+"$GO" build -o "$tmp/goldilocks-sim" ./cmd/goldilocks-sim
+"$GO" build -o "$tmp/goldilocks-inspect" ./cmd/goldilocks-inspect
+
+run_cell() { # run_cell <dir> <seed>
+    mkdir -p "$1"
+    "$tmp/goldilocks-sim" -experiment crashchaos -seed "$2" \
+        -journal "$1" \
+        -trace-out "$1/trace.json" \
+        -metrics-out "$1/metrics.prom" \
+        -audit-out "$1/audit.txt" > "$1/stdout.txt"
+}
+
+echo "== inspect-guard: two same-seed runs =="
+run_cell "$tmp/a" 13
+run_cell "$tmp/b" 13
+
+echo "== inspect-guard: critical-path byte-identity =="
+"$tmp/goldilocks-inspect" critical-path "$tmp/a" > "$tmp/cp_a.txt"
+"$tmp/goldilocks-inspect" critical-path "$tmp/b" > "$tmp/cp_b.txt"
+"$tmp/goldilocks-inspect" critical-path -json "$tmp/a" > "$tmp/cp_a.json"
+"$tmp/goldilocks-inspect" critical-path -json "$tmp/b" > "$tmp/cp_b.json"
+diff -u "$tmp/cp_a.txt" "$tmp/cp_b.txt" || {
+    echo "inspect-guard: critical-path text diverged between same-seed runs" >&2
+    exit 1
+}
+diff -u "$tmp/cp_a.json" "$tmp/cp_b.json" || {
+    echo "inspect-guard: critical-path JSON diverged between same-seed runs" >&2
+    exit 1
+}
+
+echo "== inspect-guard: slo byte-identity =="
+"$tmp/goldilocks-inspect" slo "$tmp/a" > "$tmp/slo_a.txt"
+"$tmp/goldilocks-inspect" slo "$tmp/b" > "$tmp/slo_b.txt"
+diff -u "$tmp/slo_a.txt" "$tmp/slo_b.txt" || {
+    echo "inspect-guard: slo output diverged between same-seed runs" >&2
+    exit 1
+}
+
+echo "== inspect-guard: diff on same-seed runs must be clean =="
+if ! "$tmp/goldilocks-inspect" diff "$tmp/a" "$tmp/b" > "$tmp/diff_same.md"; then
+    cat "$tmp/diff_same.md" >&2
+    echo "inspect-guard: inspect diff found divergence between same-seed runs" >&2
+    exit 1
+fi
+
+echo "== inspect-guard: diff on different-seed runs must report divergence =="
+run_cell "$tmp/c" 99
+set +e
+"$tmp/goldilocks-inspect" diff "$tmp/a" "$tmp/c" > "$tmp/diff_seed.md"
+code=$?
+set -e
+if [ "$code" -ne 1 ]; then
+    echo "inspect-guard: diff across seeds exited $code, want 1" >&2
+    exit 1
+fi
+grep -q "first diverging epoch" "$tmp/diff_seed.md" || {
+    echo "inspect-guard: divergent diff does not name the first diverging epoch" >&2
+    cat "$tmp/diff_seed.md" >&2
+    exit 1
+}
+
+echo "== inspect-guard: parallelism sweep (internal/obs regression) =="
+"$GO" test -count=1 -run 'TestInspectOutputsByteIdenticalAcrossParallelism' ./internal/obs
+
+echo "inspect-guard: OK"
