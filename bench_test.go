@@ -274,21 +274,34 @@ func BenchmarkPartitionScaling(b *testing.B) {
 	for _, c := range cases {
 		g := c.gen(c.n, 7).Graph()
 		cap := serverCapacityFor(g, c.n/80)
-		for _, p := range []int{1, 4, 8} {
-			opts := DefaultPartitionOptions()
-			opts.Seed = 1
-			opts.Parallelism = p
-			b.Run(fmt.Sprintf("%s/p%d", c.name, p), func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					tree, err := PartitionToFit(g, cap, opts)
-					if err != nil {
-						b.Fatal(err)
+		// Flat cells measure in-level parallelism alone; the sharded-*
+		// cells pre-split into 8 topology shards (a plausible pod count at
+		// this scale) so whole subtrees of the recursion run concurrently.
+		// The sharded 500k power-law cell is the second blocking
+		// scaling-guard contract — sharding exists precisely because the
+		// flat pipeline's serial FM move loop stops scaling here.
+		for _, shards := range []int{0, 8} {
+			name := c.name
+			if shards > 0 {
+				name = "sharded-" + name
+			}
+			for _, p := range []int{1, 4, 8} {
+				opts := DefaultPartitionOptions()
+				opts.Seed = 1
+				opts.Parallelism = p
+				opts.ShardCount = shards
+				b.Run(fmt.Sprintf("%s/p%d", name, p), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						tree, err := PartitionToFit(g, cap, opts)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if len(tree.Leaves) < 2 {
+							b.Fatalf("degenerate partition: %d leaves", len(tree.Leaves))
+						}
 					}
-					if len(tree.Leaves) < 2 {
-						b.Fatalf("degenerate partition: %d leaves", len(tree.Leaves))
-					}
-				}
-			})
+				})
+			}
 		}
 	}
 }
@@ -306,6 +319,11 @@ func BenchmarkPartitionAllocs(b *testing.B) {
 		spec *Spec
 	}{
 		{"mixture-1k", workload.MixtureWorkload(1000, 7)},
+		// The 5k row guards the cross-subproblem arena reuse: with the
+		// left-spine in-place extraction and the size-classed arena pool,
+		// bytes/op must stay flat as Parallelism grows (BENCH_PR9 measured
+		// a 4x bytes/op blowup at p4 before the reuse).
+		{"mixture-5k", workload.MixtureWorkload(5000, 7)},
 	}
 	// The 100k row is the arena-discipline check for the in-level parallel
 	// paths: above inLevelMinN the chunked matching, parallel contraction
@@ -323,7 +341,7 @@ func BenchmarkPartitionAllocs(b *testing.B) {
 	for _, c := range cases {
 		g := c.spec.Graph()
 		cap := serverCapacityFor(g, g.NumVertices()/80)
-		for _, p := range []int{1, 8} {
+		for _, p := range []int{1, 4, 8} {
 			opts := DefaultPartitionOptions()
 			opts.Seed = 1
 			opts.Parallelism = p

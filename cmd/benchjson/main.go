@@ -289,8 +289,18 @@ func pairGuard(spec string, maxDeltaPct float64, cur map[string][]sample, w io.W
 	}
 	bs, okB := cur[lower]
 	cs, okC := cur[upper]
-	if !okB || !okC {
-		return 0, fmt.Errorf("-pair needs both %q and %q in -current", lower, upper)
+	// Name the benchmark(s) actually absent: a guard cell that fails
+	// because the bench pattern stopped matching should say which side to
+	// fix, not make the operator diff the file by hand.
+	var missing []string
+	if !okB {
+		missing = append(missing, strconv.Quote(lower))
+	}
+	if !okC {
+		missing = append(missing, strconv.Quote(upper))
+	}
+	if len(missing) > 0 {
+		return 0, fmt.Errorf("-pair: benchmark %s missing from -current", strings.Join(missing, " and "))
 	}
 	bMin, cMin := minNs(bs), minNs(cs)
 	delta := 0.0

@@ -320,7 +320,66 @@ func TestPairGuard(t *testing.T) {
 	if code := run(args, nil, &out, &errBuf); code != 1 {
 		t.Fatalf("missing pair side should fail, got exit %d", code)
 	}
-	if !strings.Contains(errBuf.String(), "needs both") {
+	if !strings.Contains(errBuf.String(), `"BenchmarkPartitionTelemetry/traced"`) {
 		t.Errorf("stderr lacks the missing-pair error: %s", errBuf.String())
+	}
+}
+
+// TestPairGuardNamesMissingBenchmark pins the error detail when a guard
+// cell's benchmark is absent from -current: the message must name exactly
+// the missing side(s), so a renamed bench pattern is diagnosable from the
+// CI log alone.
+func TestPairGuardNamesMissingBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	cur := filepath.Join(dir, "cur.txt")
+	cases := []struct {
+		name       string
+		content    string
+		wantNamed  []string
+		wantAbsent []string
+	}{
+		{
+			name:       "compared-side-missing",
+			content:    "BenchmarkA/base \t 10 \t 1000 ns/op\n",
+			wantNamed:  []string{`"BenchmarkA/cmp"`},
+			wantAbsent: []string{`"BenchmarkA/base"`},
+		},
+		{
+			name:       "base-side-missing",
+			content:    "BenchmarkA/cmp \t 10 \t 1000 ns/op\n",
+			wantNamed:  []string{`"BenchmarkA/base"`},
+			wantAbsent: []string{`"BenchmarkA/cmp"`},
+		},
+		{
+			name:      "both-sides-missing",
+			content:   "BenchmarkUnrelated \t 10 \t 1000 ns/op\n",
+			wantNamed: []string{`"BenchmarkA/base"`, `"BenchmarkA/cmp"`, " and "},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := os.WriteFile(cur, []byte(c.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var out, errBuf bytes.Buffer
+			code := run([]string{"-pair", "BenchmarkA/base=BenchmarkA/cmp", "-current", cur}, nil, &out, &errBuf)
+			if code != 1 {
+				t.Fatalf("exit %d, want 1", code)
+			}
+			msg := errBuf.String()
+			if !strings.Contains(msg, "missing from -current") {
+				t.Errorf("error lacks the missing-benchmark phrasing: %s", msg)
+			}
+			for _, want := range c.wantNamed {
+				if !strings.Contains(msg, want) {
+					t.Errorf("error does not name %s: %s", want, msg)
+				}
+			}
+			for _, absent := range c.wantAbsent {
+				if strings.Contains(msg, absent) {
+					t.Errorf("error wrongly names present benchmark %s: %s", absent, msg)
+				}
+			}
+		})
 	}
 }

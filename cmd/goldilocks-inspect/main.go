@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	goldilocks-inspect critical-path [-json] <run-dir | trace.json>
+//	goldilocks-inspect critical-path [-json] [-stage S] <run-dir | trace.json>
 //	goldilocks-inspect diff [-json] <run-dir-a> <run-dir-b>
 //	goldilocks-inspect slo [-json] [-window N] [-availability F]
 //	                       [-recovery-s F] [-solve-ms F] [-solve-budget F]
@@ -62,7 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
-  goldilocks-inspect critical-path [-json] <run-dir | trace.json>
+  goldilocks-inspect critical-path [-json] [-stage S] <run-dir | trace.json>
   goldilocks-inspect diff [-json] <run-dir-a> <run-dir-b>
   goldilocks-inspect slo [-json] [-window N] [-availability F] [-recovery-s F] [-solve-ms F] [-solve-budget F] <run-dir | journal.wal>
 `)
@@ -101,6 +101,7 @@ func runCriticalPath(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("critical-path", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of text")
+	stage := fs.String("stage", "", "restrict the rollup to one stage (e.g. partition, shard, stitch)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -113,6 +114,9 @@ func runCriticalPath(args []string, stdout, stderr io.Writer) int {
 		return fail(stderr, err)
 	}
 	rep := obs.CriticalPath(tr)
+	if *stage != "" {
+		rep.FilterStage(*stage)
+	}
 	if *asJSON {
 		err = rep.WriteJSON(stdout)
 	} else {

@@ -174,3 +174,32 @@ func TestInspectSLO(t *testing.T) {
 		t.Fatal("journal-file invocation differs from run-dir invocation")
 	}
 }
+
+// TestInspectCriticalPathStageFilter pins the -stage flag: the filtered
+// report keeps exactly the requested stage row (text and JSON), and an
+// unknown stage yields an empty rollup rather than an error.
+func TestInspectCriticalPathStageFilter(t *testing.T) {
+	dir := writeRun(t, 31)
+	code, text, stderr := inspect("critical-path", "-stage", "epoch", dir)
+	if code != 0 {
+		t.Fatalf("-stage epoch: code=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(text, "epoch") || strings.Contains(text, "dominant critical path") {
+		t.Fatalf("-stage epoch output should keep the stage row and drop paths:\n%s", text)
+	}
+	code, js, _ := inspect("critical-path", "-json", "-stage", "epoch", dir)
+	if code != 0 {
+		t.Fatalf("-stage epoch -json: code=%d", code)
+	}
+	var rep obs.CritPathReport
+	if err := json.Unmarshal([]byte(js), &rep); err != nil {
+		t.Fatalf("-stage JSON invalid: %v", err)
+	}
+	if len(rep.Stages) != 1 || rep.Stages[0].Stage != "epoch" || len(rep.Paths) != 0 {
+		t.Fatalf("-stage epoch JSON kept %d stages, %d paths", len(rep.Stages), len(rep.Paths))
+	}
+	code, _, _ = inspect("critical-path", "-stage", "no-such-stage", dir)
+	if code != 0 {
+		t.Fatalf("unknown stage: code=%d, want 0", code)
+	}
+}

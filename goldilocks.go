@@ -104,7 +104,10 @@ type (
 	// its worker count (Parallelism, default GOMAXPROCS): partitioning
 	// fans the independent subproblems of the recursive bisection across
 	// a bounded pool, and the result for a fixed Seed is identical at
-	// every parallelism level.
+	// every parallelism level. ShardCount ≥ 2 additionally pre-splits the
+	// graph into topology shards partitioned concurrently and stitched
+	// deterministically; the Goldilocks policy auto-enables it at the pod
+	// count for graphs of at least partition.ShardAutoMinN containers.
 	PartitionOptions = partition.Options
 	// PartitionTree is the fit-driven recursive partitioning result.
 	PartitionTree = partition.Tree

@@ -27,6 +27,22 @@ type StageStat struct {
 	PathDur int64 `json:"path_dur"`
 }
 
+// ShardStat is one per-shard rollup row of the sharded partitioner: the
+// total width of shard N's pipeline subtree across every occurrence (one
+// per partition call that sharded). Comparing rows shows shard balance;
+// comparing their sum against the "stitch" stage row attributes sharded
+// partition time to concurrent shard work vs. the serial stitch.
+type ShardStat struct {
+	Shard int `json:"shard"`
+	// Dur is the full width of the shard's pipeline subtree (not just
+	// self): the work done inside shard N's fit-driven partitioning.
+	Dur int64 `json:"dur"`
+	// Share is Dur over the forest's total width.
+	Share float64 `json:"share"`
+	// Spans counts the shard's root spans (≈ sharded partition calls).
+	Spans int `json:"spans"`
+}
+
 // EpochPath is the critical path of one epoch: the heaviest-descent chain
 // from the epoch root to a leaf.
 type EpochPath struct {
@@ -49,6 +65,9 @@ type CritPathReport struct {
 	TotalDur int64 `json:"total_dur"`
 	// Stages is the rollup, heaviest self width first.
 	Stages []StageStat `json:"stages"`
+	// Shards is the per-shard rollup, ascending shard index; empty when
+	// the trace has no sharded partitions.
+	Shards []ShardStat `json:"shards,omitempty"`
 	// Paths is one critical path per epoch root, in root order.
 	Paths []EpochPath `json:"paths"`
 	// DominantPath is the most frequent epoch path signature, and
@@ -71,11 +90,21 @@ func CriticalPath(tr *Trace) *CritPathReport {
 		}
 		return st
 	}
+	shardStats := make(map[int]*ShardStat)
 	var walk func(s *Span)
 	walk = func(s *Span) {
 		st := stat(s.Name)
 		st.SelfDur += s.SelfDur()
 		st.Spans++
+		if shard, ok := ShardRoot(s); ok {
+			ss := shardStats[shard]
+			if ss == nil {
+				ss = &ShardStat{Shard: shard}
+				shardStats[shard] = ss
+			}
+			ss.Dur += s.Dur
+			ss.Spans++
+		}
 		for _, c := range s.Children {
 			walk(c)
 		}
@@ -130,7 +159,34 @@ func CriticalPath(tr *Trace) *CritPathReport {
 		rep.Stages = append(rep.Stages, *st)
 	}
 	sort.SliceStable(rep.Stages, func(i, j int) bool { return rep.Stages[i].SelfDur > rep.Stages[j].SelfDur })
+	for _, shard := range det.SortedKeys(shardStats) {
+		ss := shardStats[shard]
+		if rep.TotalDur > 0 {
+			ss.Share = float64(ss.Dur) / float64(rep.TotalDur)
+		}
+		rep.Shards = append(rep.Shards, *ss)
+	}
 	return rep
+}
+
+// FilterStage restricts the rollup to one stage (the critical-path
+// -stage flag): Stages keeps only the named stage's row, the per-shard
+// rollup survives only for the "shard" stage, and the per-epoch path
+// chains are dropped (they span every stage). Totals are left untouched
+// so shares stay comparable across filtered reports.
+func (r *CritPathReport) FilterStage(stage string) {
+	kept := r.Stages[:0]
+	for _, st := range r.Stages {
+		if st.Stage == stage {
+			kept = append(kept, st)
+		}
+	}
+	r.Stages = kept
+	if stage != "shard" {
+		r.Shards = nil
+	}
+	r.Paths = nil
+	r.DominantPath, r.DominantCount = "", 0
 }
 
 func pathSignature(stages []string) string {
@@ -154,7 +210,14 @@ func (r *CritPathReport) WriteText(w io.Writer) error {
 		fmt.Fprintf(&buf, "  %-24s %8d  %5.1f%%  spans=%d  on-path=%d\n",
 			st.Stage, st.SelfDur, st.SelfShare*100, st.Spans, st.PathDur)
 	}
-	if r.Epochs > 0 {
+	if len(r.Shards) > 0 {
+		fmt.Fprintf(&buf, "\nper-shard rollup (pipeline subtree width):\n")
+		for _, ss := range r.Shards {
+			fmt.Fprintf(&buf, "  shard %03d %14d  %5.1f%%  spans=%d\n",
+				ss.Shard, ss.Dur, ss.Share*100, ss.Spans)
+		}
+	}
+	if r.Epochs > 0 && len(r.Paths) > 0 {
 		fmt.Fprintf(&buf, "\ndominant critical path (%d/%d epochs):\n  epoch -> %s\n",
 			r.DominantCount, r.Epochs, r.DominantPath)
 		fmt.Fprintf(&buf, "\nper-epoch critical path:\n")

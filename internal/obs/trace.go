@@ -101,12 +101,16 @@ func ParseChromeTrace(data []byte) (*Trace, error) {
 }
 
 // Stage normalizes a span name to its phase: per-epoch roots like
-// "epoch 003 goldilocks" collapse to "epoch" so rollups aggregate across
-// epochs and policies; every other span name is already a fixed phase
-// word ("partition", "wave", "vc-place", ...).
+// "epoch 003 goldilocks" collapse to "epoch" and per-shard pipeline roots
+// like "shard 003" collapse to "shard", so rollups aggregate across epochs,
+// policies and shards; every other span name is already a fixed phase word
+// ("partition", "wave", "vc-place", ...).
 func Stage(name string) string {
 	if strings.HasPrefix(name, "epoch ") {
 		return "epoch"
+	}
+	if strings.HasPrefix(name, "shard ") {
+		return "shard"
 	}
 	return name
 }
@@ -119,4 +123,15 @@ func EpochRoot(s *Span) (epoch int, policy string, ok bool) {
 		return 0, "", false
 	}
 	return n, policy, true
+}
+
+// ShardRoot reports whether the span is a per-shard pipeline root of the
+// sharded partitioner and, if so, its shard index (parsed from the
+// "shard %03d" name). The Chrome trace keeps only the sim_at arg, so the
+// span name is the only carrier of the shard identity.
+func ShardRoot(s *Span) (shard int, ok bool) {
+	if _, err := fmt.Sscanf(s.Name, "shard %d", &shard); err != nil {
+		return 0, false
+	}
+	return shard, true
 }

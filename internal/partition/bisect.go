@@ -39,7 +39,7 @@ func BisectFraction(g *graph.Graph, opts Options, frac float64) Bisection {
 	if n < 2 {
 		return Bisection{Side: make([]int, n)}
 	}
-	a := getArena()
+	a := getArena(n)
 	sub := a.buildRootCSR(g)
 	cut := bisectCSR(sub, opts, frac, NewLimiter(opts.Parallelism), a)
 	side := make([]int, n)
@@ -94,7 +94,7 @@ func bisectCSR(g *csrGraph, opts Options, frac float64, lim Limiter, a *levelAre
 	rspan := dspan.Child("refine")
 	rspan.SetInt("level", nl)
 	rspan.SetInt("vertices", coarsest.n)
-	cut := fmRefine(coarsest, sideOf, opts, frac, rspan, lim, &a.fm)
+	cut := refineGated(coarsest, sideOf, opts, frac, rspan, lim, a)
 	rspan.SetFloat("cut", cut)
 	rspan.End()
 
@@ -111,11 +111,25 @@ func bisectCSR(g *csrGraph, opts Options, frac float64, lim Limiter, a *levelAre
 		lspan := dspan.Child("refine")
 		lspan.SetInt("level", i)
 		lspan.SetInt("vertices", fineGraph.n)
-		cut = fmRefine(fineGraph, sideOf, opts, frac, lspan, lim, &a.fm)
+		cut = refineGated(fineGraph, sideOf, opts, frac, lspan, lim, a)
 		lspan.SetFloat("cut", cut)
 		lspan.End()
 	}
 	return cut
+}
+
+// refineGated runs FM refinement unless the sharded pre-split's refine cap
+// excludes this level (opts.presplitRefineCap > 0 and the level is larger).
+// Skipped levels still return the projected side's cut so span attributes
+// and the split ladder's tie-break stay meaningful.
+//
+//goldilocks:hotpath
+func refineGated(g *csrGraph, sideOf []int8, opts Options, frac float64, span *telemetry.Span, lim Limiter, a *levelArena) float64 {
+	if opts.presplitRefineCap > 0 && g.n > opts.presplitRefineCap {
+		span.SetInt("skipped", 1)
+		return g.cutWeight(sideOf)
+	}
+	return fmRefine(g, sideOf, opts, frac, span, lim, &a.fm)
 }
 
 // initialBisection produces a balanced starting bisection of a (small)

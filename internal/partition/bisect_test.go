@@ -223,7 +223,7 @@ func TestPropertyBisectInvariants(t *testing.T) {
 // testCSR flattens g into a fresh arena for tests exercising pipeline
 // internals.
 func testCSR(g *graph.Graph) (*csrGraph, *levelArena) {
-	a := getArena()
+	a := getArena(0)
 	return a.buildRootCSR(g), a
 }
 
@@ -314,7 +314,7 @@ func TestHeavyEdgeMatchingIsValidMatching(t *testing.T) {
 // byte for byte.
 func TestHeavyEdgeMatchingOrder(t *testing.T) {
 	// permInto ≡ rand.Perm for the same seed, across sizes.
-	a := getArena()
+	a := getArena(0)
 	for seed := int64(0); seed < 10; seed++ {
 		for _, n := range []int{0, 1, 2, 7, 48, 331} {
 			want := rand.New(rand.NewSource(seed)).Perm(n)

@@ -32,6 +32,7 @@ package partition
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 	"sync"
 
@@ -174,12 +175,47 @@ type levelArena struct {
 	rng      *rand.Rand
 }
 
-var arenaPool = sync.Pool{New: func() interface{} {
-	return &levelArena{rng: rand.New(rand.NewSource(0))}
-}}
+// arenaPools is size-classed by the arena's high-water vertex count (log2
+// classes). A single mixed pool hands leaf-sized arenas to subtree-sized
+// requests — the recursion's put/get order is LIFO, so a right-child
+// extraction right after a leaf release draws the smallest arena in the
+// pool and regrows every buffer — and that regrowth dominated steady-state
+// bytes/op at Parallelism > 1. Classing by size makes a request draw an
+// arena that last held a similar-sized subproblem.
+const arenaClasses = 24
 
-func getArena() *levelArena  { return arenaPool.Get().(*levelArena) }
-func putArena(a *levelArena) { arenaPool.Put(a) }
+var arenaPools [arenaClasses]sync.Pool
+
+func arenaClass(n int) int {
+	c := bits.Len(uint(n))
+	if c >= arenaClasses {
+		c = arenaClasses - 1
+	}
+	return c
+}
+
+// getArena returns a pooled arena suited to an n-vertex subproblem: its
+// own size class first, then every class up (those capacities are
+// guaranteed sufficient — a class-c arena's high-water is ≥ 2^(c-1)), then
+// two classes down (bounded regrowth beats building a fresh arena from
+// nothing), then a fresh arena. Capacity never affects values, only
+// allocation counts, so the lookup order is free to be a heuristic.
+func getArena(n int) *levelArena {
+	c := arenaClass(n)
+	for cl := c; cl < arenaClasses; cl++ {
+		if a, ok := arenaPools[cl].Get().(*levelArena); ok && a != nil {
+			return a
+		}
+	}
+	for cl := c - 1; cl >= 0 && cl >= c-2; cl-- {
+		if a, ok := arenaPools[cl].Get().(*levelArena); ok && a != nil {
+			return a
+		}
+	}
+	return &levelArena{rng: rand.New(rand.NewSource(0))}
+}
+
+func putArena(a *levelArena) { arenaPools[arenaClass(cap(a.subVW))].Put(a) }
 
 // tryScratch is the working memory of one concurrent initial-bisection try:
 // its own generator (tries fan out across goroutines, so they cannot share
@@ -466,6 +502,13 @@ func (a *levelArena) routeHalves(n int, dedup bool, xadj *[]int32, adj *[]int32,
 // assigned in ascending parent order, edges are routed in the parent's
 // row-scan order with both halves emitted when the lower endpoint is
 // visited — reproducing graph.Graph.Subgraph's adjacency layout exactly.
+//
+// pa == ca is allowed: the child overwrites its parent in place. This is
+// safe because the child is never larger than the parent, so every write
+// is a forward compaction (vw[i] and orig[i] with i ≤ v), and the edge
+// rows are fully staged into pa.halves before routeHalves overwrites the
+// CSR storage; no grow call can reallocate mid-extraction since the
+// child's sizes are bounded by the parent's existing capacities.
 //
 //goldilocks:hotpath
 func extractChild(parent *csrGraph, side []int8, s int8, pa, ca *levelArena) *csrGraph {

@@ -44,7 +44,7 @@ func TestCSRRoundTripMatchesGraph(t *testing.T) {
 	for seed := int64(0); seed < 15; seed++ {
 		g := randomRoundTripGraph(seed)
 		n := g.NumVertices()
-		a := getArena()
+		a := getArena(0)
 		c := a.buildRootCSRNormalized(g)
 
 		if got, want := c.totalVertexWeight(), g.TotalVertexWeight(); got != want {
@@ -76,7 +76,7 @@ func TestExtractChildMatchesSubgraph(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		g := randomRoundTripGraph(seed)
 		n := g.NumVertices()
-		a := getArena()
+		a := getArena(0)
 		c := a.buildRootCSRNormalized(g)
 
 		rng := rand.New(rand.NewSource(seed + 2000))
@@ -96,7 +96,7 @@ func TestExtractChildMatchesSubgraph(t *testing.T) {
 			}
 			want, _ := g.Subgraph(verts)
 
-			ca := getArena()
+			ca := getArena(0)
 			child := extractChild(c, side, s, a, ca)
 			if child.n != want.NumVertices() {
 				t.Fatalf("seed %d side %d: child has %d vertices, want %d", seed, s, child.n, want.NumVertices())
@@ -140,7 +140,7 @@ func TestNormalizedRootMatchesSubgraphIdentity(t *testing.T) {
 		}
 		want, _ := g.Subgraph(all)
 
-		a := getArena()
+		a := getArena(0)
 		c := a.buildRootCSRNormalized(g)
 		for v := 0; v < n; v++ {
 			row := want.Neighbors(v)

@@ -200,3 +200,62 @@ func FuzzPartitionAntiAffinity(f *testing.F) {
 		}
 	})
 }
+
+// FuzzShardStitch drives the sharded pipeline (pre-split → per-shard
+// partitions → frontier stitch) on adversarial graphs and checks the
+// boundary re-home invariants: no container lost or duplicated by the
+// stitch, every leaf still within the PEE-scaled capacity, and the sharded
+// result bit-identical between a serial and a parallel run.
+func FuzzShardStitch(f *testing.F) {
+	f.Add(int64(1), 4, []byte("goldilocks-sharded"))
+	f.Add(int64(42), 2, []byte{0x10, 0x80, 0xff, 0x03, 0x3c, 0x77, 0x01, 0x02, 0x03, 0x04})
+	f.Add(int64(-7), 7, []byte{9, 9, 9, 1, 2, 3, 4, 5, 6, 7, 8})
+	// Dense frontier seed: a bipartite-ish band graph where most edges
+	// cross the index midpoint, so the pre-split cut is wide and the
+	// stitch worklist covers most of the graph.
+	band := []byte{60}
+	for k := byte(0); k < 60; k += 2 {
+		band = append(band, k, 60-k, 5)
+	}
+	f.Add(int64(1234), 3, band)
+	f.Fuzz(func(t *testing.T, seed int64, shards int, raw []byte) {
+		n := 8 + int(byteAt(raw, 0))%56
+		g := buildFuzzGraph(n, raw)
+		if shards < 2 {
+			shards = 2
+		}
+		if shards > 8 {
+			shards = 2 + shards%7
+		}
+
+		opts := partition.DefaultOptions()
+		opts.Seed = seed
+		opts.Parallelism = 1
+		opts.ShardCount = shards
+		tree, err := partition.PartitionToFit(g, fuzzCapacity(), fuzzTargetUtil, opts)
+		if err != nil {
+			t.Fatalf("sharded PartitionToFit on a feasible workload: %v", err)
+		}
+		assign := checkAssignedExactlyOnce(t, tree, n)
+		checkLeafCapacity(t, tree, g)
+		for li, leaf := range tree.Leaves {
+			if len(leaf.Vertices) == 0 {
+				t.Fatalf("stitch emptied leaf %d", li)
+			}
+		}
+
+		parallel := opts
+		parallel.Parallelism = 4
+		ptree, err := partition.PartitionToFit(g, fuzzCapacity(), fuzzTargetUtil, parallel)
+		if err != nil {
+			t.Fatalf("parallel sharded PartitionToFit: %v", err)
+		}
+		passign := ptree.Assignment(n)
+		for v := range assign {
+			if assign[v] != passign[v] {
+				t.Fatalf("parallelism changed the sharded partition: vertex %d in leaf %d (serial) vs %d (parallel)",
+					v, assign[v], passign[v])
+			}
+		}
+	})
+}

@@ -95,14 +95,16 @@ func runChunks(lim Limiter, k int, fn func(c int)) {
 // arena's single-owner discipline still holds because the slabs are only
 // partitioned for the duration of one runChunks join.
 type inLevelScratch struct {
-	prop       []int32 // matching: proposed partner per vertex
-	cnt        []int32 // contraction: per-chunk × per-row half counts, then cursors
-	rowTot     []int32 // contraction: per-row totals, then deduped lengths
-	newStart   []int32 // contraction: post-dedup row starts
-	markers    []int32 // contraction: per-range dedup markers; all −1 between uses
-	fineOf     []int32 // contraction: the ≤2 fine constituents per coarse vertex
-	fineBounds []int32 // contraction: edge-balanced fine chunk boundaries
-	rowBounds  []int32 // contraction: edge-balanced coarse row-range boundaries
+	prop       []int32   // matching: proposed partner per vertex
+	cnt        []int32   // contraction: per-chunk × per-row half counts, then cursors
+	rowTot     []int32   // contraction: per-row totals, then deduped lengths
+	newStart   []int32   // contraction: post-dedup row starts
+	markers    []int32   // contraction: per-range dedup markers; all −1 between uses
+	fineOf     []int32   // contraction: the ≤2 fine constituents per coarse vertex
+	fineBounds []int32   // contraction: edge-balanced fine chunk boundaries
+	rowBounds  []int32   // contraction: edge-balanced coarse row-range boundaries
+	adjStage   []int32   // contraction: compaction staging for adj
+	wStage     []float64 // contraction: compaction staging for edge weights
 }
 
 // growNegOne resizes a −1-filled slab, preserving the all-−1 invariant for
@@ -426,24 +428,36 @@ func contractRouteParallel(fine *csrGraph, cmap []int32, cn int, fineOf []int32,
 		}
 	})
 
-	// Phase 6: serial post-dedup row starts, then parallel left-compaction.
-	// Safe concurrently: every row moves to a lower or equal address
-	// (newStart[r] ≤ xa[r]), ranges are processed over the same boundaries
-	// as phase 5, and range rc's highest write, newStart[rb[rc+1]], never
-	// exceeds xa[rb[rc+1]], range rc+1's lowest read. copy is memmove, so
-	// the in-range overlap of a short leftward move is fine too.
+	// Phase 6: serial post-dedup row starts, then parallel left-compaction
+	// through a staging slab. In-place cross-chunk compaction races: after
+	// any dedup removal, range rc+1's lowest write newStart[rb[rc+1]] sits
+	// strictly below xa[rb[rc+1]], i.e. inside range rc's not-yet-read
+	// source rows. Staging makes both sweeps trivially disjoint — the
+	// gather writes only [newStart[rb[rc]], newStart[rb[rc+1]]) of the
+	// staging slabs while reading ad/wt (which no one writes), the
+	// copy-back writes the same disjoint ranges of ad/wt while reading
+	// only staging — and runChunks fully joins between the two.
 	newStart := growI32(&il.newStart, cn+1) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
 	newStart[0] = 0
 	for r := 0; r < cn; r++ {
 		newStart[r+1] = newStart[r] + newLen[r]
 	}
-	runChunks(lim, rk, func(rc int) { //lint:ignore allocfree in-level fan-out bookkeeping, amortized across the chunk loop
+	adStage := growI32(&il.adjStage, int(newStart[cn])) //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
+	wtStage := growF(&il.wStage, int(newStart[cn]))     //lint:ignore allocfree amortized arena growth on capacity miss; the steady state reuses the backing array
+	runChunks(lim, rk, func(rc int) {                   //lint:ignore allocfree in-level fan-out bookkeeping, amortized across the chunk loop
 		for r := int(rb[rc]); r < int(rb[rc+1]); r++ {
 			src, dst, l := xa[r], newStart[r], newLen[r]
-			if src != dst && l > 0 {
-				copy(ad[dst:dst+l], ad[src:src+l])
-				copy(wt[dst:dst+l], wt[src:src+l])
+			if l > 0 {
+				copy(adStage[dst:dst+l], ad[src:src+l])
+				copy(wtStage[dst:dst+l], wt[src:src+l])
 			}
+		}
+	})
+	runChunks(lim, rk, func(rc int) { //lint:ignore allocfree in-level fan-out bookkeeping, amortized across the chunk loop
+		lo, hi := newStart[rb[rc]], newStart[rb[rc+1]]
+		if lo < hi {
+			copy(ad[lo:hi], adStage[lo:hi])
+			copy(wt[lo:hi], wtStage[lo:hi])
 		}
 	})
 	copy(xa, newStart)

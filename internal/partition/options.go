@@ -53,6 +53,27 @@ type Options struct {
 	// level count and is meant for single-placement inspection, not
 	// whole-experiment traces.
 	TraceDetail bool
+	// ShardCount ≥ 2 enables topology-sharded partitioning (see shard.go):
+	// the container graph is pre-split into ShardCount shards by cheap
+	// bisections whose large levels skip serial FM refinement, the shards
+	// run the full fit-driven pipeline concurrently — each with its own
+	// arena, so the allocation-free contract holds per shard — and the
+	// shard boundaries are stitched by a deterministic frontier re-home
+	// pass. Output is bit-identical at every Parallelism for a fixed Seed,
+	// like the flat pipeline, but differs from the flat pipeline's output.
+	// 0 and 1 run the flat pipeline unchanged; negative values force it
+	// (the scheduler's auto-enable respects an explicit -1). The scheduler
+	// sets ShardCount to the topology's pod count above ShardAutoMinN
+	// vertices.
+	ShardCount int
+
+	// presplitRefineCap, when > 0, makes bisectCSR skip FM refinement on
+	// levels larger than the cap. Only the sharded pre-split sets it: the
+	// pre-split needs a topology-shaped cut, not an optimal one — the
+	// per-shard pipelines and the stitch recover the quality — and the
+	// serial FM move loop on the full graph is exactly the wall sharding
+	// exists to break.
+	presplitRefineCap int
 }
 
 // DefaultOptions returns the tuning used by all Goldilocks experiments.

@@ -21,6 +21,8 @@ const (
 	saltInitial uint64 = 0xc2b2ae3d27d4eb4f
 	saltSplit   uint64 = 0x165667b19e3779f9
 	saltKWay    uint64 = 0x27d4eb2f165667c5
+	saltShard   uint64 = 0x85ebca6b2c264d61
+	saltStitch  uint64 = 0xff51afd7ed558ccd
 )
 
 // deriveSeed hashes a parent seed and structural coordinates into a child

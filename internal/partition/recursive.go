@@ -90,13 +90,21 @@ func PartitionToFit(g *graph.Graph, capacity resources.Vector, targetUtil float6
 		}
 	}
 
+	// ShardCount ≥ 2 takes the topology-sharded path (shard.go): pre-split,
+	// concurrent per-shard pipelines, deterministic stitch. Everything below
+	// is the flat pipeline, byte-for-byte unchanged, so sharded-off output
+	// is pinned by the legacy differential suite.
+	if opts.ShardCount >= 2 && n >= 2*opts.ShardCount {
+		return partitionSharded(g, all, demand, usable, opts)
+	}
+
 	span := opts.Trace.Child("partition")
 	span.SetInt("vertices", n)
 	// splitToFit's contract: opts.Trace is the span for *this* subproblem,
 	// pre-created by the caller (so forked children never append to a
 	// shared parent concurrently).
 	opts.Trace = span.Child("split")
-	a := getArena()
+	a := getArena(n)
 	sub := a.buildRootCSRNormalized(g)
 	root, err := splitToFit(sub, all, demand, usable, 0, opts, NewLimiter(opts.Parallelism), a)
 	if err != nil {
@@ -119,10 +127,10 @@ const maxDepth = 64
 
 // splitToFit recursively splits one subproblem. sub is the subproblem's
 // CSR, owned by arena a; vertices is the matching original-id list (same
-// order as sub's local ids, ascending). The callee owns a: it returns the
-// arena to the pool as soon as the children's CSRs have been extracted —
-// before recursing — so the number of live arenas tracks the recursion
-// frontier, not the tree size.
+// order as sub's local ids, ascending). The callee owns a: leaves return it
+// to the pool, inner nodes hand it to the left child (compacted in place),
+// so the number of live arenas tracks the recursion frontier, not the tree
+// size, and buffer capacity stays with the largest open subproblem.
 func splitToFit(sub *csrGraph, vertices []int, demand, usable resources.Vector, depth int, opts Options, lim Limiter, a *levelArena) (*Group, error) {
 	// opts.Trace is this subproblem's own span, pre-created by the caller
 	// before any fork so sibling order is structural (telemetry contract).
@@ -237,13 +245,20 @@ func splitToFit(sub *csrGraph, vertices []int, demand, usable resources.Vector, 
 		}
 	}
 
-	// Extract both child CSRs into fresh arenas, then return this
-	// subproblem's arena: nothing below needs sub or a's scratch.
-	la := getArena()
-	leftSub := extractChild(sub, bestSide, 0, a, la)
-	ra := getArena()
+	// Extract the right child into a fresh arena first (the parent CSR must
+	// survive both extractions), then compact the left child *in place* into
+	// this subproblem's own arena: extractChild supports pa == ca because a
+	// child is never larger than its parent (forward compaction) and edges
+	// are staged through pa.halves before the CSR rows are overwritten.
+	// Reusing a for the left child keeps high-water buffer capacity flowing
+	// down the heavy recursion spine instead of round-tripping through the
+	// pool, where a large subproblem would draw a small-capacity arena and
+	// regrow every buffer — the dominant steady-state allocation source at
+	// Parallelism > 1 before this reuse.
+	ra := getArena(len(rightV))
 	rightSub := extractChild(sub, bestSide, 1, a, ra)
-	putArena(a)
+	la := a
+	leftSub := extractChild(sub, bestSide, 0, a, a)
 
 	// The two child subproblems are fully independent (disjoint vertex
 	// sets, each owning its CSR arena), so the right child runs on a spare

@@ -129,6 +129,9 @@ func (p Goldilocks) placeAtTarget(req Request, g *graph.Graph, target float64, s
 	usableAvg := req.Topo.AverageCapacity().PerDimScale(resources.UtilizationCaps(target))
 	popts := p.Partition
 	popts.Trace = span
+	popts.ShardCount = autoShardCount(popts.ShardCount, g.NumVertices(),
+		len(req.Topo.SubtreesAtLevel(topology.LevelPod)))
+	span.SetInt("shard_count", popts.ShardCount)
 	tree, err := partition.PartitionToFit(g, usableAvg, 1.0, popts)
 	if err != nil {
 		return Result{}, nil, fmt.Errorf("goldilocks: partitioning failed: %w", err)
@@ -142,6 +145,23 @@ func (p Goldilocks) placeAtTarget(req Request, g *graph.Graph, target float64, s
 	}
 	res, err := p.placeAsymmetric(req, g, tree, target, span)
 	return res, groupOf, err
+}
+
+// autoShardCount decides the partitioner's ShardCount for one placement:
+// an explicit setting (including −1 to force the flat pipeline) is passed
+// through; otherwise graphs of at least partition.ShardAutoMinN containers
+// shard along the topology's pods — the pod count is the natural shard
+// count, since groups that land in one shard stay in one pod under
+// left-most-subtree packing. Topologies with fewer than two pods (the
+// testbed's single pod, degenerate trees) keep the flat pipeline.
+func autoShardCount(explicit, numContainers, pods int) int {
+	if explicit != 0 {
+		return explicit
+	}
+	if numContainers >= partition.ShardAutoMinN && pods >= 2 {
+		return pods
+	}
+	return 0
 }
 
 // repairAntiAffinity relocates replicas sharing a server, the legacy

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"goldilocks/internal/partition"
 	"goldilocks/internal/power"
 	"goldilocks/internal/resources"
 	"goldilocks/internal/topology"
@@ -496,4 +497,64 @@ func TestGoldilocksRelaxesTargetUnderExtremeLoad(t *testing.T) {
 	}
 	checkPlacementComplete(t, Request{Spec: spec, Topo: topo}, res)
 	checkUtilizationCaps(t, Request{Spec: spec, Topo: topo}, res, 0.95)
+}
+
+func TestAutoShardCount(t *testing.T) {
+	gate := partition.ShardAutoMinN
+	cases := []struct {
+		name              string
+		explicit, n, pods int
+		want              int
+	}{
+		{"below-gate", 0, gate - 1, 8, 0},
+		{"at-gate", 0, gate, 8, 8},
+		{"above-gate", 0, 10 * gate, 4, 4},
+		{"single-pod", 0, gate, 1, 0},
+		{"no-pods", 0, gate, 0, 0},
+		{"explicit-wins-below-gate", 6, 100, 8, 6},
+		{"explicit-wins-above-gate", 2, gate, 8, 2},
+		{"explicit-flat", -1, gate, 8, -1},
+		{"explicit-one-stays-flat", 1, gate, 8, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := autoShardCount(c.explicit, c.n, c.pods); got != c.want {
+				t.Errorf("autoShardCount(%d, %d, %d) = %d, want %d",
+					c.explicit, c.n, c.pods, got, c.want)
+			}
+		})
+	}
+}
+
+// TestGoldilocksShardedMatchesFlat pins the scheduler-level contract of the
+// sharding knob: an explicitly sharded placement is a complete, valid
+// placement, and forcing the flat pipeline (−1) reproduces the default
+// below-gate placement exactly.
+func TestGoldilocksShardedMatchesFlat(t *testing.T) {
+	req := testbedRequest(t, 176)
+	flat, err := Goldilocks{}.Place(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced := Goldilocks{}
+	forced.Partition = partition.DefaultOptions()
+	forced.Partition.ShardCount = -1
+	got, err := forced.Place(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range flat.Placement {
+		if flat.Placement[i] != got.Placement[i] {
+			t.Fatalf("container %d: flat server %d, ShardCount=-1 server %d",
+				i, flat.Placement[i], got.Placement[i])
+		}
+	}
+	sharded := Goldilocks{}
+	sharded.Partition = partition.DefaultOptions()
+	sharded.Partition.ShardCount = 2
+	res, err := sharded.Place(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlacementComplete(t, req, res)
 }
